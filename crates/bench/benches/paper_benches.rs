@@ -1,0 +1,203 @@
+//! Criterion benchmarks, one group per table / figure of the paper.
+//!
+//! Each group exercises the code path that regenerates the corresponding
+//! artefact on a reduced trace length, so `cargo bench` both regenerates the
+//! qualitative result and tracks the simulator's throughput. Run the
+//! `wp-experiments` binaries for the full-length tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wp_cache::{DCachePolicy, ICachePolicy, L1Config};
+use wp_energy::{CacheEnergyModel, RelativeEnergyTable};
+use wp_experiments::runner::{simulate, MachineConfig, RunOptions};
+use wp_experiments::table4;
+use wp_workloads::Benchmark;
+
+/// Trace length used by the benchmark harness (small enough that every
+/// group completes quickly, large enough to exercise warm caches).
+const BENCH_OPS: usize = 12_000;
+
+fn bench_options() -> RunOptions {
+    RunOptions::default().with_ops(BENCH_OPS).with_seed(7)
+}
+
+fn machine(dpolicy: DCachePolicy, ipolicy: ICachePolicy) -> MachineConfig {
+    MachineConfig::baseline()
+        .with_dpolicy(dpolicy)
+        .with_ipolicy(ipolicy)
+}
+
+/// Table 3: the analytic energy model itself.
+fn table3_energy_model(c: &mut Criterion) {
+    let geometry = L1Config::paper_dcache().geometry().expect("valid geometry");
+    c.bench_function("table3_energy_model", |b| {
+        b.iter(|| {
+            let model = CacheEnergyModel::new(black_box(geometry));
+            black_box(RelativeEnergyTable::from_model(&model))
+        })
+    });
+}
+
+/// Table 4: miss-rate measurement (direct-mapped vs 4-way) on one benchmark.
+fn table4_miss_rates(c: &mut Criterion) {
+    let options = bench_options();
+    c.bench_function("table4_miss_rates_gcc", |b| {
+        b.iter(|| {
+            (
+                black_box(table4::miss_rate_percent(Benchmark::Gcc, 1, &options)),
+                black_box(table4::miss_rate_percent(Benchmark::Gcc, 4, &options)),
+            )
+        })
+    });
+}
+
+/// Figure 4: sequential-access d-cache simulation.
+fn fig4_sequential(c: &mut Criterion) {
+    let options = bench_options();
+    c.bench_function("fig4_sequential_gcc", |b| {
+        b.iter(|| {
+            black_box(simulate(
+                Benchmark::Gcc,
+                &machine(DCachePolicy::Sequential, ICachePolicy::Parallel),
+                &options,
+            ))
+        })
+    });
+}
+
+/// Figure 5: PC- and XOR-based way-prediction.
+fn fig5_way_prediction(c: &mut Criterion) {
+    let options = bench_options();
+    let mut group = c.benchmark_group("fig5_way_prediction");
+    for (name, policy) in [
+        ("pc", DCachePolicy::WayPredictPc),
+        ("xor", DCachePolicy::WayPredictXor),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(simulate(
+                    Benchmark::Vortex,
+                    &machine(policy, ICachePolicy::Parallel),
+                    &options,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 6 / Table 5: the selective-DM schemes.
+fn fig6_selective_dm(c: &mut Criterion) {
+    let options = bench_options();
+    let mut group = c.benchmark_group("fig6_selective_dm");
+    for (name, policy) in [
+        ("seldm_parallel", DCachePolicy::SelDmParallel),
+        ("seldm_waypred", DCachePolicy::SelDmWayPredict),
+        ("seldm_sequential", DCachePolicy::SelDmSequential),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(simulate(
+                    Benchmark::Gcc,
+                    &machine(policy, ICachePolicy::Parallel),
+                    &options,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Table 5 is the summary of Figures 4-6; benchmark the recommended
+/// configuration end to end.
+fn table5_summary(c: &mut Criterion) {
+    let options = bench_options();
+    c.bench_function("table5_seldm_waypred_li", |b| {
+        b.iter(|| {
+            black_box(simulate(
+                Benchmark::Li,
+                &machine(DCachePolicy::SelDmWayPredict, ICachePolicy::Parallel),
+                &options,
+            ))
+        })
+    });
+}
+
+/// Figure 7: cache-size sweep (32 KB point).
+fn fig7_cache_size(c: &mut Criterion) {
+    let options = bench_options();
+    let machine = MachineConfig::baseline()
+        .with_l1d(L1Config::paper_dcache().with_size(32 * 1024))
+        .with_dpolicy(DCachePolicy::SelDmWayPredict);
+    c.bench_function("fig7_32k_seldm_waypred", |b| {
+        b.iter(|| black_box(simulate(Benchmark::Perl, &machine, &options)))
+    });
+}
+
+/// Figure 8: associativity sweep (8-way point).
+fn fig8_associativity(c: &mut Criterion) {
+    let options = bench_options();
+    let machine = MachineConfig::baseline()
+        .with_l1d(L1Config::paper_dcache().with_associativity(8))
+        .with_dpolicy(DCachePolicy::SelDmWayPredict);
+    c.bench_function("fig8_8way_seldm_waypred", |b| {
+        b.iter(|| black_box(simulate(Benchmark::Applu, &machine, &options)))
+    });
+}
+
+/// Figure 9: the 2-cycle base-latency d-cache.
+fn fig9_high_latency(c: &mut Criterion) {
+    let options = bench_options();
+    let machine = MachineConfig::baseline()
+        .with_l1d(L1Config::paper_dcache().with_base_latency(2))
+        .with_dpolicy(DCachePolicy::SelDmSequential);
+    c.bench_function("fig9_2cycle_seldm_sequential", |b| {
+        b.iter(|| black_box(simulate(Benchmark::Go, &machine, &options)))
+    });
+}
+
+/// Figure 10: i-cache way-prediction.
+fn fig10_icache(c: &mut Criterion) {
+    let options = bench_options();
+    c.bench_function("fig10_icache_waypred_m88ksim", |b| {
+        b.iter(|| {
+            black_box(simulate(
+                Benchmark::M88ksim,
+                &machine(DCachePolicy::Parallel, ICachePolicy::WayPredict),
+                &options,
+            ))
+        })
+    });
+}
+
+/// Figure 11: the combined configuration that produces the headline result.
+fn fig11_processor(c: &mut Criterion) {
+    let options = bench_options();
+    c.bench_function("fig11_combined_troff", |b| {
+        b.iter(|| {
+            black_box(simulate(
+                Benchmark::Troff,
+                &machine(DCachePolicy::SelDmWayPredict, ICachePolicy::WayPredict),
+                &options,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = paper;
+    config = Criterion::default().sample_size(10);
+    targets =
+        table3_energy_model,
+        table4_miss_rates,
+        fig4_sequential,
+        fig5_way_prediction,
+        fig6_selective_dm,
+        table5_summary,
+        fig7_cache_size,
+        fig8_associativity,
+        fig9_high_latency,
+        fig10_icache,
+        fig11_processor
+}
+criterion_main!(paper);

@@ -1,0 +1,6 @@
+//! Criterion benchmark harness for the wpsdm workspace.
+//!
+//! The benchmarks live under `benches/`, one per table or figure of the
+//! paper; this library crate only hosts shared helpers (currently none).
+
+#![forbid(unsafe_code)]

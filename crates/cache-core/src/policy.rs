@@ -1,0 +1,166 @@
+//! The design options the paper evaluates, as data.
+
+/// How d-cache loads are accessed (Sections 2.1–2.2, Figures 4–6, 9).
+///
+/// Stores always check the tag array first and write only the matching way,
+/// in every policy (end of Section 2.1), so the policy applies to loads
+/// only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DCachePolicy {
+    /// Conventional parallel access: all ways probed, 1-cycle — the energy
+    /// baseline every figure normalises to.
+    Parallel,
+    /// Sequential access: wait for the tag array, then probe only the
+    /// matching way (Alpha 21164 L2 style). Low energy, but every access
+    /// pays the serialization latency (Figure 4).
+    Sequential,
+    /// PC-indexed way-prediction for every load (Figure 5, "E").
+    WayPredictPc,
+    /// Way-prediction indexed by the XOR approximation of the load address
+    /// (Figure 5, "X"). More accurate than the PC but the table lookup sits
+    /// on the address-generation critical path; the paper flags it as hard
+    /// to implement and we model only its energy/accuracy behaviour.
+    WayPredictXor,
+    /// Selective direct-mapping with parallel access for conflicting loads
+    /// (Figure 6, "P").
+    SelDmParallel,
+    /// Selective direct-mapping with PC-based way-prediction for conflicting
+    /// loads (Figure 6, "W") — the configuration the paper recommends for
+    /// performance.
+    SelDmWayPredict,
+    /// Selective direct-mapping with sequential access for conflicting loads
+    /// (Figure 6, "S") — the configuration the paper recommends for energy.
+    SelDmSequential,
+    /// An oracle that always probes exactly the matching way with no
+    /// latency penalty: the "perfect way-prediction" bound of Figure 11.
+    PerfectWayPredict,
+}
+
+impl DCachePolicy {
+    /// Every concrete (implementable) policy, in the order the paper's
+    /// Table 5 summarises them.
+    pub fn all() -> [DCachePolicy; 7] {
+        [
+            DCachePolicy::Parallel,
+            DCachePolicy::Sequential,
+            DCachePolicy::WayPredictPc,
+            DCachePolicy::WayPredictXor,
+            DCachePolicy::SelDmParallel,
+            DCachePolicy::SelDmWayPredict,
+            DCachePolicy::SelDmSequential,
+        ]
+    }
+
+    /// True if the policy uses the selective-DM prediction table and victim
+    /// list.
+    pub fn uses_selective_dm(&self) -> bool {
+        matches!(
+            self,
+            DCachePolicy::SelDmParallel
+                | DCachePolicy::SelDmWayPredict
+                | DCachePolicy::SelDmSequential
+        )
+    }
+
+    /// True if the policy uses a way-prediction table.
+    pub fn uses_way_prediction(&self) -> bool {
+        matches!(
+            self,
+            DCachePolicy::WayPredictPc
+                | DCachePolicy::WayPredictXor
+                | DCachePolicy::SelDmWayPredict
+        )
+    }
+
+    /// A short label matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DCachePolicy::Parallel => "parallel",
+            DCachePolicy::Sequential => "sequential",
+            DCachePolicy::WayPredictPc => "waypred-pc",
+            DCachePolicy::WayPredictXor => "waypred-xor",
+            DCachePolicy::SelDmParallel => "seldm+parallel",
+            DCachePolicy::SelDmWayPredict => "seldm+waypred",
+            DCachePolicy::SelDmSequential => "seldm+sequential",
+            DCachePolicy::PerfectWayPredict => "perfect-waypred",
+        }
+    }
+}
+
+impl std::fmt::Display for DCachePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How i-cache fetches are accessed (Section 2.3, Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ICachePolicy {
+    /// Conventional parallel access.
+    Parallel,
+    /// Way-prediction integrated with the fetch engine: BTB way fields for
+    /// taken branches, the SAWP for sequential and not-taken fetches, the
+    /// RAS way field for returns; parallel access when no prediction is
+    /// available.
+    WayPredict,
+}
+
+impl ICachePolicy {
+    /// Both i-cache policies.
+    pub fn all() -> [ICachePolicy; 2] {
+        [ICachePolicy::Parallel, ICachePolicy::WayPredict]
+    }
+
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ICachePolicy::Parallel => "parallel",
+            ICachePolicy::WayPredict => "waypred",
+        }
+    }
+}
+
+impl std::fmt::Display for ICachePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_paper_structure() {
+        assert!(DCachePolicy::SelDmWayPredict.uses_selective_dm());
+        assert!(DCachePolicy::SelDmWayPredict.uses_way_prediction());
+        assert!(DCachePolicy::SelDmSequential.uses_selective_dm());
+        assert!(!DCachePolicy::SelDmSequential.uses_way_prediction());
+        assert!(!DCachePolicy::Parallel.uses_selective_dm());
+        assert!(DCachePolicy::WayPredictXor.uses_way_prediction());
+        assert!(!DCachePolicy::Sequential.uses_way_prediction());
+    }
+
+    #[test]
+    fn all_lists_are_unique() {
+        let d = DCachePolicy::all();
+        for (i, a) in d.iter().enumerate() {
+            for b in d.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+        assert_ne!(ICachePolicy::all()[0], ICachePolicy::all()[1]);
+    }
+
+    #[test]
+    fn labels_are_distinct_and_displayed() {
+        let mut labels: Vec<_> = DCachePolicy::all().iter().map(|p| p.label()).collect();
+        labels.push(DCachePolicy::PerfectWayPredict.label());
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), labels.len());
+        assert_eq!(DCachePolicy::SelDmWayPredict.to_string(), "seldm+waypred");
+        assert_eq!(ICachePolicy::WayPredict.to_string(), "waypred");
+    }
+}

@@ -1,0 +1,26 @@
+//! Trace-driven out-of-order processor timing model for the wpsdm
+//! reproduction of *Reducing Set-Associative Cache Energy via Way-Prediction
+//! and Selective Direct-Mapping* (Powell et al., MICRO 2001).
+//!
+//! The paper measures performance with SimpleScalar's out-of-order model
+//! (8-wide, 64-entry reorder buffer, 32-entry load/store queue, 2-level
+//! hybrid branch predictor — Table 1) and energy with Wattch. This crate
+//! provides an equivalent-fidelity substitute: a trace-driven scheduler that
+//! models fetch bandwidth and i-cache behaviour, branch prediction and
+//! misprediction redirects, register-dependence-limited issue, finite ROB
+//! and LSQ occupancy, in-order commit, and d-cache/L2/memory latencies. Its
+//! purpose is to capture what the paper's performance numbers rest on: an
+//! out-of-order core absorbs an occasional extra cycle on a mispredicted
+//! load but cannot hide an extra cycle on *every* load (sequential access).
+//!
+//! The model also counts per-unit activity for the Wattch-style
+//! [`wp_energy::ProcessorEnergyModel`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pipeline;
+mod result;
+
+pub use pipeline::{CpuConfig, Processor};
+pub use result::SimResult;

@@ -1,0 +1,173 @@
+//! The output of one processor run: cycles, activity counts, cache
+//! statistics, and helpers for computing the paper's relative metrics.
+
+use wp_cache::{DCacheController, DCacheStats, ICacheController, ICacheStats};
+use wp_energy::{ActivityCounts, Energy, EnergyDelay, ProcessorEnergyModel, RelativeMetrics};
+use wp_mem::MemoryHierarchy;
+use wp_predictors::HybridBranchPredictor;
+
+/// Everything measured by one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Execution time in cycles.
+    pub cycles: u64,
+    /// Per-unit activity counts (for the Wattch-style processor model).
+    pub activity: ActivityCounts,
+    /// Final d-cache statistics (access breakdown, accuracies, energy).
+    pub dcache: DCacheStats,
+    /// Final i-cache statistics.
+    pub icache: ICacheStats,
+    /// Number of L1 misses that also missed in the L2 and went to memory.
+    pub memory_accesses: u64,
+    /// Branch-direction prediction accuracy over the run.
+    pub branch_accuracy: f64,
+}
+
+impl SimResult {
+    /// Assembles the result from the processor's components after a run.
+    pub(crate) fn collect(
+        activity: ActivityCounts,
+        dcache: &DCacheController,
+        icache: &ICacheController,
+        hierarchy: &MemoryHierarchy,
+        branch_predictor: &HybridBranchPredictor,
+    ) -> Self {
+        Self {
+            cycles: activity.cycles,
+            activity,
+            dcache: *dcache.stats(),
+            icache: *icache.stats(),
+            memory_accesses: hierarchy.memory_accesses(),
+            branch_accuracy: branch_predictor.accuracy(),
+        }
+    }
+
+    /// Total L1 d-cache energy (arrays plus prediction structures).
+    pub fn dcache_energy(&self) -> Energy {
+        self.dcache.total_energy()
+    }
+
+    /// Total L1 i-cache energy (arrays plus way-field overhead).
+    pub fn icache_energy(&self) -> Energy {
+        self.icache.total_energy()
+    }
+
+    /// The d-cache energy-delay point of this run (the quantity Figures 4–9
+    /// normalise between configurations).
+    pub fn dcache_energy_delay(&self) -> EnergyDelay {
+        EnergyDelay::new(self.dcache_energy(), self.cycles)
+    }
+
+    /// The i-cache energy-delay point (Figure 10).
+    pub fn icache_energy_delay(&self) -> EnergyDelay {
+        EnergyDelay::new(self.icache_energy(), self.cycles)
+    }
+
+    /// Overall processor energy under a Wattch-style model (Figure 11).
+    pub fn processor_energy(&self, model: &ProcessorEnergyModel) -> Energy {
+        model.total_energy(&self.activity, self.icache_energy(), self.dcache_energy())
+    }
+
+    /// Overall processor energy-delay point (Figure 11).
+    pub fn processor_energy_delay(&self, model: &ProcessorEnergyModel) -> EnergyDelay {
+        EnergyDelay::new(self.processor_energy(model), self.cycles)
+    }
+
+    /// Fraction of overall processor energy dissipated in the two L1 caches
+    /// (the paper reports 10–16 %).
+    pub fn l1_energy_fraction(&self, model: &ProcessorEnergyModel) -> f64 {
+        model
+            .breakdown(&self.activity, self.icache_energy(), self.dcache_energy())
+            .l1_fraction()
+    }
+
+    /// D-cache relative metrics against a baseline run (typically the
+    /// 1-cycle parallel-access configuration).
+    pub fn dcache_relative_to(&self, baseline: &SimResult) -> RelativeMetrics {
+        self.dcache_energy_delay()
+            .relative_to(&baseline.dcache_energy_delay())
+    }
+
+    /// I-cache relative metrics against a baseline run.
+    pub fn icache_relative_to(&self, baseline: &SimResult) -> RelativeMetrics {
+        self.icache_energy_delay()
+            .relative_to(&baseline.icache_energy_delay())
+    }
+
+    /// Overall processor relative metrics against a baseline run.
+    pub fn processor_relative_to(
+        &self,
+        baseline: &SimResult,
+        model: &ProcessorEnergyModel,
+    ) -> RelativeMetrics {
+        self.processor_energy_delay(model)
+            .relative_to(&baseline.processor_energy_delay(model))
+    }
+
+    /// Performance degradation relative to a baseline run (positive means
+    /// slower), as a fraction.
+    pub fn performance_degradation_vs(&self, baseline: &SimResult) -> f64 {
+        self.cycles as f64 / baseline.cycles as f64 - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic(cycles: u64, dcache_energy: f64) -> SimResult {
+        SimResult {
+            cycles,
+            activity: ActivityCounts {
+                cycles,
+                instructions: 1000,
+                int_ops: 500,
+                fp_ops: 50,
+                loads: 250,
+                stores: 100,
+                branches: 100,
+                l2_accesses: 10,
+            },
+            dcache: DCacheStats {
+                loads: 250,
+                stores: 100,
+                cache_energy: dcache_energy,
+                prediction_energy: 1.0,
+                ..DCacheStats::default()
+            },
+            icache: ICacheStats {
+                fetches: 200,
+                cache_energy: 50_000.0,
+                ..ICacheStats::default()
+            },
+            memory_accesses: 2,
+            branch_accuracy: 0.95,
+        }
+    }
+
+    #[test]
+    fn energy_helpers_add_prediction_overhead() {
+        let r = synthetic(500, 100.0);
+        assert_eq!(r.dcache_energy(), 101.0);
+        assert_eq!(r.icache_energy(), 50_000.0);
+    }
+
+    #[test]
+    fn relative_metrics_compare_energy_delay() {
+        let baseline = synthetic(500, 100_000.0);
+        let technique = synthetic(510, 30_000.0);
+        let m = technique.dcache_relative_to(&baseline);
+        assert!(m.energy_delay_savings() > 0.6);
+        assert!(m.performance_degradation() > 0.0 && m.performance_degradation() < 0.03);
+        assert!((technique.performance_degradation_vs(&baseline) - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn processor_energy_includes_l1_contributions() {
+        let model = ProcessorEnergyModel::default();
+        let small = synthetic(500, 10_000.0);
+        let large = synthetic(500, 300_000.0);
+        assert!(large.processor_energy(&model) > small.processor_energy(&model));
+        assert!(large.l1_energy_fraction(&model) > small.l1_energy_fraction(&model));
+    }
+}

@@ -1,0 +1,157 @@
+//! Energy-delay bookkeeping.
+//!
+//! Every figure in the paper reports *relative energy-delay*: the energy of
+//! the technique times its execution time, divided by the same product for
+//! the baseline (a 1-cycle, parallel-access cache). [`EnergyDelay`] carries
+//! an (energy, cycles) pair and [`RelativeMetrics`] the derived ratios.
+
+use crate::Energy;
+
+/// An (energy, execution time) pair for one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyDelay {
+    /// Total energy in model units.
+    pub energy: Energy,
+    /// Execution time in cycles.
+    pub cycles: u64,
+}
+
+impl EnergyDelay {
+    /// Creates a new energy-delay point.
+    pub fn new(energy: Energy, cycles: u64) -> Self {
+        Self { energy, cycles }
+    }
+
+    /// The energy-delay product.
+    pub fn product(&self) -> f64 {
+        self.energy * self.cycles as f64
+    }
+
+    /// Computes this run's metrics relative to `baseline`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline has zero energy or zero cycles, which can only
+    /// happen if the baseline simulation never ran.
+    pub fn relative_to(&self, baseline: &EnergyDelay) -> RelativeMetrics {
+        assert!(
+            baseline.energy > 0.0 && baseline.cycles > 0,
+            "baseline must have non-zero energy and cycles"
+        );
+        let relative_energy = self.energy / baseline.energy;
+        let relative_time = self.cycles as f64 / baseline.cycles as f64;
+        RelativeMetrics {
+            relative_energy,
+            relative_time,
+            relative_energy_delay: relative_energy * relative_time,
+        }
+    }
+}
+
+/// Ratios of one configuration against a baseline configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelativeMetrics {
+    /// Energy of the technique divided by energy of the baseline.
+    pub relative_energy: f64,
+    /// Execution time of the technique divided by the baseline's.
+    pub relative_time: f64,
+    /// Product of the two — the quantity the paper's figures plot.
+    pub relative_energy_delay: f64,
+}
+
+impl RelativeMetrics {
+    /// Energy-delay *savings* as a fraction in `[0, 1]` (the paper quotes
+    /// e.g. "69 % energy-delay reduction").
+    pub fn energy_delay_savings(&self) -> f64 {
+        1.0 - self.relative_energy_delay
+    }
+
+    /// Performance degradation as a fraction (relative execution time minus
+    /// one); negative values are speedups.
+    pub fn performance_degradation(&self) -> f64 {
+        self.relative_time - 1.0
+    }
+
+    /// Energy savings as a fraction in `[0, 1]`.
+    pub fn energy_savings(&self) -> f64 {
+        1.0 - self.relative_energy
+    }
+}
+
+/// Averages a set of relative metrics (the paper reports unweighted averages
+/// across its eleven benchmarks).
+pub fn average(metrics: &[RelativeMetrics]) -> Option<RelativeMetrics> {
+    if metrics.is_empty() {
+        return None;
+    }
+    let n = metrics.len() as f64;
+    let relative_energy = metrics.iter().map(|m| m.relative_energy).sum::<f64>() / n;
+    let relative_time = metrics.iter().map(|m| m.relative_time).sum::<f64>() / n;
+    let relative_energy_delay = metrics.iter().map(|m| m.relative_energy_delay).sum::<f64>() / n;
+    Some(RelativeMetrics {
+        relative_energy,
+        relative_time,
+        relative_energy_delay,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_runs_have_unit_ratios() {
+        let a = EnergyDelay::new(100.0, 1000);
+        let m = a.relative_to(&a);
+        assert_eq!(m.relative_energy, 1.0);
+        assert_eq!(m.relative_time, 1.0);
+        assert_eq!(m.relative_energy_delay, 1.0);
+        assert_eq!(m.energy_delay_savings(), 0.0);
+        assert_eq!(m.performance_degradation(), 0.0);
+    }
+
+    #[test]
+    fn savings_and_degradation_have_expected_signs() {
+        let baseline = EnergyDelay::new(100.0, 1000);
+        let technique = EnergyDelay::new(30.0, 1030);
+        let m = technique.relative_to(&baseline);
+        assert!(m.energy_delay_savings() > 0.6);
+        assert!(m.performance_degradation() > 0.0 && m.performance_degradation() < 0.05);
+        assert!(m.energy_savings() > 0.69);
+    }
+
+    #[test]
+    fn speedup_yields_negative_degradation() {
+        let baseline = EnergyDelay::new(100.0, 1000);
+        let faster = EnergyDelay::new(100.0, 900);
+        assert!(faster.relative_to(&baseline).performance_degradation() < 0.0);
+    }
+
+    #[test]
+    fn product_is_energy_times_cycles() {
+        let a = EnergyDelay::new(2.5, 4);
+        assert_eq!(a.product(), 10.0);
+    }
+
+    #[test]
+    fn average_of_empty_is_none() {
+        assert!(average(&[]).is_none());
+    }
+
+    #[test]
+    fn average_is_componentwise() {
+        let baseline = EnergyDelay::new(100.0, 1000);
+        let a = EnergyDelay::new(50.0, 1000).relative_to(&baseline);
+        let b = EnergyDelay::new(100.0, 2000).relative_to(&baseline);
+        let avg = average(&[a, b]).expect("non-empty");
+        assert!((avg.relative_energy - 0.75).abs() < 1e-12);
+        assert!((avg.relative_time - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline must have non-zero")]
+    fn zero_baseline_panics() {
+        let bad = EnergyDelay::new(0.0, 0);
+        let _ = EnergyDelay::new(1.0, 1).relative_to(&bad);
+    }
+}

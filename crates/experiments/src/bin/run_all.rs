@@ -1,0 +1,19 @@
+//! Regenerates every table and figure of the paper in one run and prints
+//! them in order.
+//!
+//! Usage: `cargo run --release -p wp-experiments --bin run_all [--ops N] [--quick]`
+
+fn main() {
+    let (options, _) = wp_experiments::runner::options_from_args(std::env::args().skip(1));
+    println!("{}\n", wp_experiments::table3::run(&options).to_table());
+    println!("{}\n", wp_experiments::table4::run(&options).to_table());
+    println!("{}\n", wp_experiments::fig4::run(&options).to_table());
+    println!("{}\n", wp_experiments::fig5::run(&options).to_table());
+    println!("{}\n", wp_experiments::fig6::run(&options).to_table());
+    println!("{}\n", wp_experiments::table5::run(&options).to_table());
+    println!("{}\n", wp_experiments::fig7::run(&options).to_table());
+    println!("{}\n", wp_experiments::fig8::run(&options).to_table());
+    println!("{}\n", wp_experiments::fig9::run(&options).to_table());
+    println!("{}\n", wp_experiments::fig10::run(&options).to_table());
+    println!("{}\n", wp_experiments::fig11::run(&options).to_table());
+}

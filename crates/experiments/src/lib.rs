@@ -1,0 +1,57 @@
+//! Experiment harness that regenerates every table and figure of the
+//! evaluation in *Reducing Set-Associative Cache Energy via Way-Prediction
+//! and Selective Direct-Mapping* (Powell et al., MICRO 2001).
+//!
+//! Each experiment module corresponds to one table or figure:
+//!
+//! | module | paper artefact |
+//! |---|---|
+//! | [`table3`] | Table 3 — relative cache energy per access type |
+//! | [`table4`] | Table 4 — d-cache miss rates, direct-mapped vs 4-way |
+//! | [`fig4`] | Figure 4 — sequential-access d-cache energy-delay |
+//! | [`fig5`] | Figure 5 — PC- vs XOR-based way-prediction |
+//! | [`fig6`] | Figure 6 — selective-DM schemes and access breakdown |
+//! | [`table5`] | Table 5 — d-cache technique summary |
+//! | [`fig7`] | Figure 7 — effect of cache size (16 KB vs 32 KB) |
+//! | [`fig8`] | Figure 8 — effect of associativity (2/4/8-way) |
+//! | [`fig9`] | Figure 9 — 2-cycle (high-latency) d-cache |
+//! | [`fig10`] | Figure 10 — i-cache way-prediction |
+//! | [`fig11`] | Figure 11 — overall processor energy and energy-delay |
+//!
+//! Each module exposes a `run(&RunOptions) -> …Result` function returning a
+//! serialisable result struct with a `to_table()` text rendering, and every
+//! result records the paper's reference numbers next to the measured ones.
+//! The `wp-experiments` binaries (`table3`, `fig4`, …, `run_all`) print the
+//! tables and can dump JSON for EXPERIMENTS.md.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use wp_experiments::{fig6, RunOptions};
+//!
+//! let options = RunOptions::default().with_ops(100_000);
+//! let result = fig6::run(&options);
+//! println!("{}", result.to_table());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod fig10;
+pub mod fig11;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod report;
+pub mod runner;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+
+pub use compare::PolicyComparison;
+pub use report::TextTable;
+pub use runner::{BenchmarkRun, MachineConfig, RunOptions};

@@ -1,0 +1,236 @@
+//! Shared simulation driver: build a processor for a (benchmark, policy,
+//! cache configuration) triple, run the trace, and return the results.
+
+use serde::{Deserialize, Serialize};
+use wp_cache::{DCacheController, DCachePolicy, ICacheController, ICachePolicy, L1Config};
+use wp_cpu::{CpuConfig, Processor, SimResult};
+use wp_mem::{HierarchyConfig, MemoryHierarchy};
+use wp_predictors::HybridBranchPredictor;
+use wp_workloads::{Benchmark, TraceConfig, TraceGenerator};
+
+/// Options shared by every experiment runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunOptions {
+    /// Micro-ops simulated per benchmark per configuration.
+    pub ops: usize,
+    /// Trace seed (fixed so results are reproducible run-to-run).
+    pub seed: u64,
+}
+
+impl RunOptions {
+    /// The default experiment length used by the binaries (large enough for
+    /// stable rates on every benchmark).
+    pub fn default_ops() -> usize {
+        400_000
+    }
+
+    /// Sets the trace length.
+    pub fn with_ops(mut self, ops: usize) -> Self {
+        self.ops = ops;
+        self
+    }
+
+    /// Sets the trace seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// A small configuration for quick runs (benchmarks and CI tests).
+    pub fn quick() -> Self {
+        Self {
+            ops: 60_000,
+            seed: 42,
+        }
+    }
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            ops: Self::default_ops(),
+            seed: 42,
+        }
+    }
+}
+
+/// The complete hardware configuration of one simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineConfig {
+    /// L1 d-cache configuration.
+    pub l1d: L1Config,
+    /// L1 i-cache configuration.
+    pub l1i: L1Config,
+    /// D-cache access policy.
+    pub dpolicy: DCachePolicy,
+    /// I-cache access policy.
+    pub ipolicy: ICachePolicy,
+    /// Core parameters.
+    pub cpu: CpuConfig,
+}
+
+impl MachineConfig {
+    /// The paper's baseline machine: 1-cycle, 4-way, parallel-access L1s on
+    /// the Table 1 core.
+    pub fn baseline() -> Self {
+        Self {
+            l1d: L1Config::paper_dcache(),
+            l1i: L1Config::paper_icache(),
+            dpolicy: DCachePolicy::Parallel,
+            ipolicy: ICachePolicy::Parallel,
+            cpu: CpuConfig::default(),
+        }
+    }
+
+    /// Returns a copy with a different d-cache policy.
+    pub fn with_dpolicy(mut self, dpolicy: DCachePolicy) -> Self {
+        self.dpolicy = dpolicy;
+        self
+    }
+
+    /// Returns a copy with a different i-cache policy.
+    pub fn with_ipolicy(mut self, ipolicy: ICachePolicy) -> Self {
+        self.ipolicy = ipolicy;
+        self
+    }
+
+    /// Returns a copy with a different d-cache configuration.
+    pub fn with_l1d(mut self, l1d: L1Config) -> Self {
+        self.l1d = l1d;
+        self
+    }
+
+    /// Returns a copy with a different i-cache configuration.
+    pub fn with_l1i(mut self, l1i: L1Config) -> Self {
+        self.l1i = l1i;
+        self
+    }
+}
+
+/// One (benchmark, machine) simulation outcome.
+#[derive(Debug, Clone)]
+pub struct BenchmarkRun {
+    /// The benchmark simulated.
+    pub benchmark: Benchmark,
+    /// The machine configuration simulated.
+    pub machine: MachineConfig,
+    /// The measured result.
+    pub result: SimResult,
+}
+
+/// Builds and runs one simulation.
+///
+/// # Panics
+///
+/// Panics if `machine` contains an invalid cache configuration; the
+/// configurations used by the experiment modules are all statically valid.
+pub fn simulate(benchmark: Benchmark, machine: &MachineConfig, options: &RunOptions) -> BenchmarkRun {
+    let dcache = DCacheController::new(machine.l1d, machine.dpolicy)
+        .expect("experiment d-cache configuration must be valid");
+    let icache = ICacheController::new(machine.l1i, machine.ipolicy)
+        .expect("experiment i-cache configuration must be valid");
+    let hierarchy =
+        MemoryHierarchy::new(HierarchyConfig::default()).expect("Table 1 hierarchy is valid");
+    let mut cpu = Processor::new(
+        machine.cpu,
+        dcache,
+        icache,
+        hierarchy,
+        HybridBranchPredictor::default(),
+    );
+    let trace = TraceGenerator::new(
+        TraceConfig::new(benchmark)
+            .with_ops(options.ops)
+            .with_seed(options.seed),
+    );
+    let result = cpu.run(trace);
+    BenchmarkRun {
+        benchmark,
+        machine: *machine,
+        result,
+    }
+}
+
+/// Runs every benchmark on one machine configuration.
+pub fn simulate_all(machine: &MachineConfig, options: &RunOptions) -> Vec<BenchmarkRun> {
+    Benchmark::all()
+        .iter()
+        .map(|&b| simulate(b, machine, options))
+        .collect()
+}
+
+/// Parses the command-line arguments shared by every experiment binary:
+/// `--ops N` to change the trace length, `--seed N` to change the seed, and
+/// `--json` to print machine-readable output. Unknown arguments are ignored.
+pub fn options_from_args(args: impl Iterator<Item = String>) -> (RunOptions, bool) {
+    let mut options = RunOptions::default();
+    let mut json = false;
+    let args: Vec<String> = args.collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--quick" => options = RunOptions::quick(),
+            "--ops" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    options.ops = v;
+                    i += 1;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    options.seed = v;
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (options, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_builders_compose() {
+        let o = RunOptions::default().with_ops(123).with_seed(7);
+        assert_eq!(o.ops, 123);
+        assert_eq!(o.seed, 7);
+        assert!(RunOptions::quick().ops < RunOptions::default().ops);
+    }
+
+    #[test]
+    fn machine_builders_compose() {
+        let m = MachineConfig::baseline()
+            .with_dpolicy(DCachePolicy::Sequential)
+            .with_ipolicy(ICachePolicy::WayPredict)
+            .with_l1d(L1Config::paper_dcache().with_associativity(8));
+        assert_eq!(m.dpolicy, DCachePolicy::Sequential);
+        assert_eq!(m.ipolicy, ICachePolicy::WayPredict);
+        assert_eq!(m.l1d.associativity, 8);
+    }
+
+    #[test]
+    fn simulate_produces_consistent_counts() {
+        let run = simulate(
+            Benchmark::Troff,
+            &MachineConfig::baseline(),
+            &RunOptions::quick().with_ops(20_000),
+        );
+        assert_eq!(run.result.activity.instructions, 20_000);
+        assert!(run.result.cycles > 0);
+    }
+
+    #[test]
+    fn identical_options_give_identical_results() {
+        let machine = MachineConfig::baseline().with_dpolicy(DCachePolicy::SelDmWayPredict);
+        let options = RunOptions::quick().with_ops(15_000);
+        let a = simulate(Benchmark::Li, &machine, &options);
+        let b = simulate(Benchmark::Li, &machine, &options);
+        assert_eq!(a.result.cycles, b.result.cycles);
+        assert_eq!(a.result.dcache, b.result.dcache);
+    }
+}

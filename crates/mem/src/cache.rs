@@ -1,0 +1,440 @@
+//! A set-associative tag store with LRU replacement and explicit placement
+//! control.
+//!
+//! The cache tracks *which way* every resident block occupies and whether it
+//! was placed in its direct-mapping position or in a set-associative
+//! (LRU-chosen) position — the distinction selective direct-mapping rests on.
+
+use crate::geometry::CacheGeometry;
+use crate::stats::CacheStats;
+use crate::{Addr, BlockAddr, WayIndex};
+
+/// Whether an access reads or writes the block.
+///
+/// Writes never use prediction in the paper (stores check the tag array
+/// first and then write only the matching way); the distinction matters for
+/// energy accounting and for dirty-bit bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load or an instruction fetch.
+    Read,
+    /// A store.
+    Write,
+}
+
+/// Where a newly filled block is placed within its set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// Conventional placement: the LRU way of the set is victimised.
+    SetAssociative,
+    /// Selective-DM placement: the block goes to its direct-mapping way
+    /// regardless of recency, evicting whatever lives there.
+    DirectMapped,
+}
+
+/// A resident cache block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLine {
+    /// Block-aligned address of the resident block.
+    pub block_addr: BlockAddr,
+    /// True if the block has been written since it was filled.
+    pub dirty: bool,
+    /// True if the block was placed in its direct-mapping way.
+    pub direct_mapped: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    valid: bool,
+    tag: u64,
+    block_addr: BlockAddr,
+    dirty: bool,
+    direct_mapped: bool,
+    /// Larger is more recently used.
+    lru_stamp: u64,
+}
+
+impl Way {
+    fn empty() -> Self {
+        Self {
+            valid: false,
+            tag: 0,
+            block_addr: 0,
+            dirty: false,
+            direct_mapped: false,
+            lru_stamp: 0,
+        }
+    }
+}
+
+/// Result of a cache access or fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// True if the block was resident.
+    pub hit: bool,
+    /// The way that hit, or the way that was (or would be) filled.
+    pub way: WayIndex,
+    /// True if the block that hit (or was filled) sits in its direct-mapping
+    /// way.
+    pub in_direct_mapped_way: bool,
+    /// The block evicted to make room, if any (only on fills).
+    pub evicted: Option<CacheLine>,
+}
+
+impl AccessResult {
+    /// True if the access hit.
+    pub fn is_hit(&self) -> bool {
+        self.hit
+    }
+
+    /// True if the access missed.
+    pub fn is_miss(&self) -> bool {
+        !self.hit
+    }
+}
+
+/// A set-associative cache tag store with LRU replacement.
+///
+/// The cache stores no data payload — the workspace is a timing and energy
+/// simulator, so only residency, way position, and dirtiness matter.
+///
+/// # Example
+///
+/// ```
+/// use wp_mem::{AccessKind, CacheGeometry, Placement, SetAssocCache};
+///
+/// # fn main() -> Result<(), wp_mem::GeometryError> {
+/// let mut cache = SetAssocCache::new(CacheGeometry::new(16 * 1024, 32, 4)?);
+/// let miss = cache.access(0x40, AccessKind::Read, Placement::DirectMapped);
+/// assert!(miss.is_miss());
+/// let hit = cache.access(0x44, AccessKind::Read, Placement::DirectMapped);
+/// assert!(hit.is_hit() && hit.in_direct_mapped_way);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    geometry: CacheGeometry,
+    sets: Vec<Vec<Way>>,
+    stats: CacheStats,
+    clock: u64,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        let sets = vec![vec![Way::empty(); geometry.associativity()]; geometry.num_sets()];
+        Self {
+            geometry,
+            sets,
+            stats: CacheStats::default(),
+            clock: 0,
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    /// Accumulated hit/miss statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets the accumulated statistics without touching cache contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Looks up `addr` without modifying replacement state or statistics.
+    ///
+    /// Returns the way holding the block if it is resident. This models a
+    /// pure tag-array probe.
+    pub fn probe(&self, addr: Addr) -> Option<WayIndex> {
+        let set = self.geometry.set_index(addr);
+        let tag = self.geometry.tag(addr);
+        self.sets[set]
+            .iter()
+            .position(|w| w.valid && w.tag == tag)
+    }
+
+    /// Returns the resident line at (`set`, `way`), if any.
+    pub fn line(&self, set: usize, way: WayIndex) -> Option<CacheLine> {
+        let w = &self.sets[set][way];
+        w.valid.then_some(CacheLine {
+            block_addr: w.block_addr,
+            dirty: w.dirty,
+            direct_mapped: w.direct_mapped,
+        })
+    }
+
+    /// Performs a full access: looks up `addr`, fills on a miss using the
+    /// requested `placement`, updates LRU state and statistics.
+    ///
+    /// On a miss the returned [`AccessResult::evicted`] carries the victim
+    /// block so callers (e.g. the selective-DM victim list) can observe
+    /// replacements.
+    pub fn access(&mut self, addr: Addr, kind: AccessKind, placement: Placement) -> AccessResult {
+        self.clock += 1;
+        let set = self.geometry.set_index(addr);
+        let tag = self.geometry.tag(addr);
+        let dm_way = self.geometry.direct_mapped_way(addr);
+
+        if let Some(way) = self.sets[set].iter().position(|w| w.valid && w.tag == tag) {
+            let entry = &mut self.sets[set][way];
+            entry.lru_stamp = self.clock;
+            if kind == AccessKind::Write {
+                entry.dirty = true;
+            }
+            let in_dm = way == dm_way;
+            self.stats.record_hit(kind);
+            return AccessResult {
+                hit: true,
+                way,
+                in_direct_mapped_way: in_dm,
+                evicted: None,
+            };
+        }
+
+        self.stats.record_miss(kind);
+        let (way, evicted) = self.fill_at(set, tag, addr, dm_way, placement);
+        if kind == AccessKind::Write {
+            self.sets[set][way].dirty = true;
+        }
+        AccessResult {
+            hit: false,
+            way,
+            in_direct_mapped_way: way == dm_way,
+            evicted,
+        }
+    }
+
+    /// Fills `addr` into the cache (used by callers that separate the miss
+    /// lookup from the fill, e.g. when the fill returns from L2 later).
+    ///
+    /// Returns the way filled and the evicted block, if any. If the block is
+    /// already resident the call only refreshes its LRU state.
+    pub fn fill(&mut self, addr: Addr, placement: Placement) -> (WayIndex, Option<CacheLine>) {
+        self.clock += 1;
+        let set = self.geometry.set_index(addr);
+        let tag = self.geometry.tag(addr);
+        let dm_way = self.geometry.direct_mapped_way(addr);
+        if let Some(way) = self.sets[set].iter().position(|w| w.valid && w.tag == tag) {
+            self.sets[set][way].lru_stamp = self.clock;
+            return (way, None);
+        }
+        self.fill_at(set, tag, addr, dm_way, placement)
+    }
+
+    /// Invalidates `addr` if resident, returning the line that was removed.
+    pub fn invalidate(&mut self, addr: Addr) -> Option<CacheLine> {
+        let set = self.geometry.set_index(addr);
+        let tag = self.geometry.tag(addr);
+        let way = self.sets[set].iter().position(|w| w.valid && w.tag == tag)?;
+        let line = self.line(set, way);
+        self.sets[set][way] = Way::empty();
+        line
+    }
+
+    /// Number of valid blocks currently resident.
+    pub fn resident_blocks(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.iter().filter(|w| w.valid).count())
+            .sum()
+    }
+
+    fn fill_at(
+        &mut self,
+        set: usize,
+        tag: u64,
+        addr: Addr,
+        dm_way: WayIndex,
+        placement: Placement,
+    ) -> (WayIndex, Option<CacheLine>) {
+        let victim_way = match placement {
+            Placement::DirectMapped => dm_way,
+            Placement::SetAssociative => self.choose_victim(set),
+        };
+        let victim = &self.sets[set][victim_way];
+        let evicted = victim.valid.then_some(CacheLine {
+            block_addr: victim.block_addr,
+            dirty: victim.dirty,
+            direct_mapped: victim.direct_mapped,
+        });
+        if evicted.is_some() {
+            self.stats.record_eviction();
+        }
+        self.sets[set][victim_way] = Way {
+            valid: true,
+            tag,
+            block_addr: self.geometry.block_addr(addr),
+            dirty: false,
+            direct_mapped: victim_way == dm_way,
+            lru_stamp: self.clock,
+        };
+        (victim_way, evicted)
+    }
+
+    fn choose_victim(&self, set: usize) -> WayIndex {
+        // Prefer an invalid way; otherwise evict the least recently used.
+        if let Some(way) = self.sets[set].iter().position(|w| !w.valid) {
+            return way;
+        }
+        self.sets[set]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.lru_stamp)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache(assoc: usize) -> SetAssocCache {
+        // 4 sets of `assoc` 32-byte blocks.
+        SetAssocCache::new(
+            CacheGeometry::new(4 * assoc * 32, 32, assoc).expect("valid geometry"),
+        )
+    }
+
+    /// Addresses that land in set 0 with distinct tags.
+    fn set0_addr(cache: &SetAssocCache, i: u64) -> Addr {
+        let g = cache.geometry();
+        i * (g.num_sets() * g.block_bytes()) as u64
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = small_cache(4);
+        assert!(c.access(0x100, AccessKind::Read, Placement::SetAssociative).is_miss());
+        assert!(c.access(0x100, AccessKind::Read, Placement::SetAssociative).is_hit());
+        assert_eq!(c.stats().reads, 2);
+        assert_eq!(c.stats().read_misses, 1);
+    }
+
+    #[test]
+    fn same_block_different_word_hits() {
+        let mut c = small_cache(4);
+        c.access(0x100, AccessKind::Read, Placement::SetAssociative);
+        assert!(c.access(0x11c, AccessKind::Read, Placement::SetAssociative).is_hit());
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small_cache(2);
+        let a = set0_addr(&c, 0);
+        let b = set0_addr(&c, 1);
+        let d = set0_addr(&c, 2);
+        c.access(a, AccessKind::Read, Placement::SetAssociative);
+        c.access(b, AccessKind::Read, Placement::SetAssociative);
+        // Touch `a` so `b` is LRU.
+        c.access(a, AccessKind::Read, Placement::SetAssociative);
+        let res = c.access(d, AccessKind::Read, Placement::SetAssociative);
+        assert!(res.is_miss());
+        let evicted = res.evicted.expect("a block must be evicted");
+        assert_eq!(evicted.block_addr, c.geometry().block_addr(b));
+        // `a` must still hit.
+        assert!(c.access(a, AccessKind::Read, Placement::SetAssociative).is_hit());
+    }
+
+    #[test]
+    fn direct_mapped_placement_goes_to_dm_way() {
+        let mut c = small_cache(4);
+        for i in 0..4u64 {
+            let addr = set0_addr(&c, i);
+            let res = c.access(addr, AccessKind::Read, Placement::DirectMapped);
+            assert!(res.is_miss());
+            assert_eq!(res.way, c.geometry().direct_mapped_way(addr));
+            assert!(res.in_direct_mapped_way);
+        }
+        // All four live in distinct DM ways of set 0, so all still hit.
+        for i in 0..4u64 {
+            assert!(c
+                .access(set0_addr(&c, i), AccessKind::Read, Placement::DirectMapped)
+                .is_hit());
+        }
+    }
+
+    #[test]
+    fn dm_placement_conflicts_when_dm_ways_collide() {
+        let mut c = small_cache(4);
+        // Addresses 0 and 4 share set 0 *and* DM way 0 (way bits wrap mod 4).
+        let a = set0_addr(&c, 0);
+        let b = set0_addr(&c, 4);
+        assert_eq!(c.geometry().direct_mapped_way(a), c.geometry().direct_mapped_way(b));
+        c.access(a, AccessKind::Read, Placement::DirectMapped);
+        let res = c.access(b, AccessKind::Read, Placement::DirectMapped);
+        assert!(res.is_miss());
+        assert_eq!(
+            res.evicted.expect("dm conflict must evict").block_addr,
+            c.geometry().block_addr(a)
+        );
+        // With set-associative placement the two coexist.
+        let mut c = small_cache(4);
+        c.access(a, AccessKind::Read, Placement::SetAssociative);
+        c.access(b, AccessKind::Read, Placement::SetAssociative);
+        assert!(c.access(a, AccessKind::Read, Placement::SetAssociative).is_hit());
+        assert!(c.access(b, AccessKind::Read, Placement::SetAssociative).is_hit());
+    }
+
+    #[test]
+    fn write_marks_dirty_and_eviction_reports_it() {
+        let mut c = small_cache(1);
+        let a = set0_addr(&c, 0);
+        let b = set0_addr(&c, 1);
+        c.access(a, AccessKind::Write, Placement::SetAssociative);
+        let res = c.access(b, AccessKind::Read, Placement::SetAssociative);
+        let evicted = res.evicted.expect("direct-mapped cache must evict");
+        assert!(evicted.dirty);
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut c = small_cache(2);
+        let a = set0_addr(&c, 0);
+        let b = set0_addr(&c, 1);
+        let d = set0_addr(&c, 2);
+        c.access(a, AccessKind::Read, Placement::SetAssociative);
+        c.access(b, AccessKind::Read, Placement::SetAssociative);
+        // Probing `a` must not refresh it.
+        assert!(c.probe(a).is_some());
+        let res = c.access(d, AccessKind::Read, Placement::SetAssociative);
+        assert_eq!(
+            res.evicted.expect("must evict").block_addr,
+            c.geometry().block_addr(a)
+        );
+    }
+
+    #[test]
+    fn invalidate_removes_block() {
+        let mut c = small_cache(4);
+        c.access(0x100, AccessKind::Read, Placement::SetAssociative);
+        assert!(c.invalidate(0x100).is_some());
+        assert!(c.probe(0x100).is_none());
+        assert!(c.invalidate(0x100).is_none());
+    }
+
+    #[test]
+    fn fill_is_idempotent_for_resident_blocks() {
+        let mut c = small_cache(4);
+        c.access(0x100, AccessKind::Read, Placement::SetAssociative);
+        let before = c.resident_blocks();
+        let (_, evicted) = c.fill(0x100, Placement::SetAssociative);
+        assert!(evicted.is_none());
+        assert_eq!(c.resident_blocks(), before);
+    }
+
+    #[test]
+    fn resident_blocks_never_exceeds_capacity() {
+        let mut c = small_cache(2);
+        for i in 0..64u64 {
+            c.access(i * 32, AccessKind::Read, Placement::SetAssociative);
+        }
+        assert!(c.resident_blocks() <= c.geometry().num_blocks());
+    }
+}

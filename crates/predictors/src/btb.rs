@@ -1,0 +1,167 @@
+//! A branch target buffer extended with a way field (Section 2.3).
+//!
+//! "Existing high-performance processors use a branch target buffer (BTB) to
+//! determine the next fetch address for predicted taken branches.
+//! Next-line-set-prediction supplies a way-prediction for taken branches."
+//! The way field adds `log2(N)` bits per entry for an N-way i-cache; the
+//! energy overhead of those bits is charged by the experiment harness.
+
+use wp_mem::{Addr, WayIndex};
+
+/// One BTB entry: the predicted target of a taken branch and the i-cache way
+/// the target block was last fetched from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BtbEntry {
+    /// Predicted target address.
+    pub target: Addr,
+    /// Predicted i-cache way of the target, if it has been learned.
+    pub way: Option<WayIndex>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TaggedEntry {
+    tag: u64,
+    entry: BtbEntry,
+}
+
+/// A direct-mapped (one way per set) branch target buffer with way
+/// prediction.
+///
+/// # Example
+///
+/// ```
+/// use wp_predictors::Btb;
+///
+/// let mut btb = Btb::new(512);
+/// let branch_pc = 0x40_0010;
+/// btb.update(branch_pc, 0x40_2000, Some(1));
+/// let entry = btb.lookup(branch_pc).expect("trained entry");
+/// assert_eq!(entry.target, 0x40_2000);
+/// assert_eq!(entry.way, Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Btb {
+    entries: Vec<Option<TaggedEntry>>,
+    lookups: u64,
+    hits: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `entries` sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "BTB size must be a power of two");
+        Self {
+            entries: vec![None; entries],
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    /// Number of BTB entries.
+    pub fn entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn index(&self, pc: Addr) -> usize {
+        ((pc >> 2) as usize) & (self.entries.len() - 1)
+    }
+
+    fn tag(&self, pc: Addr) -> u64 {
+        (pc >> 2) / self.entries.len() as u64
+    }
+
+    /// Looks up the branch at `pc`, returning its target and way prediction
+    /// if the entry is present (a BTB miss means the fetch defaults to a
+    /// parallel i-cache access).
+    pub fn lookup(&mut self, pc: Addr) -> Option<BtbEntry> {
+        self.lookups += 1;
+        let idx = self.index(pc);
+        let tag = self.tag(pc);
+        let hit = self.entries[idx].filter(|e| e.tag == tag).map(|e| e.entry);
+        if hit.is_some() {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    /// Installs or updates the entry for the taken branch at `pc`.
+    pub fn update(&mut self, pc: Addr, target: Addr, way: Option<WayIndex>) {
+        let idx = self.index(pc);
+        let tag = self.tag(pc);
+        self.entries[idx] = Some(TaggedEntry {
+            tag,
+            entry: BtbEntry { target, way },
+        });
+    }
+
+    /// Updates only the way field of an existing entry (used when the target
+    /// block moves within the i-cache).
+    pub fn update_way(&mut self, pc: Addr, way: WayIndex) {
+        let idx = self.index(pc);
+        let tag = self.tag(pc);
+        if let Some(e) = self.entries[idx].as_mut() {
+            if e.tag == tag {
+                e.entry.way = Some(way);
+            }
+        }
+    }
+
+    /// Total lookups performed.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookups that found a matching entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_after_update() {
+        let mut btb = Btb::new(64);
+        assert!(btb.lookup(0x100).is_none());
+        btb.update(0x100, 0x4000, Some(2));
+        let e = btb.lookup(0x100).expect("entry present");
+        assert_eq!(e.target, 0x4000);
+        assert_eq!(e.way, Some(2));
+        assert_eq!(btb.lookups(), 2);
+        assert_eq!(btb.hits(), 1);
+    }
+
+    #[test]
+    fn aliasing_pcs_evict_each_other() {
+        let mut btb = Btb::new(16);
+        let a = 0x100;
+        let b = a + 16 * 4; // same index, different tag
+        btb.update(a, 0x1000, None);
+        btb.update(b, 0x2000, None);
+        assert!(btb.lookup(a).is_none(), "displaced by aliasing branch");
+        assert_eq!(btb.lookup(b).map(|e| e.target), Some(0x2000));
+    }
+
+    #[test]
+    fn update_way_only_touches_matching_entry() {
+        let mut btb = Btb::new(16);
+        btb.update(0x100, 0x1000, None);
+        btb.update_way(0x100, 3);
+        assert_eq!(btb.lookup(0x100).and_then(|e| e.way), Some(3));
+        // A non-matching PC must not be affected.
+        btb.update_way(0x100 + 16 * 4, 1);
+        assert_eq!(btb.lookup(0x100).and_then(|e| e.way), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let _ = Btb::new(100);
+    }
+}

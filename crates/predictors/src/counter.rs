@@ -1,0 +1,109 @@
+//! The saturating-counter building block shared by the prediction tables.
+
+/// An n-bit saturating counter (the paper's tables use two-bit counters that
+/// "saturate at 0 and 3").
+///
+/// # Example
+///
+/// ```
+/// use wp_predictors::SaturatingCounter;
+///
+/// let mut c = SaturatingCounter::two_bit(0);
+/// c.increment();
+/// c.increment();
+/// c.increment();
+/// c.increment();
+/// assert_eq!(c.value(), 3); // saturates at 3
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SaturatingCounter {
+    value: u8,
+    max: u8,
+}
+
+impl SaturatingCounter {
+    /// Creates a counter saturating at `max`, starting at `initial`
+    /// (clamped to `max`).
+    pub fn new(initial: u8, max: u8) -> Self {
+        Self {
+            value: initial.min(max),
+            max,
+        }
+    }
+
+    /// A two-bit counter (saturating at 0 and 3) starting at `initial`.
+    pub fn two_bit(initial: u8) -> Self {
+        Self::new(initial, 3)
+    }
+
+    /// Current counter value.
+    pub fn value(&self) -> u8 {
+        self.value
+    }
+
+    /// Maximum (saturation) value.
+    pub fn max(&self) -> u8 {
+        self.max
+    }
+
+    /// Increments, saturating at the maximum.
+    pub fn increment(&mut self) {
+        if self.value < self.max {
+            self.value += 1;
+        }
+    }
+
+    /// Decrements, saturating at zero.
+    pub fn decrement(&mut self) {
+        self.value = self.value.saturating_sub(1);
+    }
+
+    /// True if the counter is in its upper half (≥ (max+1)/2); for a
+    /// two-bit counter this is the conventional "taken" / "set-associative"
+    /// region (values 2 and 3).
+    pub fn is_high(&self) -> bool {
+        u16::from(self.value) * 2 > u16::from(self.max)
+    }
+}
+
+impl Default for SaturatingCounter {
+    /// A two-bit counter starting at 0.
+    fn default() -> Self {
+        Self::two_bit(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_at_both_ends() {
+        let mut c = SaturatingCounter::two_bit(0);
+        c.decrement();
+        assert_eq!(c.value(), 0);
+        for _ in 0..10 {
+            c.increment();
+        }
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    fn two_bit_high_region_is_2_and_3() {
+        for (v, high) in [(0u8, false), (1, false), (2, true), (3, true)] {
+            assert_eq!(SaturatingCounter::two_bit(v).is_high(), high, "value {v}");
+        }
+    }
+
+    #[test]
+    fn initial_value_is_clamped() {
+        assert_eq!(SaturatingCounter::two_bit(9).value(), 3);
+    }
+
+    #[test]
+    fn default_is_zeroed_two_bit() {
+        let c = SaturatingCounter::default();
+        assert_eq!(c.value(), 0);
+        assert_eq!(c.max(), 3);
+    }
+}

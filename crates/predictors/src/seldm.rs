@@ -1,0 +1,166 @@
+//! The selective direct-mapping prediction table (Section 2.2.2).
+//!
+//! Each load PC indexes a two-bit saturating counter. Counter values 0 and 1
+//! flag *direct mapping* (probe only the direct-mapping way); values 2 and 3
+//! flag *set-associative mapping* (the access is treated as conflicting and
+//! handled by parallel, sequential, or way-predicted access). A hit through
+//! the direct-mapping way decrements the counter; a hit through a
+//! set-associative way increments it.
+
+use wp_mem::Addr;
+
+use crate::counter::SaturatingCounter;
+
+/// The mapping predicted for a load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappingPrediction {
+    /// Probe only the direct-mapping way (the common, non-conflicting case).
+    DirectMapped,
+    /// Treat the access as conflicting and use the set-associative fallback
+    /// (parallel, sequential, or way-predicted).
+    SetAssociative,
+}
+
+/// PC-indexed table of two-bit counters choosing direct vs. set-associative
+/// mapping per access.
+///
+/// # Example
+///
+/// ```
+/// use wp_predictors::{MappingPrediction, SelDmPredictor};
+///
+/// let mut p = SelDmPredictor::new(1024);
+/// let pc = 0x400;
+/// assert_eq!(p.predict(pc), MappingPrediction::DirectMapped);
+/// p.record_set_associative_hit(pc);
+/// p.record_set_associative_hit(pc);
+/// assert_eq!(p.predict(pc), MappingPrediction::SetAssociative);
+/// p.record_direct_mapped_hit(pc);
+/// p.record_direct_mapped_hit(pc);
+/// assert_eq!(p.predict(pc), MappingPrediction::DirectMapped);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SelDmPredictor {
+    counters: Vec<SaturatingCounter>,
+}
+
+impl SelDmPredictor {
+    /// Number of bits stored per entry (a two-bit counter).
+    pub const BITS_PER_ENTRY: usize = 2;
+
+    /// Creates a table with `entries` counters, all initialised to 0 so
+    /// every load starts out predicted direct-mapped ("cache blocks are
+    /// considered non-conflicting by default").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        Self {
+            counters: vec![SaturatingCounter::two_bit(0); entries],
+        }
+    }
+
+    /// Number of table entries.
+    pub fn entries(&self) -> usize {
+        self.counters.len()
+    }
+
+    fn index(&self, pc: Addr) -> usize {
+        ((pc >> 2) as usize) & (self.counters.len() - 1)
+    }
+
+    /// Predicts the mapping for the load at `pc`.
+    pub fn predict(&self, pc: Addr) -> MappingPrediction {
+        if self.counters[self.index(pc)].is_high() {
+            MappingPrediction::SetAssociative
+        } else {
+            MappingPrediction::DirectMapped
+        }
+    }
+
+    /// Records that the load at `pc` hit in its direct-mapping way
+    /// (decrements the counter toward direct mapping).
+    pub fn record_direct_mapped_hit(&mut self, pc: Addr) {
+        let idx = self.index(pc);
+        self.counters[idx].decrement();
+    }
+
+    /// Records that the load at `pc` hit through a set-associative
+    /// (non-direct-mapping) way (increments the counter toward
+    /// set-associative mapping).
+    pub fn record_set_associative_hit(&mut self, pc: Addr) {
+        let idx = self.index(pc);
+        self.counters[idx].increment();
+    }
+
+    /// Raw counter value for the load at `pc` (useful for tests and
+    /// diagnostics).
+    pub fn counter_value(&self, pc: Addr) -> u8 {
+        self.counters[self.index(pc)].value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_to_direct_mapped() {
+        let p = SelDmPredictor::new(64);
+        for pc in [0u64, 0x400, 0xffff_fffc] {
+            assert_eq!(p.predict(pc), MappingPrediction::DirectMapped);
+        }
+    }
+
+    #[test]
+    fn counter_thresholds_match_paper() {
+        // "Counter values of 0 and 1 flag direct-mapping, and values 2 and 3
+        // flag set-associative mapping."
+        let mut p = SelDmPredictor::new(64);
+        let pc = 0x100;
+        assert_eq!(p.counter_value(pc), 0);
+        p.record_set_associative_hit(pc);
+        assert_eq!(p.counter_value(pc), 1);
+        assert_eq!(p.predict(pc), MappingPrediction::DirectMapped);
+        p.record_set_associative_hit(pc);
+        assert_eq!(p.counter_value(pc), 2);
+        assert_eq!(p.predict(pc), MappingPrediction::SetAssociative);
+        p.record_set_associative_hit(pc);
+        p.record_set_associative_hit(pc);
+        assert_eq!(p.counter_value(pc), 3, "saturates at 3");
+    }
+
+    #[test]
+    fn direct_mapped_hits_pull_back_down() {
+        let mut p = SelDmPredictor::new(64);
+        let pc = 0x200;
+        for _ in 0..3 {
+            p.record_set_associative_hit(pc);
+        }
+        assert_eq!(p.predict(pc), MappingPrediction::SetAssociative);
+        p.record_direct_mapped_hit(pc);
+        p.record_direct_mapped_hit(pc);
+        assert_eq!(p.predict(pc), MappingPrediction::DirectMapped);
+        for _ in 0..5 {
+            p.record_direct_mapped_hit(pc);
+        }
+        assert_eq!(p.counter_value(pc), 0, "saturates at 0");
+    }
+
+    #[test]
+    fn different_pcs_do_not_interfere_in_large_table() {
+        let mut p = SelDmPredictor::new(1024);
+        p.record_set_associative_hit(0x100);
+        p.record_set_associative_hit(0x100);
+        assert_eq!(p.predict(0x100), MappingPrediction::SetAssociative);
+        assert_eq!(p.predict(0x104), MappingPrediction::DirectMapped);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let _ = SelDmPredictor::new(1000);
+    }
+}

@@ -1,0 +1,219 @@
+//! The victim list that identifies conflicting blocks (Section 2.2.2).
+//!
+//! "We identify conflicting blocks by maintaining a list of victim (i.e.,
+//! replaced) block addresses. On a replacement, the evicted block increments
+//! its entry's counter in the victim list if it is already present in the
+//! victim list; otherwise, a new victim list entry is allocated. If the
+//! count exceeds two, the block is deemed conflicting and placed in its
+//! set-associative position to avoid future conflicts."
+
+use wp_mem::BlockAddr;
+
+#[derive(Debug, Clone, Copy)]
+struct VictimEntry {
+    block: BlockAddr,
+    count: u32,
+    last_use: u64,
+}
+
+/// A small, fully-associative list of recently evicted block addresses with
+/// per-block eviction counts. The paper uses 16 entries (~0.06 KB).
+///
+/// # Example
+///
+/// ```
+/// use wp_predictors::VictimList;
+///
+/// let mut list = VictimList::new(16, 2);
+/// let block = 0x4_2000;
+/// assert!(!list.record_eviction(block));
+/// assert!(!list.record_eviction(block));
+/// // The third eviction pushes the count past the threshold.
+/// assert!(list.record_eviction(block));
+/// assert!(list.is_conflicting(block));
+/// ```
+#[derive(Debug, Clone)]
+pub struct VictimList {
+    entries: Vec<VictimEntry>,
+    capacity: usize,
+    conflict_threshold: u32,
+    clock: u64,
+    allocations: u64,
+    replacements: u64,
+}
+
+impl VictimList {
+    /// Creates a victim list with room for `capacity` block addresses; a
+    /// block becomes conflicting once its eviction count *exceeds*
+    /// `conflict_threshold` (the paper uses a threshold of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, conflict_threshold: u32) -> Self {
+        assert!(capacity > 0, "victim list capacity must be non-zero");
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            conflict_threshold,
+            clock: 0,
+            allocations: 0,
+            replacements: 0,
+        }
+    }
+
+    /// The paper's configuration: 16 entries, conflicting after more than
+    /// two evictions.
+    pub fn paper_default() -> Self {
+        Self::new(16, 2)
+    }
+
+    /// Number of entries the list can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of entries currently occupied.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no victims have been recorded (or all have aged out).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of new entries allocated so far.
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+
+    /// Number of entries displaced because the list was full.
+    pub fn replacements(&self) -> u64 {
+        self.replacements
+    }
+
+    /// Records that `block` was just evicted from the cache.
+    ///
+    /// Returns `true` if the block is now considered conflicting (its count
+    /// exceeds the threshold), so callers can switch the block to its
+    /// set-associative position on the refill.
+    pub fn record_eviction(&mut self, block: BlockAddr) -> bool {
+        self.clock += 1;
+        if let Some(entry) = self.entries.iter_mut().find(|e| e.block == block) {
+            entry.count += 1;
+            entry.last_use = self.clock;
+            return entry.count > self.conflict_threshold;
+        }
+        self.allocations += 1;
+        if self.entries.len() == self.capacity {
+            self.replacements += 1;
+            // Replace the least recently touched entry (captures conflicts
+            // that recur "within a short duration").
+            if let Some(pos) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(i, _)| i)
+            {
+                self.entries[pos] = VictimEntry {
+                    block,
+                    count: 1,
+                    last_use: self.clock,
+                };
+            }
+        } else {
+            self.entries.push(VictimEntry {
+                block,
+                count: 1,
+                last_use: self.clock,
+            });
+        }
+        1 > self.conflict_threshold
+    }
+
+    /// True if `block` has been evicted more than the threshold number of
+    /// times while tracked by the list.
+    pub fn is_conflicting(&self, block: BlockAddr) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.block == block && e.count > self.conflict_threshold)
+    }
+
+    /// The eviction count recorded for `block`, if it is currently tracked.
+    pub fn eviction_count(&self, block: BlockAddr) -> Option<u32> {
+        self.entries.iter().find(|e| e.block == block).map(|e| e.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_has_16_entries() {
+        let list = VictimList::paper_default();
+        assert_eq!(list.capacity(), 16);
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn becomes_conflicting_after_threshold_exceeded() {
+        let mut list = VictimList::new(4, 2);
+        let block = 0x1000;
+        assert!(!list.record_eviction(block));
+        assert!(!list.is_conflicting(block));
+        assert!(!list.record_eviction(block));
+        assert!(!list.is_conflicting(block));
+        assert!(list.record_eviction(block));
+        assert!(list.is_conflicting(block));
+        assert_eq!(list.eviction_count(block), Some(3));
+    }
+
+    #[test]
+    fn zero_threshold_flags_immediately() {
+        let mut list = VictimList::new(4, 0);
+        assert!(list.record_eviction(0x2000));
+        assert!(list.is_conflicting(0x2000));
+    }
+
+    #[test]
+    fn capacity_is_bounded_and_lru_entry_is_displaced() {
+        let mut list = VictimList::new(2, 2);
+        list.record_eviction(0x100);
+        list.record_eviction(0x200);
+        // Touch 0x100 so 0x200 is the stalest.
+        list.record_eviction(0x100);
+        list.record_eviction(0x300);
+        assert_eq!(list.len(), 2);
+        assert_eq!(list.replacements(), 1);
+        assert!(list.eviction_count(0x200).is_none(), "stale entry displaced");
+        assert_eq!(list.eviction_count(0x100), Some(2));
+        assert_eq!(list.eviction_count(0x300), Some(1));
+    }
+
+    #[test]
+    fn displaced_blocks_lose_their_history() {
+        let mut list = VictimList::new(1, 2);
+        list.record_eviction(0xa00);
+        list.record_eviction(0xa00);
+        list.record_eviction(0xb00); // displaces 0xa00
+        // 0xa00 starts from scratch.
+        assert!(!list.record_eviction(0xa00));
+        assert_eq!(list.eviction_count(0xa00), Some(1));
+    }
+
+    #[test]
+    fn untracked_blocks_are_not_conflicting() {
+        let list = VictimList::paper_default();
+        assert!(!list.is_conflicting(0xdead_0000));
+        assert_eq!(list.eviction_count(0xdead_0000), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = VictimList::new(0, 2);
+    }
+}

@@ -1,0 +1,974 @@
+//! The synthetic trace generator.
+//!
+//! [`TraceGenerator`] builds, from a benchmark profile and a seed, a static
+//! "program" — hot functions made of basic blocks, with every instruction
+//! slot statically classified (integer, floating-point, load, store,
+//! branch) and every memory slot bound to an address-stream generator — and
+//! then walks that program dynamically, emitting [`MicroOp`]s.
+//!
+//! The walk reproduces the behavioural properties the paper's techniques
+//! depend on: loads exhibit per-PC block locality (PC way-prediction),
+//! conflicting blocks recur in bursts (victim list), basic blocks and the
+//! call graph give the i-cache realistic spatial behaviour (BTB / SAWP /
+//! RAS), and branch outcomes are biased per static branch (two-level hybrid
+//! predictor).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wp_mem::Addr;
+
+use crate::op::{BranchClass, MicroOp, OpKind};
+use crate::profile::{Benchmark, BenchmarkProfile};
+
+/// Base of the synthetic code region.
+const CODE_BASE: Addr = 0x0040_0000;
+/// Base of the stable scalar data region.
+const SCALAR_BASE: Addr = 0x1000_0000;
+/// Base of the sequential-array region.
+const ARRAY_BASE: Addr = 0x2000_0000;
+/// Base of the churning-pool region.
+const POOL_BASE: Addr = 0x3000_0000;
+/// Base of the direct-map-conflict region.
+const DM_CONFLICT_BASE: Addr = 0x4000_0000;
+/// Base of the LRU-pathological region.
+const PATHO_BASE: Addr = 0x5000_0000;
+/// Base of the far / cold region.
+const FAR_BASE: Addr = 0x6000_0000;
+
+/// Block size the address patterns are constructed for (the paper's L1s use
+/// 32-byte blocks).
+const BLOCK_BYTES: u64 = 32;
+/// Geometry of the reference 16 KB 4-way L1 the conflict patterns target
+/// (the *program* is fixed; the caches the experiments sweep vary around
+/// it, exactly as in the paper).
+const REF_SETS: u64 = 128;
+const REF_ASSOC: u64 = 4;
+/// Number of blocks backing the stable scalar accesses.
+const SCALAR_BLOCKS: u64 = 48;
+/// Length of each sequential array in bytes before it wraps.
+const ARRAY_LENGTH: u64 = 128 * 1024;
+/// Size of the far region in bytes.
+const FAR_REGION: u64 = 64 * 1024 * 1024;
+
+/// Configuration of one trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// The benchmark whose profile drives the generator.
+    pub benchmark: Benchmark,
+    /// Number of micro-ops to emit.
+    pub num_ops: usize,
+    /// RNG seed; equal configurations produce identical traces.
+    pub seed: u64,
+}
+
+impl TraceConfig {
+    /// A configuration for `benchmark` with a default length (200 000 ops)
+    /// and seed (the benchmark's position in the paper's listing).
+    pub fn new(benchmark: Benchmark) -> Self {
+        Self {
+            benchmark,
+            num_ops: 200_000,
+            seed: 0x5eed_0000 + benchmark as u64,
+        }
+    }
+
+    /// Sets the number of ops to emit.
+    pub fn with_ops(mut self, num_ops: usize) -> Self {
+        self.num_ops = num_ops;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// How a static memory slot generates addresses.
+#[derive(Debug, Clone)]
+enum Stream {
+    /// Always the same word.
+    Scalar { addr: Addr },
+    /// An array walk: the address advances by `stride` every execution and
+    /// wraps at the end of the array.
+    Sequential {
+        base: Addr,
+        stride: u64,
+        length: u64,
+        offset: u64,
+    },
+    /// A uniformly random block from the churning pool.
+    Pool,
+    /// Bursty rotation over a group of blocks that collide in a
+    /// direct-mapped cache but fit one set of the 4-way cache: the group
+    /// stays on one block for a while (hits after the first access) and
+    /// switches to the next with probability `switch_prob`, so each switch
+    /// is a conflict miss in a direct-mapped organisation and a quick
+    /// re-eviction the victim list can observe. The current block is shared
+    /// by every slot bound to the group (indexed into
+    /// [`TraceGenerator::dm_groups`]).
+    DmConflict { group: usize, switch_prob: f64 },
+    /// Cyclic access over `associativity + 1` blocks of one set — the
+    /// LRU-adversarial pattern (swim). The cursor is shared by every slot
+    /// bound to the group (indexed into [`TraceGenerator::patho_groups`]) so
+    /// the adversarial cycle order is preserved however the slots interleave.
+    Pathological { group: usize },
+    /// A random block from a region much larger than any cache.
+    Far,
+}
+
+/// A static instruction slot.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    IntAlu,
+    FpAlu,
+    Load { stream: usize },
+    Store { stream: usize },
+}
+
+/// The terminator of a basic block.
+#[derive(Debug, Clone, Copy)]
+enum Terminator {
+    /// Forward conditional branch to `target` (a later block index in the
+    /// same function); taken with probability `taken_prob`.
+    CondBranch { target: usize, taken_prob: f64 },
+    /// A loop back-edge to `start`. Each time the loop is entered the walk
+    /// samples a trip count and takes the back-edge that many times before
+    /// falling through, so loops iterate realistically but the walk always
+    /// makes forward progress.
+    LoopBranch { start: usize },
+    /// Call into another hot function at `entry_block` (callees enter near
+    /// their tail so call trees stay shallow and calls and returns balance,
+    /// as they do in real programs).
+    Call { function: usize, entry_block: usize },
+    /// Return to the caller.
+    Return,
+}
+
+#[derive(Debug, Clone)]
+struct BasicBlock {
+    start_pc: Addr,
+    slots: Vec<Slot>,
+    terminator: Terminator,
+    terminator_pc: Addr,
+}
+
+#[derive(Debug, Clone)]
+struct Function {
+    blocks: Vec<BasicBlock>,
+}
+
+/// Deterministic iterator of [`MicroOp`]s for one benchmark.
+///
+/// See the crate-level documentation for an example.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    config: TraceConfig,
+    profile: &'static BenchmarkProfile,
+    rng: StdRng,
+    functions: Vec<Function>,
+    streams: Vec<Stream>,
+    pool_blocks: Vec<Addr>,
+    /// Direct-map conflict groups and the index of each group's current
+    /// block.
+    dm_groups: Vec<Vec<Addr>>,
+    dm_current: Vec<usize>,
+    /// LRU-adversarial block groups and their shared cycle cursors.
+    patho_groups: Vec<Vec<Addr>>,
+    patho_cursors: Vec<usize>,
+    /// (function, block, slot-or-terminator position) of the next emission.
+    cursor: Cursor,
+    call_stack: Vec<(usize, usize)>,
+    emitted: usize,
+    restarts: usize,
+    /// Remaining iterations of currently active loops, keyed by (function,
+    /// block) of the loop's back-edge.
+    loop_trip_counts: std::collections::HashMap<(usize, usize), u32>,
+    /// Dynamic distance (in ops) back to the most recently emitted load,
+    /// used to wire realistic load-to-use dependence chains.
+    ops_since_last_load: u16,
+}
+
+/// Maximum trip count sampled for any loop visit.
+const MAX_LOOP_TRIP: u32 = 24;
+/// Minimum trip count sampled for any loop visit.
+const MIN_LOOP_TRIP: u32 = 3;
+
+#[derive(Debug, Clone, Copy)]
+struct Cursor {
+    function: usize,
+    block: usize,
+    slot: usize,
+}
+
+impl TraceGenerator {
+    /// Builds the static program for `config` and positions the walk at the
+    /// first function's entry.
+    pub fn new(config: TraceConfig) -> Self {
+        let profile = config.benchmark.profile();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut streams = Vec::new();
+        let mut dm_groups = Vec::new();
+        let mut patho_groups = Vec::new();
+
+        // The churning pool shared by all pool-class slots.
+        let pool_blocks: Vec<Addr> = (0..profile.pool_blocks as u64)
+            .map(|i| POOL_BASE + i * BLOCK_BYTES)
+            .collect();
+
+        let functions = build_program(
+            profile,
+            &mut rng,
+            &mut streams,
+            &mut dm_groups,
+            &mut patho_groups,
+        );
+
+        Self {
+            config,
+            profile,
+            rng,
+            functions,
+            streams,
+            pool_blocks,
+            dm_current: vec![0; dm_groups.len()],
+            dm_groups,
+            patho_cursors: vec![0; patho_groups.len()],
+            patho_groups,
+            cursor: Cursor {
+                function: 0,
+                block: 0,
+                slot: 0,
+            },
+            call_stack: Vec::new(),
+            emitted: 0,
+            restarts: 0,
+            loop_trip_counts: std::collections::HashMap::new(),
+            ops_since_last_load: u16::MAX,
+        }
+    }
+
+    /// The configuration this generator was built from.
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+
+    /// The benchmark profile in use.
+    pub fn profile(&self) -> &'static BenchmarkProfile {
+        self.profile
+    }
+
+    /// Collects the whole trace into a vector (convenience for tests and
+    /// small experiments; large runs should iterate instead).
+    pub fn generate(config: TraceConfig) -> Vec<MicroOp> {
+        Self::new(config).collect()
+    }
+
+    fn sample_deps(&mut self) -> [u16; 2] {
+        let mean = self.profile.mean_dep_distance;
+        let dep = |prob: f64, rng: &mut StdRng| -> u16 {
+            if rng.gen_bool(prob) {
+                // Geometric-ish distance with the profile's mean, clamped to
+                // the reorder-buffer neighbourhood.
+                let d = 1.0 + rng.gen::<f64>() * 2.0 * (mean - 1.0).max(0.0);
+                d.round().clamp(1.0, 48.0) as u16
+            } else {
+                0
+            }
+        };
+        // Load-to-use chains: a large fraction of instructions consume the
+        // value of a recent load within a few instructions. This is what
+        // makes extra load latency (sequential access, mispredictions)
+        // visible to the out-of-order core, as in real codes. Floating-point
+        // codes have more independent work between a load and its use.
+        let load_use_prob = if self.profile.floating_point { 0.45 } else { 0.62 };
+        let first = if self.ops_since_last_load <= 6 && self.rng.gen_bool(load_use_prob) {
+            self.ops_since_last_load
+        } else {
+            dep(0.75, &mut self.rng)
+        };
+        [first, dep(0.35, &mut self.rng)]
+    }
+
+    fn next_address(&mut self, stream_idx: usize) -> Addr {
+        match &mut self.streams[stream_idx] {
+            Stream::Scalar { addr } => *addr,
+            Stream::Sequential {
+                base,
+                stride,
+                length,
+                offset,
+            } => {
+                let addr = *base + *offset;
+                *offset = (*offset + *stride) % *length;
+                addr
+            }
+            Stream::Pool => {
+                let idx = self.rng.gen_range(0..self.pool_blocks.len());
+                self.pool_blocks[idx] + self.rng.gen_range(0..BLOCK_BYTES / 8) * 8
+            }
+            Stream::DmConflict { group, switch_prob } => {
+                let group = *group;
+                let switch = *switch_prob;
+                if self.rng.gen_bool(switch) {
+                    self.dm_current[group] =
+                        (self.dm_current[group] + 1) % self.dm_groups[group].len();
+                }
+                self.dm_groups[group][self.dm_current[group]]
+                    + self.rng.gen_range(0..BLOCK_BYTES / 8) * 8
+            }
+            Stream::Pathological { group } => {
+                let group = *group;
+                let blocks = &self.patho_groups[group];
+                let cursor = &mut self.patho_cursors[group];
+                let addr = blocks[*cursor];
+                *cursor = (*cursor + 1) % blocks.len();
+                addr
+            }
+            Stream::Far => {
+                let block = self.rng.gen_range(0..FAR_REGION / BLOCK_BYTES);
+                FAR_BASE + block * BLOCK_BYTES
+            }
+        }
+    }
+
+    fn approximate(&mut self, addr: Addr) -> Addr {
+        if self.rng.gen_bool(self.profile.xor_approx_accuracy) {
+            addr
+        } else {
+            // The XOR of base register and offset landed in a different
+            // block: off by one or a few blocks.
+            let delta = (1 + self.rng.gen_range(0..4)) * BLOCK_BYTES;
+            if self.rng.gen_bool(0.5) {
+                addr.wrapping_add(delta)
+            } else {
+                addr.wrapping_sub(delta)
+            }
+        }
+    }
+
+    /// Advances the cursor after a block terminator, returning the branch
+    /// outcome that was emitted.
+    fn advance_after_terminator(&mut self, taken: bool) {
+        let function = &self.functions[self.cursor.function];
+        let blocks_len = function.blocks.len();
+        let terminator = function.blocks[self.cursor.block].terminator;
+        match terminator {
+            Terminator::CondBranch { target, .. } | Terminator::LoopBranch { start: target } => {
+                if taken {
+                    self.cursor.block = target;
+                } else {
+                    self.cursor.block += 1;
+                    if self.cursor.block >= blocks_len {
+                        self.pop_or_restart();
+                    }
+                }
+            }
+            Terminator::Call {
+                function: callee,
+                entry_block,
+            } => {
+                let resume_block = (self.cursor.block + 1) % blocks_len;
+                self.call_stack.push((self.cursor.function, resume_block));
+                if self.call_stack.len() > 64 {
+                    self.call_stack.remove(0);
+                }
+                self.cursor.function = callee;
+                self.cursor.block = entry_block.min(self.functions[callee].blocks.len() - 1);
+            }
+            Terminator::Return => self.pop_or_restart(),
+        }
+        self.cursor.slot = 0;
+    }
+
+    fn pop_or_restart(&mut self) {
+        if let Some((function, block)) = self.call_stack.pop() {
+            self.cursor.function = function;
+            self.cursor.block = block.min(self.functions[function].blocks.len() - 1);
+        } else {
+            // Main loop: move on to the next hot function (round-robin so
+            // long-running traces cover the whole code footprint).
+            self.cursor.function = self.restarts % self.functions.len();
+            self.restarts += 1;
+            self.cursor.block = 0;
+        }
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = MicroOp;
+
+    fn next(&mut self) -> Option<MicroOp> {
+        if self.emitted >= self.config.num_ops {
+            return None;
+        }
+        self.emitted += 1;
+
+        let src_deps = self.sample_deps();
+        let (start_pc, terminator, terminator_pc, current_slot) = {
+            let block = &self.functions[self.cursor.function].blocks[self.cursor.block];
+            (
+                block.start_pc,
+                block.terminator,
+                block.terminator_pc,
+                block.slots.get(self.cursor.slot).copied(),
+            )
+        };
+
+        if let Some(slot) = current_slot {
+            let pc = start_pc + 4 * self.cursor.slot as u64;
+            self.cursor.slot += 1;
+            let kind = match slot {
+                Slot::IntAlu => OpKind::IntAlu,
+                Slot::FpAlu => OpKind::FpAlu,
+                Slot::Load { stream } => {
+                    let addr = self.next_address(stream);
+                    let approx_addr = self.approximate(addr);
+                    OpKind::Load { addr, approx_addr }
+                }
+                Slot::Store { stream } => OpKind::Store {
+                    addr: self.next_address(stream),
+                },
+            };
+            self.ops_since_last_load = if kind.is_load() {
+                1
+            } else {
+                self.ops_since_last_load.saturating_add(1)
+            };
+            return Some(MicroOp { pc, kind, src_deps });
+        }
+        self.ops_since_last_load = self.ops_since_last_load.saturating_add(1);
+
+        // Terminator.
+        let pc = terminator_pc;
+        let (kind, taken) = match terminator {
+            Terminator::CondBranch { target, taken_prob } => {
+                let taken = self.rng.gen_bool(taken_prob);
+                let target_pc = self.functions[self.cursor.function].blocks[target].start_pc;
+                (
+                    OpKind::Branch {
+                        taken,
+                        target: target_pc,
+                        class: BranchClass::Conditional,
+                    },
+                    taken,
+                )
+            }
+            Terminator::LoopBranch { start } => {
+                let key = (self.cursor.function, self.cursor.block);
+                let remaining = match self.loop_trip_counts.get(&key).copied() {
+                    Some(r) => r,
+                    None => self.rng.gen_range(MIN_LOOP_TRIP..=MAX_LOOP_TRIP),
+                };
+                let taken = remaining > 0;
+                if taken {
+                    self.loop_trip_counts.insert(key, remaining - 1);
+                } else {
+                    self.loop_trip_counts.remove(&key);
+                }
+                let target_pc = self.functions[self.cursor.function].blocks[start].start_pc;
+                (
+                    OpKind::Branch {
+                        taken,
+                        target: target_pc,
+                        class: BranchClass::Conditional,
+                    },
+                    taken,
+                )
+            }
+            Terminator::Call {
+                function,
+                entry_block,
+            } => {
+                let blocks = &self.functions[function].blocks;
+                let target_pc = blocks[entry_block.min(blocks.len() - 1)].start_pc;
+                (
+                    OpKind::Branch {
+                        taken: true,
+                        target: target_pc,
+                        class: BranchClass::Call,
+                    },
+                    true,
+                )
+            }
+            Terminator::Return => {
+                let target_pc = self
+                    .call_stack
+                    .last()
+                    .map(|&(f, b)| {
+                        let blocks = &self.functions[f].blocks;
+                        blocks[b.min(blocks.len() - 1)].start_pc
+                    })
+                    .unwrap_or(CODE_BASE);
+                (
+                    OpKind::Branch {
+                        taken: true,
+                        target: target_pc,
+                        class: BranchClass::Return,
+                    },
+                    true,
+                )
+            }
+        };
+        self.advance_after_terminator(taken);
+        Some(MicroOp { pc, kind, src_deps })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.config.num_ops - self.emitted;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for TraceGenerator {}
+
+/// Builds the static functions, basic blocks, instruction slots and memory
+/// streams for one program.
+fn build_program(
+    profile: &BenchmarkProfile,
+    rng: &mut StdRng,
+    streams: &mut Vec<Stream>,
+    dm_groups: &mut Vec<Vec<Addr>>,
+    patho_groups: &mut Vec<Vec<Addr>>,
+) -> Vec<Function> {
+    // Distribute the code footprint over the hot functions.
+    let instr_per_block_avg = profile.avg_basic_block;
+    let total_instrs = profile.code_footprint_blocks * (BLOCK_BYTES as usize / 4);
+    let total_blocks = (total_instrs / instr_per_block_avg).max(profile.hot_functions * 2);
+    let blocks_per_function = (total_blocks / profile.hot_functions).max(2);
+
+    let mut next_pc = CODE_BASE;
+    let mut next_seq_array = 0u64;
+
+    let mut functions = Vec::with_capacity(profile.hot_functions);
+    for f in 0..profile.hot_functions {
+        let mut blocks = Vec::with_capacity(blocks_per_function);
+        // Index of the most recent loop back-edge, used to keep loop nests
+        // shallow so the walk's re-execution factor stays bounded.
+        let mut last_loop_block: Option<usize> = None;
+        for b in 0..blocks_per_function {
+            // Block length jitter around the profile average.
+            let num_instrs = rng
+                .gen_range(instr_per_block_avg / 2..=instr_per_block_avg * 3 / 2)
+                .clamp(2, 48);
+            let start_pc = next_pc;
+            let mut slots = Vec::with_capacity(num_instrs);
+            for _ in 0..num_instrs {
+                slots.push(make_slot(
+                    profile,
+                    rng,
+                    streams,
+                    &mut next_seq_array,
+                    dm_groups,
+                    patho_groups,
+                ));
+            }
+            let terminator_pc = start_pc + 4 * slots.len() as u64;
+            next_pc = terminator_pc + 4;
+            // Occasionally skip ahead so consecutive blocks do not always
+            // share an i-cache block (exercises the SAWP).
+            if rng.gen_bool(0.2) {
+                next_pc += BLOCK_BYTES * rng.gen_range(1..4);
+            }
+
+            let is_last = b == blocks_per_function - 1;
+            let terminator = if is_last {
+                Terminator::Return
+            } else if rng.gen_bool(profile.call_frac) && profile.hot_functions > 1 {
+                let mut callee = rng.gen_range(0..profile.hot_functions);
+                if callee == f {
+                    callee = (callee + 1) % profile.hot_functions;
+                }
+                // Enter the callee a few blocks before its end: calls behave
+                // like leaf calls, keeping the dynamic call tree shallow.
+                let entry_block = blocks_per_function.saturating_sub(rng.gen_range(2..=5));
+                Terminator::Call {
+                    function: callee,
+                    entry_block,
+                }
+            } else if b > 0
+                && rng.gen_bool(0.25)
+                && last_loop_block.map_or(true, |l| b >= l + 5)
+            {
+                // A loop back-edge: the body re-executes a sampled trip
+                // count before the walk moves on. Back-edges are spaced out
+                // so loop nests stay shallow.
+                last_loop_block = Some(b);
+                Terminator::LoopBranch {
+                    start: rng.gen_range(b.saturating_sub(4)..b),
+                }
+            } else {
+                // A forward branch (if/else skip). Per-branch bias: strongly
+                // biased with probability `branch_predictability`, weakly
+                // biased otherwise.
+                let target = (b + rng.gen_range(2..4)).min(blocks_per_function - 1);
+                let biased_taken = rng.gen_bool(profile.taken_bias);
+                let taken_prob = if rng.gen_bool(profile.branch_predictability) {
+                    if biased_taken {
+                        0.93
+                    } else {
+                        0.07
+                    }
+                } else {
+                    0.5
+                };
+                Terminator::CondBranch { target, taken_prob }
+            };
+
+            blocks.push(BasicBlock {
+                start_pc,
+                slots,
+                terminator,
+                terminator_pc,
+            });
+        }
+        functions.push(Function { blocks });
+        // Leave a gap between functions.
+        next_pc += BLOCK_BYTES * 2;
+    }
+    functions
+}
+
+/// Creates one static instruction slot, allocating address streams for
+/// memory slots.
+fn make_slot(
+    profile: &BenchmarkProfile,
+    rng: &mut StdRng,
+    streams: &mut Vec<Stream>,
+    next_seq_array: &mut u64,
+    dm_groups: &mut Vec<Vec<Addr>>,
+    patho_groups: &mut Vec<Vec<Addr>>,
+) -> Slot {
+    // The profile's mix fractions are over *all* instructions, but block
+    // terminators (branches) are emitted separately; scale the per-slot
+    // probabilities so the dynamic mix matches the profile.
+    let dilution = (profile.avg_basic_block as f64 + 1.0) / profile.avg_basic_block as f64;
+    let load_frac = (profile.load_frac * dilution).min(0.9);
+    let store_frac = (profile.store_frac * dilution).min(0.9 - load_frac);
+    let r: f64 = rng.gen();
+    if r < load_frac {
+        let stream = allocate_stream(profile, rng, streams, next_seq_array, dm_groups, patho_groups);
+        Slot::Load { stream }
+    } else if r < load_frac + store_frac {
+        let stream = allocate_stream(profile, rng, streams, next_seq_array, dm_groups, patho_groups);
+        Slot::Store { stream }
+    } else if rng.gen_bool(profile.fp_frac) {
+        Slot::FpAlu
+    } else {
+        Slot::IntAlu
+    }
+}
+
+/// Picks a stream class for a memory slot according to the profile's dynamic
+/// weights and allocates its state.
+fn allocate_stream(
+    profile: &BenchmarkProfile,
+    rng: &mut StdRng,
+    streams: &mut Vec<Stream>,
+    next_seq_array: &mut u64,
+    dm_groups: &mut Vec<Vec<Addr>>,
+    patho_groups: &mut Vec<Vec<Addr>>,
+) -> usize {
+    let r: f64 = rng.gen();
+    let stream = if r < profile.w_seq {
+        let base = ARRAY_BASE + *next_seq_array * ARRAY_LENGTH;
+        *next_seq_array += 1;
+        Stream::Sequential {
+            base,
+            stride: profile.seq_stride,
+            length: ARRAY_LENGTH,
+            offset: rng.gen_range(0..ARRAY_LENGTH / profile.seq_stride) * profile.seq_stride,
+        }
+    } else if r < profile.w_seq + profile.w_pool {
+        Stream::Pool
+    } else if r < profile.w_seq + profile.w_pool + profile.w_dm_conflict {
+        // A handful of groups in distinct sets is enough; many slots sharing
+        // a group concentrates the conflicts the way a few offending
+        // instructions do in real codes, and keeps the blocks within the
+        // associativity of one set so they do not thrash the 4-way baseline.
+        if dm_groups.len() < MAX_DM_CONFLICT_GROUPS && (dm_groups.is_empty() || rng.gen_bool(0.2))
+        {
+            dm_groups.push(make_dm_conflict_group(
+                profile.dm_conflict_group,
+                dm_groups.len(),
+            ));
+        }
+        Stream::DmConflict {
+            group: rng.gen_range(0..dm_groups.len()),
+            switch_prob: profile.dm_conflict_switch_prob,
+        }
+    } else if r < profile.w_seq + profile.w_pool + profile.w_dm_conflict + profile.w_pathological {
+        if patho_groups.len() < MAX_PATHOLOGICAL_GROUPS
+            && (patho_groups.is_empty() || rng.gen_bool(0.2))
+        {
+            patho_groups.push(make_pathological_group(patho_groups.len()));
+        }
+        Stream::Pathological {
+            group: rng.gen_range(0..patho_groups.len()),
+        }
+    } else if r
+        < profile.w_seq
+            + profile.w_pool
+            + profile.w_dm_conflict
+            + profile.w_pathological
+            + profile.w_far
+    {
+        Stream::Far
+    } else {
+        let block = rng.gen_range(0..SCALAR_BLOCKS);
+        let word = rng.gen_range(0..BLOCK_BYTES / 8) * 8;
+        Stream::Scalar {
+            addr: SCALAR_BASE + block * BLOCK_BYTES + word,
+        }
+    };
+    streams.push(stream);
+    streams.len() - 1
+}
+
+/// Maximum number of distinct direct-map conflict groups per program (the
+/// paper: "most misses are caused by a few instructions").
+const MAX_DM_CONFLICT_GROUPS: usize = 6;
+/// Maximum number of distinct LRU-adversarial groups per program.
+const MAX_PATHOLOGICAL_GROUPS: usize = 4;
+
+/// Blocks that collide in a direct-mapped cache of the reference capacity
+/// (same set index *and* same direct-mapping way bits) but coexist within
+/// one set of the reference 4-way cache. Groups are placed in distinct sets
+/// so they never combine to exceed one set's associativity.
+fn make_dm_conflict_group(group_size: usize, group_index: usize) -> Vec<Addr> {
+    let set = (group_index as u64 * 37 + 11) % REF_SETS;
+    let way_bits = group_index as u64 % REF_ASSOC;
+    let group_size = group_size.clamp(2, REF_ASSOC as usize);
+    (0..group_size as u64)
+        .map(|i| {
+            DM_CONFLICT_BASE
+                + i * REF_SETS * REF_ASSOC * BLOCK_BYTES
+                + way_bits * REF_SETS * BLOCK_BYTES
+                + set * BLOCK_BYTES
+        })
+        .collect()
+}
+
+/// `associativity + 1` blocks of one reference set, accessed cyclically: an
+/// LRU-adversarial pattern that misses on every access in the 4-way cache
+/// but only on a fraction of accesses in a direct-mapped cache of equal
+/// capacity (swim's Table 4 anomaly). Groups sit in distinct sets.
+fn make_pathological_group(group_index: usize) -> Vec<Addr> {
+    let set = (group_index as u64 * 53 + 29) % REF_SETS;
+    (0..=REF_ASSOC)
+        .map(|i| {
+            PATHO_BASE
+                + i * REF_SETS * BLOCK_BYTES // distinct DM ways 0..=4 (4 wraps onto way 0)
+                + set * BLOCK_BYTES
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn quick_trace(benchmark: Benchmark, ops: usize) -> Vec<MicroOp> {
+        TraceGenerator::generate(TraceConfig::new(benchmark).with_ops(ops))
+    }
+
+    #[test]
+    fn emits_exactly_the_requested_number_of_ops() {
+        for n in [0usize, 1, 100, 5_000] {
+            assert_eq!(quick_trace(Benchmark::Gcc, n).len(), n);
+        }
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_traces() {
+        let a = quick_trace(Benchmark::Li, 20_000);
+        let b = quick_trace(Benchmark::Li, 20_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_traces() {
+        let a = TraceGenerator::generate(TraceConfig::new(Benchmark::Li).with_ops(5_000).with_seed(1));
+        let b = TraceGenerator::generate(TraceConfig::new(Benchmark::Li).with_ops(5_000).with_seed(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn instruction_mix_roughly_matches_profile() {
+        for bench in [Benchmark::Gcc, Benchmark::Applu, Benchmark::Swim] {
+            let profile = bench.profile();
+            let trace = quick_trace(bench, 60_000);
+            let loads = trace.iter().filter(|op| op.kind.is_load()).count() as f64;
+            let stores = trace.iter().filter(|op| op.kind.is_store()).count() as f64;
+            let branches = trace.iter().filter(|op| op.kind.is_branch()).count() as f64;
+            let n = trace.len() as f64;
+            assert!(
+                (loads / n - profile.load_frac).abs() < 0.08,
+                "{bench}: load fraction {} vs profile {}",
+                loads / n,
+                profile.load_frac
+            );
+            assert!((stores / n - profile.store_frac).abs() < 0.08, "{bench}");
+            // Branch fraction includes block terminators, so compare loosely.
+            assert!(branches / n > 0.01 && branches / n < 0.45, "{bench}");
+        }
+    }
+
+    #[test]
+    fn floating_point_benchmarks_contain_fp_ops() {
+        let fp_trace = quick_trace(Benchmark::Applu, 20_000);
+        assert!(fp_trace.iter().any(|op| op.kind == OpKind::FpAlu));
+        let int_trace = quick_trace(Benchmark::Gcc, 20_000);
+        assert!(!int_trace.iter().any(|op| op.kind == OpKind::FpAlu));
+    }
+
+    #[test]
+    fn branch_targets_lie_in_the_code_region() {
+        let trace = quick_trace(Benchmark::Go, 20_000);
+        for op in &trace {
+            if let OpKind::Branch { target, .. } = op.kind {
+                assert!(target >= CODE_BASE && target < SCALAR_BASE);
+            }
+            assert!(op.pc >= CODE_BASE && op.pc < SCALAR_BASE);
+        }
+    }
+
+    #[test]
+    fn load_addresses_stay_in_data_regions() {
+        let trace = quick_trace(Benchmark::Swim, 30_000);
+        for op in &trace {
+            if let OpKind::Load { addr, .. } = op.kind {
+                assert!(addr >= SCALAR_BASE, "load at {addr:#x} below data region");
+            }
+        }
+    }
+
+    #[test]
+    fn per_pc_block_locality_exists() {
+        // A substantial fraction of loads access the same block as the
+        // previous execution of the same PC — the property PC-based
+        // way-prediction relies on.
+        let trace = quick_trace(Benchmark::Gcc, 60_000);
+        let mut last_block: std::collections::HashMap<Addr, Addr> = Default::default();
+        let mut same = 0u64;
+        let mut total = 0u64;
+        for op in &trace {
+            if let OpKind::Load { addr, .. } = op.kind {
+                let block = addr / BLOCK_BYTES;
+                if let Some(prev) = last_block.insert(op.pc, block) {
+                    total += 1;
+                    if prev == block {
+                        same += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 1000);
+        let locality = same as f64 / total as f64;
+        assert!(
+            locality > 0.5,
+            "per-PC block locality {locality} too low for PC way-prediction"
+        );
+    }
+
+    #[test]
+    fn xor_approximation_is_mostly_correct() {
+        let trace = quick_trace(Benchmark::Vortex, 40_000);
+        let mut correct = 0u64;
+        let mut total = 0u64;
+        for op in &trace {
+            if let OpKind::Load { addr, approx_addr } = op.kind {
+                total += 1;
+                if addr / BLOCK_BYTES == approx_addr / BLOCK_BYTES {
+                    correct += 1;
+                }
+            }
+        }
+        let accuracy = correct as f64 / total as f64;
+        let expected = Benchmark::Vortex.profile().xor_approx_accuracy;
+        assert!((accuracy - expected).abs() < 0.06, "accuracy {accuracy}");
+    }
+
+    #[test]
+    fn code_footprint_scales_with_profile() {
+        let count_blocks = |bench: Benchmark| {
+            quick_trace(bench, 80_000)
+                .iter()
+                .map(|op| op.pc / BLOCK_BYTES)
+                .collect::<HashSet<_>>()
+                .len()
+        };
+        let fpppp = quick_trace(Benchmark::Fpppp, 400_000)
+            .iter()
+            .map(|op| op.pc / BLOCK_BYTES)
+            .collect::<HashSet<_>>()
+            .len();
+        let swim = count_blocks(Benchmark::Swim);
+        assert!(
+            fpppp > 512,
+            "fpppp must touch more i-cache blocks than a 16K i-cache holds, got {fpppp}"
+        );
+        assert!(swim < 512, "swim code footprint should fit, got {swim}");
+    }
+
+    #[test]
+    fn calls_and_returns_are_balancedish() {
+        let trace = quick_trace(Benchmark::Li, 50_000);
+        let calls = trace
+            .iter()
+            .filter(|op| {
+                matches!(
+                    op.kind,
+                    OpKind::Branch {
+                        class: BranchClass::Call,
+                        ..
+                    }
+                )
+            })
+            .count() as i64;
+        let returns = trace
+            .iter()
+            .filter(|op| {
+                matches!(
+                    op.kind,
+                    OpKind::Branch {
+                        class: BranchClass::Return,
+                        ..
+                    }
+                )
+            })
+            .count() as i64;
+        assert!(calls > 100, "li should call functions, got {calls}");
+        assert!((calls - returns).abs() < calls / 2 + 64);
+    }
+
+    #[test]
+    fn exact_size_iterator_reports_remaining() {
+        let mut generator = TraceGenerator::new(TraceConfig::new(Benchmark::Perl).with_ops(100));
+        assert_eq!(generator.len(), 100);
+        generator.next();
+        assert_eq!(generator.len(), 99);
+    }
+
+    #[test]
+    fn dm_conflict_groups_collide_only_in_direct_mapped_geometry() {
+        let group = make_dm_conflict_group(3, 2);
+        // Same 4-way set index and same way bits; different tags.
+        let set = |a: Addr| (a / BLOCK_BYTES) % REF_SETS;
+        let dm_line = |a: Addr| (a / BLOCK_BYTES) % (REF_SETS * REF_ASSOC);
+        assert!(group.windows(2).all(|w| set(w[0]) == set(w[1])));
+        assert!(group.windows(2).all(|w| dm_line(w[0]) == dm_line(w[1])));
+        let tags: HashSet<_> = group.iter().map(|a| a / (REF_SETS * REF_ASSOC * BLOCK_BYTES)).collect();
+        assert_eq!(tags.len(), group.len());
+    }
+
+    #[test]
+    fn pathological_groups_have_associativity_plus_one_blocks() {
+        let group = make_pathological_group(1);
+        assert_eq!(group.len(), REF_ASSOC as usize + 1);
+        let set = |a: Addr| (a / BLOCK_BYTES) % REF_SETS;
+        assert!(group.windows(2).all(|w| set(w[0]) == set(w[1])));
+    }
+}

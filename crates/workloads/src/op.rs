@@ -1,0 +1,127 @@
+//! The micro-op trace format shared by the cache controllers and the
+//! processor timing model.
+
+use wp_mem::Addr;
+
+/// The class of a control-transfer instruction, used by the fetch engine to
+/// pick the right way-prediction source (BTB, SAWP, or RAS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchClass {
+    /// A conditional branch.
+    Conditional,
+    /// A function call (always taken; pushes a return address).
+    Call,
+    /// A function return (always taken; pops the return address stack).
+    Return,
+    /// An unconditional direct jump.
+    Jump,
+}
+
+/// What a micro-op does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// An integer ALU operation.
+    IntAlu,
+    /// A floating-point operation.
+    FpAlu,
+    /// A load from memory.
+    Load {
+        /// The effective address.
+        addr: Addr,
+        /// The XOR approximation of the address available before the full
+        /// address add completes (Section 2.2.1); usually but not always
+        /// equal to `addr`.
+        approx_addr: Addr,
+    },
+    /// A store to memory.
+    Store {
+        /// The effective address.
+        addr: Addr,
+    },
+    /// A control transfer.
+    Branch {
+        /// Whether the branch is taken in this dynamic instance.
+        taken: bool,
+        /// The target address if taken.
+        target: Addr,
+        /// The branch class.
+        class: BranchClass,
+    },
+}
+
+impl OpKind {
+    /// True for loads and stores.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, OpKind::Load { .. } | OpKind::Store { .. })
+    }
+
+    /// True for loads.
+    pub fn is_load(&self) -> bool {
+        matches!(self, OpKind::Load { .. })
+    }
+
+    /// True for stores.
+    pub fn is_store(&self) -> bool {
+        matches!(self, OpKind::Store { .. })
+    }
+
+    /// True for control transfers.
+    pub fn is_branch(&self) -> bool {
+        matches!(self, OpKind::Branch { .. })
+    }
+}
+
+/// One dynamic micro-op of the committed execution path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MicroOp {
+    /// Program counter of the instruction.
+    pub pc: Addr,
+    /// What the instruction does.
+    pub kind: OpKind,
+    /// Distances (in dynamic instructions, looking backwards) to the
+    /// producers of this op's source operands; `0` means "no dependence /
+    /// value was ready long ago". At most two register sources are modelled.
+    pub src_deps: [u16; 2],
+}
+
+impl MicroOp {
+    /// Convenience constructor for an op with no register dependences.
+    pub fn independent(pc: Addr, kind: OpKind) -> Self {
+        Self {
+            pc,
+            kind,
+            src_deps: [0, 0],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_classification() {
+        let load = OpKind::Load {
+            addr: 0x10,
+            approx_addr: 0x10,
+        };
+        let store = OpKind::Store { addr: 0x20 };
+        let branch = OpKind::Branch {
+            taken: true,
+            target: 0x400,
+            class: BranchClass::Conditional,
+        };
+        assert!(load.is_mem() && load.is_load() && !load.is_store());
+        assert!(store.is_mem() && store.is_store() && !store.is_load());
+        assert!(branch.is_branch() && !branch.is_mem());
+        assert!(!OpKind::IntAlu.is_mem() && !OpKind::IntAlu.is_branch());
+        assert!(!OpKind::FpAlu.is_load());
+    }
+
+    #[test]
+    fn independent_op_has_no_deps() {
+        let op = MicroOp::independent(0x100, OpKind::IntAlu);
+        assert_eq!(op.src_deps, [0, 0]);
+        assert_eq!(op.pc, 0x100);
+    }
+}

@@ -1,0 +1,622 @@
+//! Behavioural profiles of the paper's eleven SPEC CPU95 applications
+//! (Table 2), expressed as the statistical parameters the synthetic trace
+//! generator needs.
+//!
+//! Each profile records, alongside the generator parameters, the d-cache
+//! miss rates the paper measured (Table 4) so experiments can print
+//! paper-vs-measured comparisons.
+
+/// The applications evaluated in the paper (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// SPECfp95 applu (train input) — PDE solver, long vector loops.
+    Applu,
+    /// SPECfp95 fpppp (train input) — quantum chemistry, huge basic blocks
+    /// and a code footprint that thrashes a 16 KB i-cache.
+    Fpppp,
+    /// SPECint95 gcc (ref input) — compiler, large irregular footprint.
+    Gcc,
+    /// SPECint95 go (ref input) — game playing, branchy with poor branch
+    /// predictability.
+    Go,
+    /// SPECint95 li (train input) — Lisp interpreter, pointer chasing.
+    Li,
+    /// SPECint95 m88ksim (train input) — microprocessor simulator.
+    M88ksim,
+    /// SPECfp95 mgrid (train input) — multigrid solver, almost perfectly
+    /// streaming (over 99 % non-conflicting accesses).
+    Mgrid,
+    /// SPECint95 perl (train input) — interpreter.
+    Perl,
+    /// SPECfp95 swim (test input) — shallow-water model whose working set
+    /// produces the pathological case where a 4-way cache misses more than a
+    /// direct-mapped one (Table 4: 25.2 % vs 23.3 %).
+    Swim,
+    /// troff (train input) — text formatter.
+    Troff,
+    /// SPECint95 vortex (test input) — object-oriented database.
+    Vortex,
+}
+
+impl Benchmark {
+    /// All benchmarks in the order the paper's figures list them.
+    pub fn all() -> [Benchmark; 11] {
+        [
+            Benchmark::Applu,
+            Benchmark::Li,
+            Benchmark::Mgrid,
+            Benchmark::Swim,
+            Benchmark::Fpppp,
+            Benchmark::Go,
+            Benchmark::M88ksim,
+            Benchmark::Perl,
+            Benchmark::Gcc,
+            Benchmark::Troff,
+            Benchmark::Vortex,
+        ]
+    }
+
+    /// The benchmark's lowercase name as the paper prints it.
+    pub fn name(&self) -> &'static str {
+        self.profile().name
+    }
+
+    /// The behavioural profile used by the trace generator.
+    pub fn profile(&self) -> &'static BenchmarkProfile {
+        match self {
+            Benchmark::Applu => &APPLU,
+            Benchmark::Fpppp => &FPPPP,
+            Benchmark::Gcc => &GCC,
+            Benchmark::Go => &GO,
+            Benchmark::Li => &LI,
+            Benchmark::M88ksim => &M88KSIM,
+            Benchmark::Mgrid => &MGRID,
+            Benchmark::Perl => &PERL,
+            Benchmark::Swim => &SWIM,
+            Benchmark::Troff => &TROFF,
+            Benchmark::Vortex => &VORTEX,
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parameters describing one application's behaviour.
+///
+/// The data-side stream weights (`w_*`) are *dynamic* fractions of load
+/// instructions routed to each access-pattern class; whatever is left over
+/// goes to stable scalar accesses (globals, stack slots, hot structure
+/// fields) that almost never miss.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Name as printed in the paper.
+    pub name: &'static str,
+    /// True for the SPECfp95 members.
+    pub floating_point: bool,
+
+    // ---- instruction mix ----
+    /// Fraction of dynamic instructions that are loads.
+    pub load_frac: f64,
+    /// Fraction of dynamic instructions that are stores.
+    pub store_frac: f64,
+    /// Fraction of dynamic instructions that are control transfers.
+    pub branch_frac: f64,
+    /// Fraction of non-memory, non-branch instructions that are
+    /// floating-point.
+    pub fp_frac: f64,
+
+    // ---- instruction stream structure ----
+    /// Mean basic-block length in instructions (FP codes run long blocks).
+    pub avg_basic_block: usize,
+    /// Number of 32-byte instruction blocks in the hot code footprint.
+    pub code_footprint_blocks: usize,
+    /// Number of hot functions the dynamic call graph bounces between.
+    pub hot_functions: usize,
+    /// Fraction of basic-block-ending branches that are calls (matched by an
+    /// equal number of returns).
+    pub call_frac: f64,
+    /// Probability that a conditional branch is taken.
+    pub taken_bias: f64,
+    /// Per-static-branch bias strength: with probability `predictability`
+    /// a branch follows its own fixed bias, otherwise it flips a fair coin.
+    pub branch_predictability: f64,
+
+    // ---- data stream mix (dynamic fractions of loads) ----
+    /// Sequential array walks (unit or small stride): high per-PC block
+    /// locality, misses only on block boundaries.
+    pub w_seq: f64,
+    /// Stride in bytes of the sequential walks.
+    pub seq_stride: u64,
+    /// Accesses to a churning pool of blocks comparable to the cache
+    /// capacity: produces capacity misses, evictions, and the conflicting
+    /// accesses selective-DM must detect.
+    pub w_pool: f64,
+    /// Size of the churning pool in 32-byte blocks.
+    pub pool_blocks: usize,
+    /// Accesses to groups of blocks that collide in a direct-mapped cache
+    /// but coexist in one set of a 4-way cache. These are the *conflicting
+    /// accesses* selective-DM must detect: they hit in the set-associative
+    /// baseline, but would thrash a direct-mapped organisation.
+    pub w_dm_conflict: f64,
+    /// Number of blocks per direct-map conflict group (at most the
+    /// associativity, so the group fits a set-associative cache).
+    pub dm_conflict_group: usize,
+    /// Probability that a conflict-group access moves on to the next block
+    /// of its group. Each switch is a conflict miss in a direct-mapped
+    /// cache, so `w_dm_conflict * dm_conflict_switch_prob` is roughly the
+    /// Table 4 gap between the direct-mapped and 4-way miss rates, while
+    /// `w_dm_conflict` itself is roughly the fraction of accesses
+    /// selective-DM ends up classifying as conflicting.
+    pub dm_conflict_switch_prob: f64,
+    /// LRU-adversarial groups of `associativity + 1` blocks accessed
+    /// cyclically — swim's pathology where 4-way misses exceed DM misses.
+    pub w_pathological: f64,
+    /// Far random accesses that miss everywhere (cold / compulsory-like).
+    pub w_far: f64,
+    /// Probability that the XOR approximation of a load address matches the
+    /// true block address (Section 2.2.1).
+    pub xor_approx_accuracy: f64,
+
+    // ---- dependence structure ----
+    /// Mean register-dependence distance in instructions (larger = more
+    /// instruction-level parallelism for the out-of-order core to exploit).
+    pub mean_dep_distance: f64,
+
+    // ---- paper reference data ----
+    /// Table 4: direct-mapped 16 KB d-cache miss rate (percent).
+    pub paper_dm_miss_rate: f64,
+    /// Table 4: 4-way set-associative 16 KB d-cache miss rate (percent).
+    pub paper_sa_miss_rate: f64,
+    /// Table 2: dynamic instruction count in billions (used only for
+    /// reporting; traces are scaled down).
+    pub paper_instructions_billions: f64,
+}
+
+impl BenchmarkProfile {
+    /// Fraction of loads left to stable scalar accesses.
+    pub fn w_scalar(&self) -> f64 {
+        (1.0 - self.w_seq - self.w_pool - self.w_dm_conflict - self.w_pathological - self.w_far)
+            .max(0.0)
+    }
+
+    /// Checks the internal consistency of the profile (fractions in range,
+    /// stream weights not exceeding one). All built-in profiles satisfy
+    /// this; it is public so user-defined profiles can be validated.
+    pub fn is_consistent(&self) -> bool {
+        let fracs = [
+            self.load_frac,
+            self.store_frac,
+            self.branch_frac,
+            self.fp_frac,
+            self.call_frac,
+            self.taken_bias,
+            self.branch_predictability,
+            self.xor_approx_accuracy,
+            self.w_seq,
+            self.w_pool,
+            self.w_dm_conflict,
+            self.dm_conflict_switch_prob,
+            self.w_pathological,
+            self.w_far,
+        ];
+        fracs.iter().all(|f| (0.0..=1.0).contains(f))
+            && self.load_frac + self.store_frac + self.branch_frac < 1.0
+            && self.w_seq + self.w_pool + self.w_dm_conflict + self.w_pathological + self.w_far
+                <= 1.0 + 1e-9
+            && self.avg_basic_block >= 2
+            && self.code_footprint_blocks > 0
+            && self.hot_functions > 0
+            && self.pool_blocks > 0
+            && self.dm_conflict_group >= 2
+            && self.mean_dep_distance >= 1.0
+    }
+}
+
+// The profiles below are calibrated against the paper's published
+// per-benchmark data: Table 2 (inputs and instruction counts), Table 4
+// (miss rates), the Figure 5 discussion (way-prediction accuracies and the
+// high miss rates of applu, mgrid, swim), the Figure 6 discussion (fraction
+// of non-conflicting accesses), and the Figure 10 discussion (fpppp's
+// i-cache thrashing, FP codes' long basic blocks).
+
+static APPLU: BenchmarkProfile = BenchmarkProfile {
+    name: "applu",
+    floating_point: true,
+    load_frac: 0.27,
+    store_frac: 0.09,
+    branch_frac: 0.06,
+    fp_frac: 0.75,
+    avg_basic_block: 16,
+    code_footprint_blocks: 220,
+    hot_functions: 8,
+    call_frac: 0.03,
+    taken_bias: 0.72,
+    branch_predictability: 0.96,
+    w_seq: 0.22,
+    seq_stride: 8,
+    w_pool: 0.02,
+    pool_blocks: 600,
+    w_dm_conflict: 0.15,
+    dm_conflict_group: 3,
+    dm_conflict_switch_prob: 0.08,
+    w_pathological: 0.0,
+    w_far: 0.012,
+    xor_approx_accuracy: 0.80,
+    mean_dep_distance: 7.0,
+    paper_dm_miss_rate: 8.2,
+    paper_sa_miss_rate: 7.0,
+    paper_instructions_billions: 1.07,
+};
+
+static FPPPP: BenchmarkProfile = BenchmarkProfile {
+    name: "fpppp",
+    floating_point: true,
+    load_frac: 0.30,
+    store_frac: 0.14,
+    branch_frac: 0.03,
+    fp_frac: 0.85,
+    avg_basic_block: 24,
+    code_footprint_blocks: 1400,
+    hot_functions: 10,
+    call_frac: 0.04,
+    taken_bias: 0.65,
+    branch_predictability: 0.95,
+    w_seq: 0.01,
+    seq_stride: 8,
+    w_pool: 0.01,
+    pool_blocks: 600,
+    w_dm_conflict: 0.29,
+    dm_conflict_group: 4,
+    dm_conflict_switch_prob: 0.20,
+    w_pathological: 0.0,
+    w_far: 0.002,
+    xor_approx_accuracy: 0.88,
+    mean_dep_distance: 8.0,
+    paper_dm_miss_rate: 6.3,
+    paper_sa_miss_rate: 0.5,
+    paper_instructions_billions: 0.234,
+};
+
+static GCC: BenchmarkProfile = BenchmarkProfile {
+    name: "gcc",
+    floating_point: false,
+    load_frac: 0.25,
+    store_frac: 0.12,
+    branch_frac: 0.17,
+    fp_frac: 0.0,
+    avg_basic_block: 6,
+    code_footprint_blocks: 420,
+    hot_functions: 24,
+    call_frac: 0.10,
+    taken_bias: 0.62,
+    branch_predictability: 0.90,
+    w_seq: 0.07,
+    seq_stride: 8,
+    w_pool: 0.03,
+    pool_blocks: 600,
+    w_dm_conflict: 0.22,
+    dm_conflict_group: 3,
+    dm_conflict_switch_prob: 0.08,
+    w_pathological: 0.0,
+    w_far: 0.010,
+    xor_approx_accuracy: 0.85,
+    mean_dep_distance: 4.0,
+    paper_dm_miss_rate: 5.1,
+    paper_sa_miss_rate: 3.3,
+    paper_instructions_billions: 0.345,
+};
+
+static GO: BenchmarkProfile = BenchmarkProfile {
+    name: "go",
+    floating_point: false,
+    load_frac: 0.24,
+    store_frac: 0.08,
+    branch_frac: 0.15,
+    fp_frac: 0.0,
+    avg_basic_block: 6,
+    code_footprint_blocks: 380,
+    hot_functions: 20,
+    call_frac: 0.08,
+    taken_bias: 0.58,
+    branch_predictability: 0.82,
+    w_seq: 0.04,
+    seq_stride: 8,
+    w_pool: 0.02,
+    pool_blocks: 600,
+    w_dm_conflict: 0.26,
+    dm_conflict_group: 3,
+    dm_conflict_switch_prob: 0.15,
+    w_pathological: 0.0,
+    w_far: 0.006,
+    xor_approx_accuracy: 0.84,
+    mean_dep_distance: 4.0,
+    paper_dm_miss_rate: 5.9,
+    paper_sa_miss_rate: 2.0,
+    paper_instructions_billions: 1.07,
+};
+
+static LI: BenchmarkProfile = BenchmarkProfile {
+    name: "li",
+    floating_point: false,
+    load_frac: 0.28,
+    store_frac: 0.14,
+    branch_frac: 0.18,
+    fp_frac: 0.0,
+    avg_basic_block: 5,
+    code_footprint_blocks: 180,
+    hot_functions: 16,
+    call_frac: 0.14,
+    taken_bias: 0.63,
+    branch_predictability: 0.91,
+    w_seq: 0.06,
+    seq_stride: 8,
+    w_pool: 0.03,
+    pool_blocks: 600,
+    w_dm_conflict: 0.20,
+    dm_conflict_group: 3,
+    dm_conflict_switch_prob: 0.07,
+    w_pathological: 0.0,
+    w_far: 0.012,
+    xor_approx_accuracy: 0.86,
+    mean_dep_distance: 3.5,
+    paper_dm_miss_rate: 4.7,
+    paper_sa_miss_rate: 3.3,
+    paper_instructions_billions: 0.207,
+};
+
+static M88KSIM: BenchmarkProfile = BenchmarkProfile {
+    name: "m88ksim",
+    floating_point: false,
+    load_frac: 0.23,
+    store_frac: 0.09,
+    branch_frac: 0.17,
+    fp_frac: 0.0,
+    avg_basic_block: 6,
+    code_footprint_blocks: 260,
+    hot_functions: 18,
+    call_frac: 0.11,
+    taken_bias: 0.64,
+    branch_predictability: 0.93,
+    w_seq: 0.02,
+    seq_stride: 8,
+    w_pool: 0.015,
+    pool_blocks: 600,
+    w_dm_conflict: 0.22,
+    dm_conflict_group: 3,
+    dm_conflict_switch_prob: 0.10,
+    w_pathological: 0.0,
+    w_far: 0.005,
+    xor_approx_accuracy: 0.87,
+    mean_dep_distance: 4.0,
+    paper_dm_miss_rate: 3.5,
+    paper_sa_miss_rate: 1.3,
+    paper_instructions_billions: 0.135,
+};
+
+static MGRID: BenchmarkProfile = BenchmarkProfile {
+    name: "mgrid",
+    floating_point: true,
+    load_frac: 0.33,
+    store_frac: 0.05,
+    branch_frac: 0.03,
+    fp_frac: 0.80,
+    avg_basic_block: 20,
+    code_footprint_blocks: 120,
+    hot_functions: 5,
+    call_frac: 0.02,
+    taken_bias: 0.80,
+    branch_predictability: 0.97,
+    w_seq: 0.17,
+    seq_stride: 8,
+    w_pool: 0.01,
+    pool_blocks: 600,
+    w_dm_conflict: 0.05,
+    dm_conflict_group: 2,
+    dm_conflict_switch_prob: 0.06,
+    w_pathological: 0.0,
+    w_far: 0.007,
+    xor_approx_accuracy: 0.78,
+    mean_dep_distance: 8.0,
+    paper_dm_miss_rate: 5.4,
+    paper_sa_miss_rate: 5.1,
+    paper_instructions_billions: 1.07,
+};
+
+static PERL: BenchmarkProfile = BenchmarkProfile {
+    name: "perl",
+    floating_point: false,
+    load_frac: 0.26,
+    store_frac: 0.13,
+    branch_frac: 0.17,
+    fp_frac: 0.0,
+    avg_basic_block: 6,
+    code_footprint_blocks: 300,
+    hot_functions: 20,
+    call_frac: 0.12,
+    taken_bias: 0.62,
+    branch_predictability: 0.93,
+    w_seq: 0.02,
+    seq_stride: 8,
+    w_pool: 0.015,
+    pool_blocks: 600,
+    w_dm_conflict: 0.20,
+    dm_conflict_group: 3,
+    dm_conflict_switch_prob: 0.085,
+    w_pathological: 0.0,
+    w_far: 0.005,
+    xor_approx_accuracy: 0.88,
+    mean_dep_distance: 4.0,
+    paper_dm_miss_rate: 3.0,
+    paper_sa_miss_rate: 1.3,
+    paper_instructions_billions: 1.07,
+};
+
+static SWIM: BenchmarkProfile = BenchmarkProfile {
+    name: "swim",
+    floating_point: true,
+    load_frac: 0.30,
+    store_frac: 0.10,
+    branch_frac: 0.03,
+    fp_frac: 0.80,
+    avg_basic_block: 18,
+    code_footprint_blocks: 100,
+    hot_functions: 5,
+    call_frac: 0.02,
+    taken_bias: 0.82,
+    branch_predictability: 0.97,
+    w_seq: 0.24,
+    seq_stride: 8,
+    w_pool: 0.02,
+    pool_blocks: 600,
+    w_dm_conflict: 0.06,
+    dm_conflict_group: 3,
+    dm_conflict_switch_prob: 0.08,
+    w_pathological: 0.13,
+    w_far: 0.012,
+    xor_approx_accuracy: 0.70,
+    mean_dep_distance: 7.0,
+    paper_dm_miss_rate: 23.3,
+    paper_sa_miss_rate: 25.2,
+    paper_instructions_billions: 0.492,
+};
+
+static TROFF: BenchmarkProfile = BenchmarkProfile {
+    name: "troff",
+    floating_point: false,
+    load_frac: 0.25,
+    store_frac: 0.11,
+    branch_frac: 0.18,
+    fp_frac: 0.0,
+    avg_basic_block: 5,
+    code_footprint_blocks: 220,
+    hot_functions: 16,
+    call_frac: 0.12,
+    taken_bias: 0.63,
+    branch_predictability: 0.94,
+    w_seq: 0.02,
+    seq_stride: 8,
+    w_pool: 0.005,
+    pool_blocks: 600,
+    w_dm_conflict: 0.21,
+    dm_conflict_group: 3,
+    dm_conflict_switch_prob: 0.09,
+    w_pathological: 0.0,
+    w_far: 0.002,
+    xor_approx_accuracy: 0.90,
+    mean_dep_distance: 4.0,
+    paper_dm_miss_rate: 2.7,
+    paper_sa_miss_rate: 0.8,
+    paper_instructions_billions: 0.051,
+};
+
+static VORTEX: BenchmarkProfile = BenchmarkProfile {
+    name: "vortex",
+    floating_point: false,
+    load_frac: 0.28,
+    store_frac: 0.16,
+    branch_frac: 0.15,
+    fp_frac: 0.0,
+    avg_basic_block: 6,
+    code_footprint_blocks: 460,
+    hot_functions: 26,
+    call_frac: 0.12,
+    taken_bias: 0.64,
+    branch_predictability: 0.95,
+    w_seq: 0.05,
+    seq_stride: 8,
+    w_pool: 0.01,
+    pool_blocks: 600,
+    w_dm_conflict: 0.18,
+    dm_conflict_group: 3,
+    dm_conflict_switch_prob: 0.07,
+    w_pathological: 0.0,
+    w_far: 0.004,
+    xor_approx_accuracy: 0.88,
+    mean_dep_distance: 4.5,
+    paper_dm_miss_rate: 3.1,
+    paper_sa_miss_rate: 1.8,
+    paper_instructions_billions: 1.07,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_eleven_unique_benchmarks() {
+        let all = Benchmark::all();
+        assert_eq!(all.len(), 11);
+        let mut names: Vec<_> = all.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 11);
+    }
+
+    #[test]
+    fn every_profile_is_consistent() {
+        for b in Benchmark::all() {
+            let p = b.profile();
+            assert!(p.is_consistent(), "{} profile inconsistent", p.name);
+            assert!(p.w_scalar() > 0.0, "{} has no scalar traffic", p.name);
+        }
+    }
+
+    #[test]
+    fn table4_reference_data_is_recorded() {
+        // Spot-check a few Table 4 entries.
+        assert_eq!(Benchmark::Swim.profile().paper_sa_miss_rate, 25.2);
+        assert_eq!(Benchmark::Fpppp.profile().paper_dm_miss_rate, 6.3);
+        assert_eq!(Benchmark::Gcc.profile().paper_sa_miss_rate, 3.3);
+    }
+
+    #[test]
+    fn swim_is_the_only_pathological_benchmark() {
+        for b in Benchmark::all() {
+            let p = b.profile();
+            if b == Benchmark::Swim {
+                assert!(p.w_pathological > 0.0);
+                assert!(p.paper_sa_miss_rate > p.paper_dm_miss_rate);
+            } else {
+                assert_eq!(p.w_pathological, 0.0, "{}", p.name);
+                assert!(p.paper_sa_miss_rate <= p.paper_dm_miss_rate, "{}", p.name);
+            }
+        }
+    }
+
+    #[test]
+    fn fpppp_thrashes_a_16k_icache() {
+        // 16 KB / 32 B = 512 blocks; fpppp's hot code exceeds it.
+        assert!(Benchmark::Fpppp.profile().code_footprint_blocks > 512);
+        for b in Benchmark::all() {
+            if b != Benchmark::Fpppp {
+                assert!(b.profile().code_footprint_blocks < 512, "{}", b.name());
+            }
+        }
+    }
+
+    #[test]
+    fn floating_point_codes_have_longer_basic_blocks() {
+        let fp_min = Benchmark::all()
+            .iter()
+            .filter(|b| b.profile().floating_point)
+            .map(|b| b.profile().avg_basic_block)
+            .min()
+            .expect("fp benchmarks exist");
+        let int_max = Benchmark::all()
+            .iter()
+            .filter(|b| !b.profile().floating_point)
+            .map(|b| b.profile().avg_basic_block)
+            .max()
+            .expect("int benchmarks exist");
+        assert!(fp_min > int_max);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Benchmark::M88ksim.to_string(), "m88ksim");
+    }
+}

@@ -1,0 +1,55 @@
+//! I-cache way-prediction demo: drive the fetch-integrated way predictor
+//! (BTB way fields, SAWP, RAS) directly with the fetch stream of a branchy
+//! integer benchmark and a floating-point benchmark, and show where the
+//! predictions come from — the Figure 10 access breakdown.
+//!
+//! Run with `cargo run --release --example icache_waypred`.
+
+use wpsdm::cache::{ICacheController, ICachePolicy, L1Config};
+use wpsdm::cpu::{CpuConfig, Processor};
+use wpsdm::cache::{DCacheController, DCachePolicy};
+use wpsdm::mem::{HierarchyConfig, MemoryHierarchy};
+use wpsdm::predictors::HybridBranchPredictor;
+use wpsdm::workloads::{Benchmark, TraceConfig, TraceGenerator};
+
+fn run(benchmark: Benchmark, policy: ICachePolicy) -> Result<wpsdm::cpu::SimResult, Box<dyn std::error::Error>> {
+    let dcache = DCacheController::new(L1Config::paper_dcache(), DCachePolicy::Parallel)?;
+    let icache = ICacheController::new(L1Config::paper_icache(), policy)?;
+    let hierarchy = MemoryHierarchy::new(HierarchyConfig::default())?;
+    let mut cpu = Processor::new(
+        CpuConfig::default(),
+        dcache,
+        icache,
+        hierarchy,
+        HybridBranchPredictor::default(),
+    );
+    let trace = TraceGenerator::new(TraceConfig::new(benchmark).with_ops(200_000));
+    Ok(cpu.run(trace))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("i-cache way-prediction (16 KB, 4-way), per benchmark:\n");
+    for benchmark in [Benchmark::M88ksim, Benchmark::Go, Benchmark::Applu, Benchmark::Fpppp] {
+        let baseline = run(benchmark, ICachePolicy::Parallel)?;
+        let predicted = run(benchmark, ICachePolicy::WayPredict)?;
+        let metrics = predicted.icache_relative_to(&baseline);
+        let [sawp, btb, none, mispredicted] = predicted.icache.access_breakdown();
+        println!(
+            "{:8}  energy-delay savings {:>5.1} %   accuracy {:>5.1} %   \
+             sources: SAWP {:>4.1} %, BTB/RAS {:>4.1} %, none {:>4.1} %, mispredicted {:>4.1} %",
+            benchmark.name(),
+            metrics.energy_delay_savings() * 100.0,
+            predicted.icache.way_prediction_accuracy() * 100.0,
+            sawp * 100.0,
+            btb * 100.0,
+            none * 100.0,
+            mispredicted * 100.0,
+        );
+    }
+    println!(
+        "\nBranch-heavy integer codes lean on the BTB and RAS; floating-point codes with long \
+         basic blocks lean on the SAWP; fpppp's code footprint thrashes the i-cache and drags \
+         its accuracy down — exactly the structure of the paper's Figure 10."
+    );
+    Ok(())
+}

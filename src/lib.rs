@@ -1,0 +1,49 @@
+//! wpsdm — a reproduction of *Reducing Set-Associative Cache Energy via
+//! Way-Prediction and Selective Direct-Mapping* (Powell, Agarwal, Vijaykumar,
+//! Falsafi, Roy; MICRO 2001).
+//!
+//! This facade crate re-exports the public API of every workspace crate so
+//! downstream users can depend on a single crate:
+//!
+//! * [`mem`] — set-associative cache model and L2/memory hierarchy,
+//! * [`energy`] — CACTI-style cache energy model and Wattch-style processor
+//!   energy model,
+//! * [`predictors`] — way-prediction tables, the selective-DM table, the
+//!   victim list, and the fetch-engine structures (BTB, SAWP, RAS, hybrid
+//!   branch predictor),
+//! * [`cache`] — the paper's contribution: energy-aware L1 d-cache and
+//!   i-cache controllers,
+//! * [`cpu`] — the trace-driven out-of-order processor timing model,
+//! * [`workloads`] — synthetic SPEC CPU95-like benchmark traces,
+//! * [`experiments`] — runners that regenerate every table and figure of the
+//!   paper's evaluation.
+//!
+//! See the repository README for a tour and `examples/` for runnable entry
+//! points (`quickstart`, `dcache_policy_explorer`, `icache_waypred`,
+//! `custom_workload`).
+//!
+//! # Example
+//!
+//! ```
+//! use wpsdm::cache::{DCacheController, DCachePolicy, L1Config};
+//!
+//! # fn main() -> Result<(), wpsdm::cache::ConfigError> {
+//! let mut dcache =
+//!     DCacheController::new(L1Config::paper_dcache(), DCachePolicy::SelDmWayPredict)?;
+//! dcache.load(0x400, 0x1000, 0x1000);
+//! let hit = dcache.load(0x400, 0x1000, 0x1000);
+//! assert!(hit.is_hit());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use wp_cache as cache;
+pub use wp_cpu as cpu;
+pub use wp_energy as energy;
+pub use wp_experiments as experiments;
+pub use wp_mem as mem;
+pub use wp_predictors as predictors;
+pub use wp_workloads as workloads;

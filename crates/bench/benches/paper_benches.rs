@@ -9,6 +9,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use wp_cache::{DCachePolicy, ICachePolicy, L1Config};
 use wp_energy::{CacheEnergyModel, RelativeEnergyTable};
+use wp_experiments::engine::{SimEngine, SimPlan, SimPoint};
 use wp_experiments::runner::{simulate, MachineConfig, RunOptions};
 use wp_experiments::table4;
 use wp_workloads::Benchmark;
@@ -184,6 +185,37 @@ fn fig11_processor(c: &mut Criterion) {
     });
 }
 
+/// The engine: a deduplicated multi-figure plan, executed serially and in
+/// parallel. The plan requests every point twice (as run_all's overlapping
+/// figures do), so this also tracks the dedup overhead.
+fn engine_sweep(c: &mut Criterion) {
+    let options = bench_options();
+    let mut plan = SimPlan::new();
+    for _ in 0..2 {
+        for policy in [
+            DCachePolicy::Parallel,
+            DCachePolicy::SelDmWayPredict,
+            DCachePolicy::Sequential,
+        ] {
+            for benchmark in [Benchmark::Gcc, Benchmark::Li, Benchmark::Swim] {
+                plan.add(SimPoint::new(
+                    benchmark,
+                    machine(policy, ICachePolicy::Parallel),
+                    options,
+                ));
+            }
+        }
+    }
+    let mut group = c.benchmark_group("engine_sweep");
+    group.bench_function("serial", |b| {
+        b.iter(|| black_box(SimEngine::serial().run(&plan).executed_points()))
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| black_box(SimEngine::default().run(&plan).executed_points()))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = paper;
     config = Criterion::default().sample_size(10);
@@ -198,6 +230,7 @@ criterion_group! {
         fig8_associativity,
         fig9_high_latency,
         fig10_icache,
-        fig11_processor
+        fig11_processor,
+        engine_sweep
 }
 criterion_main!(paper);

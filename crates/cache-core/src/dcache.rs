@@ -1,16 +1,22 @@
 //! The energy-aware L1 data-cache controller.
 //!
-//! [`DCacheController`] wraps a set-associative tag store with the paper's
-//! prediction machinery — the selective-DM table, the victim list, and the
-//! PC/XOR way-prediction tables — and services loads and stores under any
-//! [`DCachePolicy`], charging per-access latency and energy.
+//! [`DCacheController`] specialises the shared [`AccessCore`] with the
+//! paper's d-side prediction stack — the selective-DM table, the victim
+//! list, and the PC/XOR way-prediction tables — exposed to the core as a
+//! [`WaySelect`] policy ([`DWaySelect`]). The probe, latency, and energy
+//! accounting all live in [`crate::access`]; this module only decides *how*
+//! to probe and keeps the Figure 6/7/8 statistics.
 
-use wp_energy::{CacheEnergyModel, Energy, PredictionTableEnergy};
-use wp_mem::{AccessKind, Placement, SetAssocCache, WayIndex};
+use wp_energy::{Energy, PredictionTableEnergy};
+use wp_mem::{Placement, SetAssocCache, WayIndex};
 use wp_predictors::{
     MappingPrediction, PcWayPredictor, SelDmPredictor, VictimList, XorWayPredictor,
 };
 
+use crate::access::{
+    AccessCore, CoreAccess, Observation, ProbeOutcome, Selection, WaySelect, WaySelection,
+    WaySource,
+};
 use crate::config::{ConfigError, L1Config};
 use crate::policy::DCachePolicy;
 use crate::stats::DCacheStats;
@@ -70,38 +76,36 @@ impl DAccessOutcome {
     }
 }
 
-/// The energy-aware L1 d-cache.
-///
-/// See the crate-level documentation for an example.
+/// Per-load context handed to the d-side way-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DLoadCtx {
+    /// PC of the load instruction.
+    pub pc: Addr,
+    /// XOR approximation of the effective address.
+    pub approx_addr: Addr,
+    /// The load's direct-mapping way.
+    pub dm_way: WayIndex,
+}
+
+/// The d-cache prediction stack: selective-DM table, victim list, and the
+/// PC/XOR way-prediction tables, driven by a [`DCachePolicy`].
 #[derive(Debug, Clone)]
-pub struct DCacheController {
-    config: L1Config,
+pub struct DWaySelect {
     policy: DCachePolicy,
-    cache: SetAssocCache,
-    energy: CacheEnergyModel,
     prediction_table_energy: PredictionTableEnergy,
     victim_list_energy: PredictionTableEnergy,
     seldm: SelDmPredictor,
     victims: VictimList,
     pc_way: PcWayPredictor,
     xor_way: XorWayPredictor,
-    stats: DCacheStats,
 }
 
-impl DCacheController {
-    /// Builds a controller for `config` operating under `policy`.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`ConfigError`] if the configuration is inconsistent.
-    pub fn new(config: L1Config, policy: DCachePolicy) -> Result<Self, ConfigError> {
-        let geometry = config.geometry()?;
+impl DWaySelect {
+    /// Builds the prediction stack for `config` under `policy`.
+    pub fn new(config: &L1Config, policy: DCachePolicy) -> Self {
         let way_bits = PcWayPredictor::bits_per_entry(config.associativity);
-        Ok(Self {
-            config,
+        Self {
             policy,
-            cache: SetAssocCache::new(geometry),
-            energy: CacheEnergyModel::new(geometry),
             prediction_table_energy: PredictionTableEnergy::new(
                 config.prediction_table_entries,
                 // Selective-DM counter (2 bits) plus the optional way field.
@@ -115,13 +119,155 @@ impl DCacheController {
             victims: VictimList::new(config.victim_list_entries, 2),
             pc_way: PcWayPredictor::new(config.prediction_table_entries),
             xor_way: XorWayPredictor::new(config.prediction_table_entries, config.block_bytes),
+        }
+    }
+
+    /// Placement used when a miss fills the cache: selective-DM policies
+    /// place non-conflicting blocks (per the victim list) in their
+    /// direct-mapping way and conflicting blocks in their set-associative
+    /// position; every other policy uses conventional LRU placement.
+    pub fn placement(&self, block_addr: wp_mem::BlockAddr) -> Placement {
+        if !self.policy.uses_selective_dm() || self.victims.is_conflicting(block_addr) {
+            Placement::SetAssociative
+        } else {
+            Placement::DirectMapped
+        }
+    }
+
+    /// Records an eviction in the victim list (selective-DM only). Returns
+    /// whether the block was newly flagged as conflicting, and the victim
+    /// list energy charged.
+    pub fn note_eviction(&mut self, block_addr: wp_mem::BlockAddr) -> (bool, Energy) {
+        if self.policy.uses_selective_dm() {
+            (
+                self.victims.record_eviction(block_addr),
+                self.victim_list_energy.access_energy(),
+            )
+        } else {
+            (false, 0.0)
+        }
+    }
+}
+
+impl WaySelect for DWaySelect {
+    type Ctx = DLoadCtx;
+
+    fn select(&mut self, ctx: &DLoadCtx) -> Selection {
+        let table = self.prediction_table_energy.access_energy();
+        match self.policy {
+            DCachePolicy::Parallel => Selection::parallel(),
+            DCachePolicy::Sequential => Selection {
+                choice: WaySelection::Sequential,
+                source: WaySource::None,
+                energy: 0.0,
+            },
+            DCachePolicy::PerfectWayPredict => Selection {
+                choice: WaySelection::Oracle,
+                source: WaySource::Oracle,
+                energy: 0.0,
+            },
+            DCachePolicy::WayPredictPc => Self::from_way_table(self.pc_way.predict(ctx.pc), table),
+            DCachePolicy::WayPredictXor => {
+                Self::from_way_table(self.xor_way.predict(ctx.approx_addr), table)
+            }
+            DCachePolicy::SelDmParallel
+            | DCachePolicy::SelDmWayPredict
+            | DCachePolicy::SelDmSequential => {
+                if self.seldm.predict(ctx.pc) == MappingPrediction::DirectMapped {
+                    return Selection {
+                        choice: WaySelection::DirectMapped(ctx.dm_way),
+                        source: WaySource::SelectiveDm,
+                        energy: table,
+                    };
+                }
+                // Predicted conflicting: fall back to the configured scheme.
+                match self.policy {
+                    DCachePolicy::SelDmParallel => Selection {
+                        choice: WaySelection::Parallel,
+                        source: WaySource::None,
+                        energy: table,
+                    },
+                    DCachePolicy::SelDmSequential => Selection {
+                        choice: WaySelection::Sequential,
+                        source: WaySource::None,
+                        energy: table,
+                    },
+                    _ => {
+                        let mut fallback = Self::from_way_table(self.pc_way.predict(ctx.pc), table);
+                        fallback.energy += table;
+                        fallback
+                    }
+                }
+            }
+        }
+    }
+
+    fn train(&mut self, ctx: &DLoadCtx, observed: Observation, _cache: &SetAssocCache) -> Energy {
+        // Way-table training with the way the block actually occupies now.
+        match self.policy {
+            DCachePolicy::WayPredictPc => self.pc_way.update(ctx.pc, observed.way),
+            DCachePolicy::WayPredictXor => self.xor_way.update(ctx.approx_addr, observed.way),
+            DCachePolicy::SelDmWayPredict
+                if self.seldm.predict(ctx.pc) == MappingPrediction::SetAssociative =>
+            {
+                self.pc_way.update(ctx.pc, observed.way)
+            }
+            _ => {}
+        }
+        // Train the selective-DM counter on read hits, whatever handled the
+        // access (Section 2.2.2).
+        if self.policy.uses_selective_dm() && observed.hit {
+            if observed.in_direct_mapped_way {
+                self.seldm.record_direct_mapped_hit(ctx.pc);
+            } else {
+                self.seldm.record_set_associative_hit(ctx.pc);
+            }
+        }
+        0.0
+    }
+}
+
+impl DWaySelect {
+    /// A selection from a way-table lookup: probe the predicted way, or all
+    /// ways when the entry is untrained.
+    fn from_way_table(predicted: Option<WayIndex>, energy: Energy) -> Selection {
+        Selection {
+            choice: predicted.map_or(WaySelection::Parallel, WaySelection::Predicted),
+            source: WaySource::WayTable,
+            energy,
+        }
+    }
+}
+
+/// The energy-aware L1 d-cache.
+///
+/// See the crate-level documentation for an example.
+#[derive(Debug, Clone)]
+pub struct DCacheController {
+    core: AccessCore,
+    policy: DCachePolicy,
+    select: DWaySelect,
+    stats: DCacheStats,
+}
+
+impl DCacheController {
+    /// Builds a controller for `config` operating under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the configuration is inconsistent.
+    pub fn new(config: L1Config, policy: DCachePolicy) -> Result<Self, ConfigError> {
+        Ok(Self {
+            core: AccessCore::new(config)?,
+            policy,
+            select: DWaySelect::new(&config, policy),
             stats: DCacheStats::default(),
         })
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &L1Config {
-        &self.config
+        self.core.config()
     }
 
     /// The access policy in use.
@@ -130,8 +276,8 @@ impl DCacheController {
     }
 
     /// The energy model used to charge accesses.
-    pub fn energy_model(&self) -> &CacheEnergyModel {
-        &self.energy
+    pub fn energy_model(&self) -> &wp_energy::CacheEnergyModel {
+        self.core.energy_model()
     }
 
     /// Accumulated statistics.
@@ -160,84 +306,33 @@ impl DCacheController {
     /// latency.
     pub fn load(&mut self, pc: Addr, addr: Addr, approx_addr: Addr) -> DAccessOutcome {
         self.stats.loads += 1;
-        let geometry = *self.cache.geometry();
-        let dm_way = geometry.direct_mapped_way(addr);
-        let placement = self.fill_placement(addr);
+        let geometry = *self.core.cache().geometry();
+        let ctx = DLoadCtx {
+            pc,
+            approx_addr,
+            dm_way: geometry.direct_mapped_way(addr),
+        };
+        let placement = self.select.placement(geometry.block_addr(addr));
 
-        // One pass through the tag store: refreshes LRU on a hit, fills on a
-        // miss with the placement the victim list dictates.
-        let result = self.cache.access(addr, AccessKind::Read, placement);
-        if !result.hit {
+        let access = self.core.read(&mut self.select, &ctx, addr, placement);
+        if !access.result.hit {
             self.stats.load_misses += 1;
         }
-        self.note_eviction(result.evicted);
+        self.note_eviction(&access);
+        self.record_selection(&access);
 
-        let resident_way = result.hit.then_some(result.way);
-        let mut prediction_energy = 0.0;
-        let (class, ways_probed, latency) = match self.policy {
-            DCachePolicy::Parallel => (
-                DAccessClass::Parallel,
-                self.config.associativity,
-                self.config.base_latency,
-            ),
-            DCachePolicy::Sequential => {
-                let ways = usize::from(result.hit);
-                (DAccessClass::Sequential, ways, self.config.sequential_latency())
-            }
-            DCachePolicy::PerfectWayPredict => (
-                DAccessClass::WayPredicted,
-                usize::from(result.hit),
-                self.config.base_latency,
-            ),
-            DCachePolicy::WayPredictPc => {
-                prediction_energy += self.prediction_table_energy.access_energy();
-                let predicted = self.pc_way.predict(pc);
-                self.pc_way.update(pc, result.way);
-                self.classify_way_prediction(predicted, resident_way, dm_way)
-            }
-            DCachePolicy::WayPredictXor => {
-                prediction_energy += self.prediction_table_energy.access_energy();
-                let predicted = self.xor_way.predict(approx_addr);
-                self.xor_way.update(approx_addr, result.way);
-                self.classify_way_prediction(predicted, resident_way, dm_way)
-            }
-            DCachePolicy::SelDmParallel
-            | DCachePolicy::SelDmWayPredict
-            | DCachePolicy::SelDmSequential => {
-                prediction_energy += self.prediction_table_energy.access_energy();
-                let outcome = self.selective_dm_access(pc, resident_way, dm_way, result.way);
-                prediction_energy += outcome.1;
-                outcome.0
-            }
-        };
-
-        // Train the selective-DM counter on read hits, whatever handled the
-        // access (Section 2.2.2).
-        if self.policy.uses_selective_dm() && result.hit {
-            if result.in_direct_mapped_way {
-                self.seldm.record_direct_mapped_hit(pc);
-            } else {
-                self.seldm.record_set_associative_hit(pc);
-            }
-        }
-
-        let mut cache_energy = self.probe_energy(class, ways_probed);
-        if !result.hit {
-            // Refill write into the selected way; identical in every policy.
-            cache_energy += self.energy.data_way_write_energy();
-        }
-
+        let class = classify(&access);
         self.record_load_class(class);
-        self.stats.cache_energy += cache_energy;
-        self.stats.prediction_energy += prediction_energy;
+        self.stats.cache_energy += access.probe.energy;
+        self.stats.prediction_energy += access.prediction_energy;
 
         DAccessOutcome {
-            hit: result.hit,
-            latency,
-            energy: cache_energy + prediction_energy,
+            hit: access.result.hit,
+            latency: access.probe.latency,
+            energy: access.energy(),
             class,
-            ways_probed,
-            way: result.way,
+            ways_probed: access.probe.ways_probed,
+            way: access.result.way,
         }
     }
 
@@ -248,192 +343,54 @@ impl DCacheController {
     /// energy nor use prediction. Write misses allocate the block.
     pub fn store(&mut self, _pc: Addr, addr: Addr) -> DAccessOutcome {
         self.stats.stores += 1;
-        let placement = self.fill_placement(addr);
-        let result = self.cache.access(addr, AccessKind::Write, placement);
-        if !result.hit {
+        let geometry = *self.core.cache().geometry();
+        let placement = self.select.placement(geometry.block_addr(addr));
+        let access = self.core.write(addr, placement);
+        if !access.result.hit {
             self.stats.store_misses += 1;
         }
-        self.note_eviction(result.evicted);
-
-        let mut cache_energy = self.energy.write_energy();
-        if !result.hit {
-            cache_energy += self.energy.data_way_write_energy();
-        }
-        self.stats.cache_energy += cache_energy;
+        self.note_eviction(&access);
+        self.stats.cache_energy += access.probe.energy;
 
         DAccessOutcome {
-            hit: result.hit,
-            latency: self.config.base_latency,
-            energy: cache_energy,
+            hit: access.result.hit,
+            latency: access.probe.latency,
+            energy: access.probe.energy,
             class: DAccessClass::Write,
-            ways_probed: 1,
-            way: result.way,
+            ways_probed: access.probe.ways_probed,
+            way: access.result.way,
         }
     }
 
-    /// Classification and predictor handling of the selective-DM policies.
-    /// Returns the (class, ways probed, latency) triple and any extra
-    /// prediction energy (the way-prediction table for `SelDmWayPredict`).
-    fn selective_dm_access(
-        &mut self,
-        pc: Addr,
-        resident_way: Option<WayIndex>,
-        dm_way: WayIndex,
-        final_way: WayIndex,
-    ) -> ((DAccessClass, usize, u64), Energy) {
-        let mapping = self.seldm.predict(pc);
-        if mapping == MappingPrediction::DirectMapped {
-            self.stats.seldm_predicted_dm += 1;
-            return match resident_way {
-                Some(way) if way == dm_way => {
-                    self.stats.seldm_predicted_dm_correct += 1;
-                    (
-                        (DAccessClass::DirectMapped, 1, self.config.base_latency),
-                        0.0,
-                    )
-                }
-                Some(_) => (
-                    // The block lives in a set-associative way: the
-                    // direct-mapping probe was wrong and a second probe of
-                    // the matching way is needed.
-                    (
-                        DAccessClass::Mispredicted,
-                        2,
-                        self.config.mispredict_latency(),
-                    ),
-                    0.0,
-                ),
-                None => {
-                    // A miss of a block predicted non-conflicting: the
-                    // direct-mapping probe was still the right place to
-                    // look; the fill brings the block there.
-                    self.stats.seldm_predicted_dm_correct += 1;
-                    (
-                        (DAccessClass::DirectMapped, 1, self.config.base_latency),
-                        0.0,
-                    )
-                }
-            };
-        }
-
-        // Predicted conflicting: fall back to the configured scheme.
-        match self.policy {
-            DCachePolicy::SelDmParallel => (
-                (
-                    DAccessClass::Parallel,
-                    self.config.associativity,
-                    self.config.base_latency,
-                ),
-                0.0,
-            ),
-            DCachePolicy::SelDmSequential => {
-                let ways = usize::from(resident_way.is_some());
-                (
-                    (
-                        DAccessClass::Sequential,
-                        ways,
-                        self.config.sequential_latency(),
-                    ),
-                    0.0,
-                )
-            }
-            DCachePolicy::SelDmWayPredict => {
-                let energy = self.prediction_table_energy.access_energy();
-                let predicted = self.pc_way.predict(pc);
-                self.pc_way.update(pc, final_way);
-                (
-                    self.classify_way_prediction(predicted, resident_way, dm_way),
-                    energy,
-                )
-            }
-            // Unreachable: the non-selective policies never call this
-            // helper. Fall back to a parallel probe to stay safe.
-            _ => (
-                (
-                    DAccessClass::Parallel,
-                    self.config.associativity,
-                    self.config.base_latency,
-                ),
-                0.0,
-            ),
-        }
-    }
-
-    /// Classification shared by the pure way-prediction policies and the
-    /// way-predicted leg of selective-DM.
-    fn classify_way_prediction(
-        &mut self,
-        predicted: Option<WayIndex>,
-        resident_way: Option<WayIndex>,
-        _dm_way: WayIndex,
-    ) -> (DAccessClass, usize, u64) {
-        match predicted {
-            // An untrained entry: the access defaults to a parallel probe.
-            None => (
-                DAccessClass::Parallel,
-                self.config.associativity,
-                self.config.base_latency,
-            ),
-            Some(way) => {
-                self.stats.way_predictions += 1;
-                match resident_way {
-                    Some(actual) if actual == way => {
-                        self.stats.way_predictions_correct += 1;
-                        (DAccessClass::WayPredicted, 1, self.config.base_latency)
-                    }
-                    Some(_) => (
-                        DAccessClass::Mispredicted,
-                        2,
-                        self.config.mispredict_latency(),
-                    ),
-                    // A miss: only the predicted way was probed before the
-                    // tag array reported the miss.
-                    None => (DAccessClass::WayPredicted, 1, self.config.base_latency),
-                }
-            }
-        }
-    }
-
-    /// Energy of the probe portion of a load, by class.
-    fn probe_energy(&self, class: DAccessClass, ways_probed: usize) -> Energy {
-        match class {
-            DAccessClass::Parallel => self.energy.parallel_read_energy(),
-            DAccessClass::Write => self.energy.write_energy(),
-            DAccessClass::DirectMapped
-            | DAccessClass::WayPredicted
-            | DAccessClass::Sequential
-            | DAccessClass::Mispredicted => self.energy.n_way_read_energy(ways_probed),
-        }
-    }
-
-    /// Placement used when a miss fills the cache: selective-DM policies
-    /// place non-conflicting blocks (per the victim list) in their
-    /// direct-mapping way and conflicting blocks in their set-associative
-    /// position; every other policy uses conventional LRU placement.
-    fn fill_placement(&self, addr: Addr) -> Placement {
-        if self.policy.uses_selective_dm() {
-            let block = self.cache.geometry().block_addr(addr);
-            if self.victims.is_conflicting(block) {
-                Placement::SetAssociative
-            } else {
-                Placement::DirectMapped
-            }
-        } else {
-            Placement::SetAssociative
-        }
-    }
-
-    /// Records an eviction in the victim list (selective-DM only) and the
-    /// statistics.
-    fn note_eviction(&mut self, evicted: Option<wp_mem::CacheLine>) {
-        if let Some(line) = evicted {
+    /// Records an eviction in the victim list and the statistics.
+    fn note_eviction(&mut self, access: &CoreAccess) {
+        if let Some(line) = access.result.evicted {
             self.stats.evictions += 1;
-            if self.policy.uses_selective_dm() {
-                self.stats.prediction_energy += self.victim_list_energy.access_energy();
-                if self.victims.record_eviction(line.block_addr) {
-                    self.stats.conflicting_blocks_flagged += 1;
+            let (flagged, energy) = self.select.note_eviction(line.block_addr);
+            self.stats.prediction_energy += energy;
+            if flagged {
+                self.stats.conflicting_blocks_flagged += 1;
+            }
+        }
+    }
+
+    /// Predictor bookkeeping derived from the selection and its outcome.
+    fn record_selection(&mut self, access: &CoreAccess) {
+        let single_way_correct = access.probe.outcome == ProbeOutcome::SingleWay;
+        match access.selection.choice {
+            WaySelection::Predicted(_) if access.selection.source == WaySource::WayTable => {
+                self.stats.way_predictions += 1;
+                if single_way_correct && access.result.hit {
+                    self.stats.way_predictions_correct += 1;
                 }
             }
+            WaySelection::DirectMapped(_) => {
+                self.stats.seldm_predicted_dm += 1;
+                if single_way_correct {
+                    self.stats.seldm_predicted_dm_correct += 1;
+                }
+            }
+            _ => {}
         }
     }
 
@@ -446,6 +403,19 @@ impl DCacheController {
             DAccessClass::Mispredicted => self.stats.mispredicted_accesses += 1,
             DAccessClass::Write => {}
         }
+    }
+}
+
+/// Maps a resolved probe onto the Figure 6 breakdown classes.
+fn classify(access: &CoreAccess) -> DAccessClass {
+    match access.probe.outcome {
+        ProbeOutcome::Parallel => DAccessClass::Parallel,
+        ProbeOutcome::Sequential => DAccessClass::Sequential,
+        ProbeOutcome::Mispredicted => DAccessClass::Mispredicted,
+        ProbeOutcome::SingleWay => match access.selection.choice {
+            WaySelection::DirectMapped(_) => DAccessClass::DirectMapped,
+            _ => DAccessClass::WayPredicted,
+        },
     }
 }
 
@@ -577,7 +547,10 @@ mod tests {
         }
         let s = c.stats();
         assert_eq!(s.load_misses, 0, "conflicting blocks should now coexist");
-        assert!(s.parallel_accesses > 0, "conflicting loads use the fallback");
+        assert!(
+            s.parallel_accesses > 0,
+            "conflicting loads use the fallback"
+        );
     }
 
     #[test]
@@ -641,9 +614,14 @@ mod tests {
             assert_eq!(c.stats().stores, 2);
             assert_eq!(c.stats().store_misses, 1);
             // Store energy does not depend on the read policy.
-            let parallel_write = controller(DCachePolicy::Parallel).store(0x500, 0x9000).energy;
-            assert!((out.energy - (parallel_write - c.energy_model().data_way_write_energy())).abs() < 1e-9
-                || (out.energy - parallel_write).abs() < 1e-9);
+            let parallel_write = controller(DCachePolicy::Parallel)
+                .store(0x500, 0x9000)
+                .energy;
+            assert!(
+                (out.energy - (parallel_write - c.energy_model().data_way_write_energy())).abs()
+                    < 1e-9
+                    || (out.energy - parallel_write).abs() < 1e-9
+            );
         }
     }
 

@@ -6,11 +6,20 @@
 //! sequential and not-taken fetches, and the RAS for returns. Fetches with
 //! no prediction (BTB misses, branch-misprediction restarts) default to a
 //! conventional parallel access.
+//!
+//! [`ICacheController`] specialises the shared [`AccessCore`] with the
+//! fetch-engine prediction stack exposed as a [`WaySelect`] policy
+//! ([`IWaySelect`]); the probe, latency, and energy accounting live in
+//! [`crate::access`].
 
-use wp_energy::{CacheEnergyModel, Energy, PredictionTableEnergy};
-use wp_mem::{AccessKind, Placement, SetAssocCache, WayIndex};
+use wp_energy::{Energy, PredictionTableEnergy};
+use wp_mem::{Placement, SetAssocCache, WayIndex};
 use wp_predictors::{Btb, ReturnAddressStack, Sawp};
 
+use crate::access::{
+    AccessCore, CoreAccess, Observation, ProbeOutcome, Selection, WaySelect, WaySelection,
+    WaySource,
+};
 use crate::config::{ConfigError, L1Config};
 use crate::policy::ICachePolicy;
 use crate::stats::ICacheStats;
@@ -100,6 +109,120 @@ impl IAccessOutcome {
     }
 }
 
+/// Per-fetch context handed to the fetch-engine way-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchCtx {
+    /// PC being fetched.
+    pub pc: Addr,
+    /// How the fetch engine produced the PC.
+    pub kind: FetchKind,
+}
+
+/// Number of BTB entries (typical of the era's fetch engines).
+const BTB_ENTRIES: usize = 512;
+/// Depth of the return address stack.
+const RAS_DEPTH: usize = 16;
+
+/// The fetch-engine prediction stack: BTB, SAWP, and RAS with way fields,
+/// driven by an [`ICachePolicy`].
+#[derive(Debug, Clone)]
+pub struct IWaySelect {
+    policy: ICachePolicy,
+    way_field_energy: PredictionTableEnergy,
+    btb: Btb,
+    sawp: Sawp,
+    ras: ReturnAddressStack,
+}
+
+impl IWaySelect {
+    /// Builds the fetch-engine stack for `config` under `policy`.
+    pub fn new(config: &L1Config, policy: ICachePolicy) -> Self {
+        Self {
+            policy,
+            way_field_energy: PredictionTableEnergy::new(
+                config.prediction_table_entries,
+                Sawp::bits_per_entry(config.associativity),
+            ),
+            btb: Btb::new(BTB_ENTRIES),
+            sawp: Sawp::new(config.prediction_table_entries),
+            ras: ReturnAddressStack::new(RAS_DEPTH),
+        }
+    }
+
+    /// The BTB's predicted target for a taken branch at `branch_pc`, if any.
+    pub fn predicted_target(&mut self, branch_pc: Addr) -> Option<Addr> {
+        self.btb.lookup(branch_pc).map(|e| e.target)
+    }
+}
+
+impl WaySelect for IWaySelect {
+    type Ctx = FetchCtx;
+
+    fn select(&mut self, ctx: &FetchCtx) -> Selection {
+        // The way prediction is produced by the previous access's
+        // bookkeeping (BTB/SAWP/RAS), so it is available with no added
+        // delay; its energy is charged with the way-field update in
+        // [`Self::train`].
+        if self.policy == ICachePolicy::Parallel {
+            return Selection::parallel();
+        }
+        let (predicted, source) = match ctx.kind {
+            FetchKind::Sequential { prev_pc } | FetchKind::NotTakenBranch { prev_pc } => {
+                (self.sawp.predict(prev_pc), WaySource::Sawp)
+            }
+            FetchKind::TakenBranch { branch_pc } | FetchKind::Call { branch_pc, .. } => (
+                self.btb.lookup(branch_pc).and_then(|e| e.way),
+                WaySource::Btb,
+            ),
+            FetchKind::Return => (self.ras.pop().and_then(|(_, way)| way), WaySource::Ras),
+            FetchKind::Redirect => (None, WaySource::None),
+        };
+        match predicted {
+            Some(way) => Selection {
+                choice: WaySelection::Predicted(way),
+                source,
+                energy: 0.0,
+            },
+            None => Selection::parallel(),
+        }
+    }
+
+    fn train(&mut self, ctx: &FetchCtx, observed: Observation, cache: &SetAssocCache) -> Energy {
+        // Train the structures with the way the block actually occupies now.
+        // The BTB and RAS themselves exist in the conventional fetch engine
+        // too (they supply targets); only the way fields and the SAWP are
+        // part of the way-prediction mechanism, so only those incur the
+        // prediction-energy overhead.
+        let way_predicting = self.policy == ICachePolicy::WayPredict;
+        let mut energy = 0.0;
+        if way_predicting {
+            energy += self.way_field_energy.access_energy();
+        }
+        match ctx.kind {
+            FetchKind::Sequential { prev_pc } | FetchKind::NotTakenBranch { prev_pc } => {
+                if way_predicting {
+                    self.sawp.update(prev_pc, observed.way);
+                }
+            }
+            FetchKind::TakenBranch { branch_pc } => {
+                self.btb
+                    .update(branch_pc, ctx.pc, way_predicting.then_some(observed.way));
+            }
+            FetchKind::Call {
+                branch_pc,
+                return_pc,
+            } => {
+                self.btb
+                    .update(branch_pc, ctx.pc, way_predicting.then_some(observed.way));
+                let return_way = way_predicting.then(|| cache.probe(return_pc)).flatten();
+                self.ras.push(return_pc, return_way);
+            }
+            FetchKind::Return | FetchKind::Redirect => {}
+        }
+        energy
+    }
+}
+
 /// The energy-aware L1 i-cache with fetch-integrated way-prediction.
 ///
 /// # Example
@@ -125,21 +248,11 @@ impl IAccessOutcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct ICacheController {
-    config: L1Config,
+    core: AccessCore,
     policy: ICachePolicy,
-    cache: SetAssocCache,
-    energy: CacheEnergyModel,
-    way_field_energy: PredictionTableEnergy,
-    btb: Btb,
-    sawp: Sawp,
-    ras: ReturnAddressStack,
+    select: IWaySelect,
     stats: ICacheStats,
 }
-
-/// Number of BTB entries (typical of the era's fetch engines).
-const BTB_ENTRIES: usize = 512;
-/// Depth of the return address stack.
-const RAS_DEPTH: usize = 16;
 
 impl ICacheController {
     /// Builds a controller for `config` operating under `policy`.
@@ -148,26 +261,17 @@ impl ICacheController {
     ///
     /// Returns a [`ConfigError`] if the configuration is inconsistent.
     pub fn new(config: L1Config, policy: ICachePolicy) -> Result<Self, ConfigError> {
-        let geometry = config.geometry()?;
         Ok(Self {
-            config,
+            core: AccessCore::new(config)?,
             policy,
-            cache: SetAssocCache::new(geometry),
-            energy: CacheEnergyModel::new(geometry),
-            way_field_energy: PredictionTableEnergy::new(
-                config.prediction_table_entries,
-                Sawp::bits_per_entry(config.associativity),
-            ),
-            btb: Btb::new(BTB_ENTRIES),
-            sawp: Sawp::new(config.prediction_table_entries),
-            ras: ReturnAddressStack::new(RAS_DEPTH),
+            select: IWaySelect::new(&config, policy),
             stats: ICacheStats::default(),
         })
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &L1Config {
-        &self.config
+        self.core.config()
     }
 
     /// The policy in use.
@@ -176,8 +280,8 @@ impl ICacheController {
     }
 
     /// The energy model used to charge accesses.
-    pub fn energy_model(&self) -> &CacheEnergyModel {
-        &self.energy
+    pub fn energy_model(&self) -> &wp_energy::CacheEnergyModel {
+        self.core.energy_model()
     }
 
     /// Accumulated statistics.
@@ -194,7 +298,7 @@ impl ICacheController {
     /// fetch engine has one (used by the processor model to decide whether a
     /// taken branch causes a fetch bubble).
     pub fn predicted_target(&mut self, branch_pc: Addr) -> Option<Addr> {
-        self.btb.lookup(branch_pc).map(|e| e.target)
+        self.select.predicted_target(branch_pc)
     }
 
     /// Fetches the instruction block containing `pc`, with `kind` describing
@@ -203,111 +307,48 @@ impl ICacheController {
     /// On a miss the block is filled; the caller adds L2/memory latency.
     pub fn fetch(&mut self, pc: Addr, kind: FetchKind) -> IAccessOutcome {
         self.stats.fetches += 1;
-
-        // The way prediction is produced by the previous access's bookkeeping
-        // (BTB/SAWP/RAS), so it is available with no added delay.
-        let (predicted, from_branch_structures) = if self.policy == ICachePolicy::Parallel {
-            (None, false)
-        } else {
-            match kind {
-                FetchKind::Sequential { prev_pc } | FetchKind::NotTakenBranch { prev_pc } => {
-                    (self.sawp.predict(prev_pc), false)
-                }
-                FetchKind::TakenBranch { branch_pc } | FetchKind::Call { branch_pc, .. } => {
-                    (self.btb.lookup(branch_pc).and_then(|e| e.way), true)
-                }
-                FetchKind::Return => (self.ras.pop().and_then(|(_, way)| way), true),
-                FetchKind::Redirect => (None, false),
-            }
-        };
-
-        let result = self
-            .cache
-            .access(pc, AccessKind::Read, Placement::SetAssociative);
-        if !result.hit {
+        let ctx = FetchCtx { pc, kind };
+        let access = self
+            .core
+            .read(&mut self.select, &ctx, pc, Placement::SetAssociative);
+        if !access.result.hit {
             self.stats.fetch_misses += 1;
         }
 
-        let (class, ways_probed, latency) = match predicted {
-            None => (
-                IAccessClass::NoPrediction,
-                self.config.associativity,
-                self.config.base_latency,
-            ),
-            Some(way) if result.hit && result.way != way => (
-                IAccessClass::Mispredicted,
-                2,
-                self.config.mispredict_latency(),
-            ),
-            Some(_) => {
-                let class = if from_branch_structures {
-                    IAccessClass::BtbCorrect
-                } else {
-                    IAccessClass::SawpCorrect
-                };
-                (class, 1, self.config.base_latency)
-            }
-        };
-
-        // Train the structures with the way the block actually occupies now.
-        // The BTB and RAS themselves exist in the conventional fetch engine
-        // too (they supply targets); only the way fields and the SAWP are
-        // part of the way-prediction mechanism, so only those incur the
-        // prediction-energy overhead.
-        let way_predicting = self.policy == ICachePolicy::WayPredict;
-        let mut prediction_energy = 0.0;
-        if way_predicting {
-            prediction_energy += self.way_field_energy.access_energy();
-        }
-        match kind {
-            FetchKind::Sequential { prev_pc } | FetchKind::NotTakenBranch { prev_pc } => {
-                if way_predicting {
-                    self.sawp.update(prev_pc, result.way);
-                }
-            }
-            FetchKind::TakenBranch { branch_pc } => {
-                self.btb
-                    .update(branch_pc, pc, way_predicting.then_some(result.way));
-            }
-            FetchKind::Call {
-                branch_pc,
-                return_pc,
-            } => {
-                self.btb
-                    .update(branch_pc, pc, way_predicting.then_some(result.way));
-                let return_way = way_predicting
-                    .then(|| self.cache.probe(return_pc))
-                    .flatten();
-                self.ras.push(return_pc, return_way);
-            }
-            FetchKind::Return | FetchKind::Redirect => {}
-        }
-
-        let mut cache_energy = match class {
-            IAccessClass::NoPrediction => self.energy.parallel_read_energy(),
-            _ => self.energy.n_way_read_energy(ways_probed),
-        };
-        if !result.hit {
-            cache_energy += self.energy.data_way_write_energy();
-        }
-
+        let class = classify(&access);
         match class {
             IAccessClass::SawpCorrect => self.stats.sawp_correct += 1,
             IAccessClass::BtbCorrect => self.stats.btb_correct += 1,
             IAccessClass::NoPrediction => self.stats.no_prediction += 1,
             IAccessClass::Mispredicted => self.stats.mispredicted += 1,
         }
-        self.stats.cache_energy += cache_energy;
-        self.stats.prediction_energy += prediction_energy;
+        self.stats.cache_energy += access.probe.energy;
+        self.stats.prediction_energy += access.prediction_energy;
 
         IAccessOutcome {
-            hit: result.hit,
-            latency,
-            energy: cache_energy + prediction_energy,
+            hit: access.result.hit,
+            latency: access.probe.latency,
+            energy: access.energy(),
             class,
-            ways_probed,
-            way: result.way,
+            ways_probed: access.probe.ways_probed,
+            way: access.result.way,
         }
+    }
+}
+
+/// Maps a resolved probe onto the Figure 10 breakdown classes.
+fn classify(access: &CoreAccess) -> IAccessClass {
+    match access.probe.outcome {
+        ProbeOutcome::Mispredicted => IAccessClass::Mispredicted,
+        ProbeOutcome::SingleWay => {
+            if access.selection.source.is_branch_structure() {
+                IAccessClass::BtbCorrect
+            } else {
+                IAccessClass::SawpCorrect
+            }
+        }
+        // Parallel (and the unused sequential probe) carry no prediction.
+        ProbeOutcome::Parallel | ProbeOutcome::Sequential => IAccessClass::NoPrediction,
     }
 }
 
@@ -323,7 +364,10 @@ mod tests {
     fn parallel_policy_never_predicts() {
         let mut c = controller(ICachePolicy::Parallel);
         for i in 0..10u64 {
-            let out = c.fetch(0x40_0000 + i * 32, FetchKind::Sequential { prev_pc: 0x40_0000 });
+            let out = c.fetch(
+                0x40_0000 + i * 32,
+                FetchKind::Sequential { prev_pc: 0x40_0000 },
+            );
             assert_eq!(out.class, IAccessClass::NoPrediction);
             assert_eq!(out.ways_probed, 4);
         }
@@ -454,7 +498,9 @@ mod tests {
             let pc = 0x40_0000 + (i % 50) * 32;
             let kind = match i % 5 {
                 0 => FetchKind::Redirect,
-                1 => FetchKind::TakenBranch { branch_pc: prev + 4 },
+                1 => FetchKind::TakenBranch {
+                    branch_pc: prev + 4,
+                },
                 2 => FetchKind::Return,
                 3 => FetchKind::NotTakenBranch { prev_pc: prev },
                 _ => FetchKind::Sequential { prev_pc: prev },

@@ -45,14 +45,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod access;
 mod config;
 mod dcache;
 mod icache;
 mod policy;
 mod stats;
 
+pub use access::{
+    AccessCore, CoreAccess, Observation, Probe, ProbeOutcome, Selection, WaySelect, WaySelection,
+    WaySource,
+};
 pub use config::{ConfigError, L1Config};
-pub use dcache::{DAccessClass, DAccessOutcome, DCacheController};
-pub use icache::{FetchKind, IAccessClass, IAccessOutcome, ICacheController};
+pub use dcache::{DAccessClass, DAccessOutcome, DCacheController, DLoadCtx, DWaySelect};
+pub use icache::{FetchCtx, FetchKind, IAccessClass, IAccessOutcome, ICacheController, IWaySelect};
 pub use policy::{DCachePolicy, ICachePolicy};
 pub use stats::{DCacheStats, ICacheStats};

@@ -22,7 +22,11 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use wp_cache::{DCacheController, FetchKind, ICacheController};
+use serde::{Deserialize, Serialize};
+use wp_cache::{
+    ConfigError, DCacheController, DCachePolicy, FetchKind, ICacheController, ICachePolicy,
+    L1Config,
+};
 use wp_energy::ActivityCounts;
 use wp_mem::{AccessKind, MemoryHierarchy};
 use wp_predictors::{BranchOutcome, HybridBranchPredictor};
@@ -31,7 +35,7 @@ use wp_workloads::{BranchClass, MicroOp, OpKind};
 use crate::result::SimResult;
 
 /// Microarchitectural parameters of the modelled core (Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CpuConfig {
     /// Instructions fetched per cycle (Table 1: 8).
     pub fetch_width: usize,
@@ -134,6 +138,32 @@ impl Processor {
             hierarchy,
             branch_predictor,
         }
+    }
+
+    /// Builds a processor over the unified L1 controller API: both caches
+    /// are constructed from their `(configuration, policy)` pairs on the
+    /// shared [`wp_cache::AccessCore`], with the Table 1 memory hierarchy
+    /// and branch predictor behind them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if either cache configuration is
+    /// inconsistent.
+    pub fn with_l1(
+        config: CpuConfig,
+        l1d: L1Config,
+        dpolicy: DCachePolicy,
+        l1i: L1Config,
+        ipolicy: ICachePolicy,
+    ) -> Result<Self, ConfigError> {
+        Ok(Self::new(
+            config,
+            DCacheController::new(l1d, dpolicy)?,
+            ICacheController::new(l1i, ipolicy)?,
+            MemoryHierarchy::new(wp_mem::HierarchyConfig::default())
+                .expect("the Table 1 hierarchy configuration is valid"),
+            HybridBranchPredictor::default(),
+        ))
     }
 
     /// The core configuration.
@@ -274,7 +304,12 @@ impl Processor {
             }
 
             // ---- branch resolution and next-fetch steering ----
-            if let OpKind::Branch { taken, target, class } = op.kind {
+            if let OpKind::Branch {
+                taken,
+                target,
+                class,
+            } = op.kind
+            {
                 let predicted = self
                     .branch_predictor
                     .update(op.pc, BranchOutcome::from_taken(taken));
@@ -286,8 +321,7 @@ impl Processor {
                 if direction_mispredicted {
                     // Fetch of the correct path waits for the branch to
                     // resolve in the pipeline.
-                    pending_resume =
-                        Some(complete + 1 + self.config.mispredict_extra_penalty);
+                    pending_resume = Some(complete + 1 + self.config.mispredict_extra_penalty);
                     cur_block = None;
                     next_kind = FetchKind::Redirect;
                 } else if taken {
@@ -305,8 +339,7 @@ impl Processor {
                     if class != BranchClass::Return
                         && self.icache.predicted_target(op.pc) != Some(target)
                     {
-                        pending_resume =
-                            Some(fetched_at + 1 + self.config.btb_miss_penalty);
+                        pending_resume = Some(fetched_at + 1 + self.config.btb_miss_penalty);
                     }
                 } else {
                     next_kind = FetchKind::NotTakenBranch { prev_pc: op.pc };
@@ -315,7 +348,11 @@ impl Processor {
 
             // ---- commit ----
             let commit_ready = complete.max(prev_commit);
-            let commit = reserve_slot(&mut commit_used, commit_ready, self.config.commit_width as u32);
+            let commit = reserve_slot(
+                &mut commit_used,
+                commit_ready,
+                self.config.commit_width as u32,
+            );
             prev_commit = commit;
             last_commit = last_commit.max(commit);
             rob.push_back(commit);
@@ -483,8 +520,7 @@ mod tests {
         let result = run(Benchmark::Swim, DCachePolicy::Parallel, 40_000);
         assert!(result.activity.l2_accesses > 0);
         assert!(
-            result.activity.l2_accesses
-                >= result.dcache.misses().min(result.activity.instructions)
+            result.activity.l2_accesses >= result.dcache.misses().min(result.activity.instructions)
         );
     }
 }

@@ -365,10 +365,8 @@ mod tests {
         let energies: Vec<f64> = [1usize, 2, 4, 8]
             .iter()
             .map(|&a| {
-                CacheEnergyModel::new(
-                    CacheGeometry::new(16 * 1024, 32, a).expect("valid geometry"),
-                )
-                .parallel_read_energy()
+                CacheEnergyModel::new(CacheGeometry::new(16 * 1024, 32, a).expect("valid geometry"))
+                    .parallel_read_energy()
             })
             .collect();
         assert!(energies.windows(2).all(|w| w[0] < w[1]), "{energies:?}");
@@ -395,9 +393,7 @@ mod tests {
         // slightly as a proportion of total energy when the cache gets
         // bigger, which is why 32 KB savings are a touch lower than 16 KB.
         let share = |size: usize| {
-            let m = CacheEnergyModel::new(
-                CacheGeometry::new(size, 32, 4).expect("valid geometry"),
-            );
+            let m = CacheEnergyModel::new(CacheGeometry::new(size, 32, 4).expect("valid geometry"));
             m.tag_and_decode_energy() / m.parallel_read_energy()
         };
         assert!(share(32 * 1024) > share(16 * 1024));

@@ -302,6 +302,9 @@ mod tests {
         let base = model.total_energy(&typical_counts(), icache, dcache);
         let improved = model.total_energy(&typical_counts(), icache * 0.36, dcache * 0.31);
         let savings = 1.0 - improved / base;
-        assert!(savings > 0.05 && savings < 0.15, "overall savings {savings}");
+        assert!(
+            savings > 0.05 && savings < 0.15,
+            "overall savings {savings}"
+        );
     }
 }

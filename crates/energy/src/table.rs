@@ -41,14 +41,23 @@ impl RelativeEnergyTable {
     /// `(description, relative energy)` pairs.
     pub fn rows(&self) -> Vec<(&'static str, f64)> {
         vec![
-            ("Parallel access cache read (all ways read)", self.parallel_read),
+            (
+                "Parallel access cache read (all ways read)",
+                self.parallel_read,
+            ),
             (
                 "Sequential-access, way-predicted, or direct-mapping access (1 way read)",
                 self.single_way_read,
             ),
             ("Cache write", self.write),
-            ("Tag array energy (also included in all above rows)", self.tag_array),
-            ("1024 entry x 4 bit prediction table read/write", self.prediction_table),
+            (
+                "Tag array energy (also included in all above rows)",
+                self.tag_array,
+            ),
+            (
+                "1024 entry x 4 bit prediction table read/write",
+                self.prediction_table,
+            ),
         ]
     }
 }

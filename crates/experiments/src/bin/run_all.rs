@@ -1,19 +1,79 @@
 //! Regenerates every table and figure of the paper in one run and prints
 //! them in order.
 //!
-//! Usage: `cargo run --release -p wp-experiments --bin run_all [--ops N] [--quick]`
+//! All eleven artefacts declare their simulation points up front
+//! ([`wp_experiments::run_all_plan`]); the engine dedups the shared points
+//! (every d-cache figure reuses the same baseline, Figures 7/8 share the
+//! selective-DM machines, …) and executes each unique point exactly once,
+//! in parallel. With `--json` the eleven results are emitted as one JSON
+//! document instead of text tables.
+//!
+//! Usage: `cargo run --release -p wp-experiments --bin run_all
+//! [--quick] [--ops N] [--seed N] [--threads N] [--json]`
+
+use serde::Serialize;
+use wp_experiments::runner::CliOptions;
+use wp_experiments::{fig10, fig11, fig4, fig5, fig6, fig7, fig8, fig9, table3, table4, table5};
+
+/// Every artefact of the paper's evaluation, in presentation order.
+#[derive(Serialize)]
+struct RunAllResult {
+    table3: table3::Table3Result,
+    table4: table4::Table4Result,
+    fig4: fig4::Fig4Result,
+    fig5: fig5::Fig5Result,
+    fig6: fig6::Fig6Result,
+    table5: table5::Table5Result,
+    fig7: fig7::Fig7Result,
+    fig8: fig8::Fig8Result,
+    fig9: fig9::Fig9Result,
+    fig10: fig10::Fig10Result,
+    fig11: fig11::Fig11Result,
+}
 
 fn main() {
-    let (options, _) = wp_experiments::runner::options_from_args(std::env::args().skip(1));
-    println!("{}\n", wp_experiments::table3::run(&options).to_table());
-    println!("{}\n", wp_experiments::table4::run(&options).to_table());
-    println!("{}\n", wp_experiments::fig4::run(&options).to_table());
-    println!("{}\n", wp_experiments::fig5::run(&options).to_table());
-    println!("{}\n", wp_experiments::fig6::run(&options).to_table());
-    println!("{}\n", wp_experiments::table5::run(&options).to_table());
-    println!("{}\n", wp_experiments::fig7::run(&options).to_table());
-    println!("{}\n", wp_experiments::fig8::run(&options).to_table());
-    println!("{}\n", wp_experiments::fig9::run(&options).to_table());
-    println!("{}\n", wp_experiments::fig10::run(&options).to_table());
-    println!("{}\n", wp_experiments::fig11::run(&options).to_table());
+    let cli = CliOptions::from_env_or_exit();
+    let options = cli.run;
+    let engine = cli.engine();
+
+    let plan = wp_experiments::run_all_plan(&options);
+    let requested = plan.len();
+    let unique = plan.unique_points().len();
+    eprintln!(
+        "run_all: {requested} requested points -> {unique} unique simulations \
+         on {} threads",
+        engine.threads()
+    );
+    let matrix = engine.run(&plan);
+    debug_assert_eq!(matrix.executed_points(), unique);
+
+    let results = RunAllResult {
+        table3: table3::from_matrix(&matrix, &options),
+        table4: table4::run_threaded(&options, engine.threads()),
+        fig4: fig4::from_matrix(&matrix, &options),
+        fig5: fig5::from_matrix(&matrix, &options),
+        fig6: fig6::from_matrix(&matrix, &options),
+        table5: table5::from_matrix(&matrix, &options),
+        fig7: fig7::from_matrix(&matrix, &options),
+        fig8: fig8::from_matrix(&matrix, &options),
+        fig9: fig9::from_matrix(&matrix, &options),
+        fig10: fig10::from_matrix(&matrix, &options),
+        fig11: fig11::from_matrix(&matrix, &options),
+    };
+
+    if cli.json {
+        println!("{}", wp_experiments::report::to_json(&results));
+        return;
+    }
+    println!("{}\n", results.table3.to_table());
+    println!("{}\n", results.table4.to_table());
+    println!("{}\n", results.fig4.to_table());
+    println!("{}\n", results.fig5.to_table());
+    println!("{}\n", results.fig6.to_table());
+    println!("{}\n", results.table5.to_table());
+    println!("{}\n", results.fig7.to_table());
+    println!("{}\n", results.fig8.to_table());
+    println!("{}\n", results.fig9.to_table());
+    println!("{}\n", results.fig10.to_table());
+    println!("{}\n", results.fig11.to_table());
 }

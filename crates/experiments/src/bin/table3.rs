@@ -1,13 +1,12 @@
 //! Regenerates the paper's table3 from the simulator.
 //!
-//! Usage: `cargo run --release -p wp-experiments --bin table3 [--ops N] [--seed N] [--quick] [--json]`
+//! Usage: `cargo run --release -p wp-experiments --bin table3
+//! [--quick] [--ops N] [--seed N] [--threads N] [--json]`
+
+use wp_experiments::table3;
 
 fn main() {
-    let (options, json) = wp_experiments::runner::options_from_args(std::env::args().skip(1));
-    let result = wp_experiments::table3::run(&options);
-    if json {
-        println!("{}", wp_experiments::report::to_json(&result));
-    } else {
-        println!("{}", result.to_table());
-    }
+    wp_experiments::runner::artefact_main(table3::plan, table3::from_matrix, |result| {
+        result.to_table()
+    });
 }

@@ -1,11 +1,14 @@
 //! Regenerates the paper's table4 from the simulator.
 //!
-//! Usage: `cargo run --release -p wp-experiments --bin table4 [--ops N] [--seed N] [--quick] [--json]`
+//! Usage: `cargo run --release -p wp-experiments --bin table4
+//! [--quick] [--ops N] [--seed N] [--threads N] [--json]`
+
+use wp_experiments::runner::CliOptions;
 
 fn main() {
-    let (options, json) = wp_experiments::runner::options_from_args(std::env::args().skip(1));
-    let result = wp_experiments::table4::run(&options);
-    if json {
+    let cli = CliOptions::from_env_or_exit();
+    let result = wp_experiments::table4::run_threaded(&cli.run, cli.engine().threads());
+    if cli.json {
         println!("{}", wp_experiments::report::to_json(&result));
     } else {
         println!("{}", result.to_table());

@@ -6,7 +6,8 @@ use serde::{Deserialize, Serialize};
 use wp_cache::{DCachePolicy, L1Config};
 use wp_workloads::Benchmark;
 
-use crate::runner::{simulate, MachineConfig, RunOptions};
+use crate::engine::{SimEngine, SimMatrix, SimPlan};
+use crate::runner::{MachineConfig, RunOptions};
 
 /// The metrics the paper's d-cache figures plot for one (benchmark, policy)
 /// pair, relative to the parallel-access baseline of the same cache
@@ -35,38 +36,66 @@ pub struct PolicyComparison {
     pub miss_rate_percent: f64,
 }
 
-/// Runs `policies` on `l1d` for every benchmark and returns one row per
-/// (benchmark, policy), each measured against the parallel baseline with the
-/// same cache configuration and latency.
-pub fn compare_dcache_policies(
+/// The simulation points a `policies`-on-`l1d` comparison needs: the
+/// parallel baseline plus one machine per policy, on every benchmark.
+pub fn dcache_policy_plan(
+    policies: &[DCachePolicy],
+    l1d: L1Config,
+    options: &RunOptions,
+) -> SimPlan {
+    let baseline_machine = MachineConfig::baseline().with_l1d(l1d);
+    let mut plan = SimPlan::new();
+    plan.add_all_benchmarks(baseline_machine, *options);
+    for &policy in policies {
+        plan.add_all_benchmarks(baseline_machine.with_dpolicy(policy), *options);
+    }
+    plan
+}
+
+/// Assembles the per-(benchmark, policy) rows from an executed matrix. The
+/// matrix must contain [`dcache_policy_plan`]'s points.
+pub fn compare_dcache_policies_in(
+    matrix: &SimMatrix,
     policies: &[DCachePolicy],
     l1d: L1Config,
     options: &RunOptions,
 ) -> Vec<PolicyComparison> {
+    let baseline_machine = MachineConfig::baseline().with_l1d(l1d);
     let mut rows = Vec::new();
     for &benchmark in Benchmark::all().iter() {
-        let baseline_machine = MachineConfig::baseline().with_l1d(l1d);
-        let baseline = simulate(benchmark, &baseline_machine, options);
+        let baseline = matrix.require(benchmark, &baseline_machine, options);
         for &policy in policies {
             let machine = baseline_machine.with_dpolicy(policy);
-            let run = simulate(benchmark, &machine, options);
-            let metrics = run.result.dcache_relative_to(&baseline.result);
+            let result = matrix.require(benchmark, &machine, options);
+            let metrics = result.dcache_relative_to(baseline);
             rows.push(PolicyComparison {
                 benchmark: benchmark.name().to_string(),
                 policy: policy.label().to_string(),
                 relative_energy_delay: metrics.relative_energy_delay,
                 relative_energy: metrics.relative_energy,
-                performance_degradation: run
-                    .result
-                    .performance_degradation_vs(&baseline.result),
-                way_prediction_accuracy: run.result.dcache.way_prediction_accuracy(),
-                seldm_dm_fraction: run.result.dcache.seldm_dm_fraction(),
-                breakdown: run.result.dcache.access_breakdown(),
-                miss_rate_percent: run.result.dcache.miss_rate_percent(),
+                performance_degradation: result.performance_degradation_vs(baseline),
+                way_prediction_accuracy: result.dcache.way_prediction_accuracy(),
+                seldm_dm_fraction: result.dcache.seldm_dm_fraction(),
+                breakdown: result.dcache.access_breakdown(),
+                miss_rate_percent: result.dcache.miss_rate_percent(),
             });
         }
     }
     rows
+}
+
+/// Runs `policies` on `l1d` for every benchmark and returns one row per
+/// (benchmark, policy), each measured against the parallel baseline with the
+/// same cache configuration and latency. Convenience over
+/// [`dcache_policy_plan`] + [`compare_dcache_policies_in`] for standalone
+/// use; `run_all` shares one engine run across every figure instead.
+pub fn compare_dcache_policies(
+    policies: &[DCachePolicy],
+    l1d: L1Config,
+    options: &RunOptions,
+) -> Vec<PolicyComparison> {
+    let matrix = SimEngine::default().run(&dcache_policy_plan(policies, l1d, options));
+    compare_dcache_policies_in(&matrix, policies, l1d, options)
 }
 
 /// Averages the per-benchmark rows of each policy (the paper reports
@@ -87,9 +116,8 @@ pub fn average_by_policy(rows: &[PolicyComparison]) -> Vec<PolicyComparison> {
                 return None;
             }
             let n = group.len() as f64;
-            let mean = |f: &dyn Fn(&PolicyComparison) -> f64| {
-                group.iter().map(|r| f(r)).sum::<f64>() / n
-            };
+            let mean =
+                |f: &dyn Fn(&PolicyComparison) -> f64| group.iter().map(|r| f(r)).sum::<f64>() / n;
             let mut breakdown = [0.0; 5];
             for (i, slot) in breakdown.iter_mut().enumerate() {
                 *slot = group.iter().map(|r| r.breakdown[i]).sum::<f64>() / n;
@@ -110,10 +138,10 @@ pub fn average_by_policy(rows: &[PolicyComparison]) -> Vec<PolicyComparison> {
 }
 
 /// Convenience: the average row for one policy, if present.
-pub fn average_for<'a>(
-    averages: &'a [PolicyComparison],
+pub fn average_for(
+    averages: &[PolicyComparison],
     policy: DCachePolicy,
-) -> Option<&'a PolicyComparison> {
+) -> Option<&PolicyComparison> {
     averages.iter().find(|r| r.policy == policy.label())
 }
 
@@ -133,16 +161,22 @@ pub struct DcacheFigure {
 }
 
 impl DcacheFigure {
-    /// Runs `policies` on `l1d`, against the parallel baseline of the same
-    /// configuration, and assembles the figure.
-    pub fn build(
+    /// The simulation points [`DcacheFigure::from_matrix`] will read.
+    pub fn plan(policies: &[DCachePolicy], l1d: L1Config, options: &RunOptions) -> SimPlan {
+        dcache_policy_plan(policies, l1d, options)
+    }
+
+    /// Assembles the figure from an executed matrix containing
+    /// [`DcacheFigure::plan`]'s points.
+    pub fn from_matrix(
+        matrix: &SimMatrix,
         title: &str,
         policies: &[DCachePolicy],
         l1d: L1Config,
         options: &RunOptions,
         paper_reference: &[(&str, f64, f64)],
     ) -> Self {
-        let rows = compare_dcache_policies(policies, l1d, options);
+        let rows = compare_dcache_policies_in(matrix, policies, l1d, options);
         let averages = average_by_policy(&rows);
         Self {
             title: title.to_string(),
@@ -153,6 +187,20 @@ impl DcacheFigure {
                 .map(|&(label, savings, perf)| (label.to_string(), savings, perf))
                 .collect(),
         }
+    }
+
+    /// Runs `policies` on `l1d`, against the parallel baseline of the same
+    /// configuration, and assembles the figure (standalone convenience:
+    /// plans, executes, and renders in one call).
+    pub fn build(
+        title: &str,
+        policies: &[DCachePolicy],
+        l1d: L1Config,
+        options: &RunOptions,
+        paper_reference: &[(&str, f64, f64)],
+    ) -> Self {
+        let matrix = SimEngine::default().run(&Self::plan(policies, l1d, options));
+        Self::from_matrix(&matrix, title, policies, l1d, options, paper_reference)
     }
 
     /// Renders the per-benchmark relative energy-delay and degradation,

@@ -1,0 +1,375 @@
+//! The simulation engine: a deduplicated, parallel experiment matrix.
+//!
+//! The paper's evaluation sweeps a small set of (benchmark, machine) points
+//! from many angles — Figures 4–9 and Table 5 all re-measure the same
+//! baseline, Figure 7/8 share the selective-DM configuration, Figure 11
+//! reuses the baseline yet again. Instead of every figure re-simulating its
+//! points from scratch, figure modules *declare* the points they need as a
+//! [`SimPlan`]; the [`SimEngine`] dedups identical points across all
+//! consumers, executes the unique set in parallel on scoped threads, and
+//! memoizes the results in a [`SimMatrix`] keyed by the full
+//! (benchmark, machine, options) configuration. Each figure then renders
+//! from its slice of the matrix.
+//!
+//! Simulations are deterministic in their key — the trace seed is part of
+//! [`RunOptions`] — so a matrix produced serially and one produced in
+//! parallel contain identical results, and a point is never executed twice.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use wp_cpu::SimResult;
+use wp_workloads::Benchmark;
+
+use crate::runner::{simulate, MachineConfig, RunOptions};
+
+/// One simulation point: the full configuration that determines a
+/// [`SimResult`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimPoint {
+    /// The benchmark simulated.
+    pub benchmark: Benchmark,
+    /// The machine configuration simulated.
+    pub machine: MachineConfig,
+    /// Trace length and seed.
+    pub options: RunOptions,
+}
+
+impl SimPoint {
+    /// Builds a point.
+    pub fn new(benchmark: Benchmark, machine: MachineConfig, options: RunOptions) -> Self {
+        Self {
+            benchmark,
+            machine,
+            options,
+        }
+    }
+}
+
+/// The simulation points one or more consumers need, possibly with
+/// duplicates across consumers — the engine executes each unique point once.
+#[derive(Debug, Clone, Default)]
+pub struct SimPlan {
+    points: Vec<SimPoint>,
+}
+
+impl SimPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one point.
+    pub fn add(&mut self, point: SimPoint) {
+        self.points.push(point);
+    }
+
+    /// Adds one machine on every benchmark (the shape almost every figure
+    /// uses).
+    pub fn add_all_benchmarks(&mut self, machine: MachineConfig, options: RunOptions) {
+        for &benchmark in Benchmark::all().iter() {
+            self.add(SimPoint::new(benchmark, machine, options));
+        }
+    }
+
+    /// Merges another consumer's plan into this one.
+    pub fn merge(&mut self, other: SimPlan) {
+        self.points.extend(other.points);
+    }
+
+    /// All requested points, duplicates included.
+    pub fn points(&self) -> &[SimPoint] {
+        &self.points
+    }
+
+    /// Number of requested points, duplicates included.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no points were requested.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The unique points, in first-seen order.
+    pub fn unique_points(&self) -> Vec<SimPoint> {
+        let mut seen = std::collections::HashSet::new();
+        self.points
+            .iter()
+            .filter(|p| seen.insert(**p))
+            .copied()
+            .collect()
+    }
+}
+
+/// Memoized simulation results, keyed by the full point configuration.
+#[derive(Debug, Default)]
+pub struct SimMatrix {
+    results: HashMap<SimPoint, SimResult>,
+    executed: usize,
+}
+
+impl SimMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The result for a point, if it has been simulated.
+    pub fn get(
+        &self,
+        benchmark: Benchmark,
+        machine: &MachineConfig,
+        options: &RunOptions,
+    ) -> Option<&SimResult> {
+        self.results
+            .get(&SimPoint::new(benchmark, *machine, *options))
+    }
+
+    /// The result for a point a consumer's plan declared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point is missing — a figure rendering from the matrix
+    /// must have declared the point in its plan, so a miss is a
+    /// plan/renderer mismatch, not a runtime condition.
+    pub fn require(
+        &self,
+        benchmark: Benchmark,
+        machine: &MachineConfig,
+        options: &RunOptions,
+    ) -> &SimResult {
+        self.get(benchmark, machine, options).unwrap_or_else(|| {
+            panic!(
+                "simulation point missing from the matrix (plan/renderer mismatch): \
+                 {benchmark} on {machine:?} with {options:?}"
+            )
+        })
+    }
+
+    /// True if the point has been simulated.
+    pub fn contains(&self, point: &SimPoint) -> bool {
+        self.results.contains_key(point)
+    }
+
+    /// Number of distinct points in the matrix.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// True if nothing has been simulated.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// How many simulations the engine actually executed into this matrix —
+    /// the dedup/memoization invariant: at most one per unique point, ever.
+    pub fn executed_points(&self) -> usize {
+        self.executed
+    }
+}
+
+/// Executes [`SimPlan`]s into [`SimMatrix`]es, in parallel.
+#[derive(Debug, Clone)]
+pub struct SimEngine {
+    threads: usize,
+}
+
+impl SimEngine {
+    /// An engine running on `threads` worker threads (clamped to at least
+    /// one).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A single-threaded engine (useful as a determinism reference).
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs a plan into a fresh matrix.
+    pub fn run(&self, plan: &SimPlan) -> SimMatrix {
+        let mut matrix = SimMatrix::new();
+        self.run_into(&mut matrix, plan);
+        matrix
+    }
+
+    /// Runs the not-yet-simulated points of `plan` into `matrix`. Points
+    /// already present are reused, so repeated calls never re-execute work.
+    pub fn run_into(&self, matrix: &mut SimMatrix, plan: &SimPlan) {
+        let missing: Vec<SimPoint> = plan
+            .unique_points()
+            .into_iter()
+            .filter(|p| !matrix.contains(p))
+            .collect();
+        let results = parallel_map(self.threads, &missing, |point| {
+            simulate(point.benchmark, &point.machine, &point.options).result
+        });
+        matrix.executed += missing.len();
+        for (point, result) in missing.into_iter().zip(results) {
+            matrix.results.insert(point, result);
+        }
+    }
+}
+
+impl Default for SimEngine {
+    /// An engine using every available core.
+    fn default() -> Self {
+        Self::new(available_threads())
+    }
+}
+
+/// The machine's available parallelism (1 if it cannot be determined).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on `threads` scoped worker threads, returning
+/// the outputs in input order. The work-stealing is a shared atomic cursor,
+/// so wall-clock scales with the slowest items rather than a static
+/// partition. Used by the engine and by experiments with non-`simulate`
+/// work (Table 4's trace replays).
+pub fn parallel_map<T: Sync, R: Send>(
+    threads: usize,
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(index) else { break };
+                *slots[index].lock().expect("result slot poisoned") = Some(f(item));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index visited exactly once")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_cache::DCachePolicy;
+
+    fn tiny() -> RunOptions {
+        RunOptions::quick().with_ops(4_000)
+    }
+
+    #[test]
+    fn plans_dedup_identical_points() {
+        let options = tiny();
+        let baseline = MachineConfig::baseline();
+        let mut plan = SimPlan::new();
+        plan.add(SimPoint::new(Benchmark::Gcc, baseline, options));
+        plan.add(SimPoint::new(Benchmark::Gcc, baseline, options));
+        plan.add(SimPoint::new(Benchmark::Li, baseline, options));
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.unique_points().len(), 2);
+    }
+
+    #[test]
+    fn points_distinguish_every_key_component() {
+        let options = tiny();
+        let baseline = MachineConfig::baseline();
+        let a = SimPoint::new(Benchmark::Gcc, baseline, options);
+        assert_ne!(a, SimPoint::new(Benchmark::Li, baseline, options));
+        assert_ne!(
+            a,
+            SimPoint::new(
+                Benchmark::Gcc,
+                baseline.with_dpolicy(DCachePolicy::Sequential),
+                options
+            )
+        );
+        assert_ne!(
+            a,
+            SimPoint::new(Benchmark::Gcc, baseline, options.with_seed(7))
+        );
+    }
+
+    #[test]
+    fn engine_executes_each_unique_point_exactly_once() {
+        let options = tiny();
+        let mut plan = SimPlan::new();
+        let baseline = MachineConfig::baseline();
+        let seldm = baseline.with_dpolicy(DCachePolicy::SelDmWayPredict);
+        for _ in 0..3 {
+            plan.add(SimPoint::new(Benchmark::Gcc, baseline, options));
+            plan.add(SimPoint::new(Benchmark::Gcc, seldm, options));
+        }
+        let engine = SimEngine::new(2);
+        let mut matrix = engine.run(&plan);
+        assert_eq!(matrix.executed_points(), 2);
+        assert_eq!(matrix.len(), 2);
+        // Re-running the same plan is free: everything is memoized.
+        engine.run_into(&mut matrix, &plan);
+        assert_eq!(matrix.executed_points(), 2);
+    }
+
+    #[test]
+    fn serial_and_parallel_matrices_agree_exactly() {
+        let options = tiny();
+        let mut plan = SimPlan::new();
+        let baseline = MachineConfig::baseline();
+        for benchmark in [Benchmark::Gcc, Benchmark::Li, Benchmark::Swim] {
+            plan.add(SimPoint::new(benchmark, baseline, options));
+            plan.add(SimPoint::new(
+                benchmark,
+                baseline.with_dpolicy(DCachePolicy::SelDmWayPredict),
+                options,
+            ));
+        }
+        let serial = SimEngine::serial().run(&plan);
+        let parallel = SimEngine::new(4).run(&plan);
+        assert_eq!(serial.len(), parallel.len());
+        for point in plan.unique_points() {
+            let a = serial.require(point.benchmark, &point.machine, &point.options);
+            let b = parallel.require(point.benchmark, &point.machine, &point.options);
+            assert_eq!(a, b, "results must not depend on the execution schedule");
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let doubled = parallel_map(8, &items, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+        assert_eq!(
+            parallel_map(3, &[] as &[usize], |&x| x),
+            Vec::<usize>::new()
+        );
+    }
+
+    #[test]
+    fn missing_points_panic_with_context() {
+        let matrix = SimMatrix::new();
+        let result = std::panic::catch_unwind(|| {
+            matrix.require(Benchmark::Gcc, &MachineConfig::baseline(), &tiny())
+        });
+        assert!(result.is_err());
+    }
+}

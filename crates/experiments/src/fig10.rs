@@ -11,8 +11,9 @@ use serde::{Deserialize, Serialize};
 use wp_cache::{ICachePolicy, L1Config};
 use wp_workloads::Benchmark;
 
+use crate::engine::{SimEngine, SimMatrix, SimPlan};
 use crate::report::TextTable;
-use crate::runner::{simulate, MachineConfig, RunOptions};
+use crate::runner::{MachineConfig, RunOptions};
 
 /// One (benchmark, associativity) measurement.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -45,26 +46,40 @@ pub struct Fig10Result {
 /// The paper's average savings per associativity (percent).
 const PAPER_SAVINGS: [(usize, f64); 3] = [(2, 39.0), (4, 64.0), (8, 72.0)];
 
-/// Regenerates Figure 10.
-pub fn run(options: &RunOptions) -> Fig10Result {
+/// The parallel baseline machine for one i-cache associativity.
+fn baseline_machine(ways: usize) -> MachineConfig {
+    MachineConfig::baseline().with_l1i(L1Config::paper_icache().with_associativity(ways))
+}
+
+/// The simulation points Figure 10 needs: for each associativity, the
+/// parallel baseline and the way-predicted machine on every benchmark.
+pub fn plan(options: &RunOptions) -> SimPlan {
+    let mut plan = SimPlan::new();
+    for &(ways, _) in PAPER_SAVINGS.iter() {
+        let baseline = baseline_machine(ways);
+        plan.add_all_benchmarks(baseline, *options);
+        plan.add_all_benchmarks(baseline.with_ipolicy(ICachePolicy::WayPredict), *options);
+    }
+    plan
+}
+
+/// Renders Figure 10 from an executed matrix containing [`plan`]'s points.
+pub fn from_matrix(matrix: &SimMatrix, options: &RunOptions) -> Fig10Result {
     let mut rows = Vec::new();
     for &(ways, _) in PAPER_SAVINGS.iter() {
-        let l1i = L1Config::paper_icache().with_associativity(ways);
+        let baseline_machine = baseline_machine(ways);
+        let machine = baseline_machine.with_ipolicy(ICachePolicy::WayPredict);
         for &benchmark in Benchmark::all().iter() {
-            let baseline_machine = MachineConfig::baseline().with_l1i(l1i);
-            let baseline = simulate(benchmark, &baseline_machine, options);
-            let machine = baseline_machine.with_ipolicy(ICachePolicy::WayPredict);
-            let run = simulate(benchmark, &machine, options);
-            let metrics = run.result.icache_relative_to(&baseline.result);
+            let baseline = matrix.require(benchmark, &baseline_machine, options);
+            let result = matrix.require(benchmark, &machine, options);
+            let metrics = result.icache_relative_to(baseline);
             rows.push(Fig10Row {
                 benchmark: benchmark.name().to_string(),
                 associativity: ways,
                 relative_energy_delay: metrics.relative_energy_delay,
-                performance_degradation: run
-                    .result
-                    .performance_degradation_vs(&baseline.result),
-                accuracy: run.result.icache.way_prediction_accuracy(),
-                breakdown: run.result.icache.access_breakdown(),
+                performance_degradation: result.performance_degradation_vs(baseline),
+                accuracy: result.icache.way_prediction_accuracy(),
+                breakdown: result.icache.access_breakdown(),
             });
         }
     }
@@ -72,6 +87,11 @@ pub fn run(options: &RunOptions) -> Fig10Result {
         rows,
         paper_savings: PAPER_SAVINGS.to_vec(),
     }
+}
+
+/// Regenerates Figure 10 standalone (plans, executes, renders).
+pub fn run(options: &RunOptions) -> Fig10Result {
+    from_matrix(&SimEngine::default().run(&plan(options)), options)
 }
 
 impl Fig10Result {

@@ -11,8 +11,9 @@ use wp_cache::{DCachePolicy, ICachePolicy};
 use wp_energy::{EnergyDelay, ProcessorEnergyModel};
 use wp_workloads::Benchmark;
 
+use crate::engine::{SimEngine, SimMatrix, SimPlan};
 use crate::report::TextTable;
-use crate::runner::{simulate, MachineConfig, RunOptions};
+use crate::runner::{MachineConfig, RunOptions};
 
 /// One benchmark's overall-processor measurements.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -44,28 +45,40 @@ pub struct Fig11Result {
     pub paper_perfect_savings: f64,
 }
 
-/// Regenerates Figure 11.
-pub fn run(options: &RunOptions) -> Fig11Result {
+/// The combined-technique machine the figure measures.
+fn technique_machine() -> MachineConfig {
+    MachineConfig::baseline()
+        .with_dpolicy(DCachePolicy::SelDmWayPredict)
+        .with_ipolicy(ICachePolicy::WayPredict)
+}
+
+/// The simulation points Figure 11 needs: the baseline machine and the
+/// combined d+i technique on every benchmark.
+pub fn plan(options: &RunOptions) -> SimPlan {
+    let mut plan = SimPlan::new();
+    plan.add_all_benchmarks(MachineConfig::baseline(), *options);
+    plan.add_all_benchmarks(technique_machine(), *options);
+    plan
+}
+
+/// Renders Figure 11 from an executed matrix containing [`plan`]'s points.
+pub fn from_matrix(matrix: &SimMatrix, options: &RunOptions) -> Fig11Result {
     let model = ProcessorEnergyModel::default();
     let baseline_machine = MachineConfig::baseline();
-    let technique_machine = baseline_machine
-        .with_dpolicy(DCachePolicy::SelDmWayPredict)
-        .with_ipolicy(ICachePolicy::WayPredict);
+    let technique_machine = technique_machine();
 
     let rows = Benchmark::all()
         .iter()
         .map(|&benchmark| {
-            let baseline = simulate(benchmark, &baseline_machine, options);
-            let technique = simulate(benchmark, &technique_machine, options);
+            let baseline = matrix.require(benchmark, &baseline_machine, options);
+            let technique = matrix.require(benchmark, &technique_machine, options);
 
-            let metrics = technique
-                .result
-                .processor_relative_to(&baseline.result, &model);
+            let metrics = technique.processor_relative_to(baseline, &model);
 
             // Perfect way-prediction bound: every L1 read costs a single-way
             // probe, stores and refills are unchanged, and performance is
             // identical to the baseline.
-            let base = &baseline.result;
+            let base = baseline;
             let d_model = wp_energy::CacheEnergyModel::new(
                 baseline_machine.l1d.geometry().expect("valid geometry"),
             );
@@ -85,9 +98,7 @@ pub fn run(options: &RunOptions) -> Fig11Result {
                 benchmark: benchmark.name().to_string(),
                 relative_energy: metrics.relative_energy,
                 relative_energy_delay: metrics.relative_energy_delay,
-                performance_degradation: technique
-                    .result
-                    .performance_degradation_vs(&baseline.result),
+                performance_degradation: technique.performance_degradation_vs(baseline),
                 perfect_relative_energy_delay: perfect.relative_energy_delay,
                 baseline_l1_fraction: base.l1_energy_fraction(&model),
             }
@@ -101,13 +112,22 @@ pub fn run(options: &RunOptions) -> Fig11Result {
     }
 }
 
+/// Regenerates Figure 11 standalone (plans, executes, renders).
+pub fn run(options: &RunOptions) -> Fig11Result {
+    from_matrix(&SimEngine::default().run(&plan(options)), options)
+}
+
 impl Fig11Result {
     /// Average measured energy-delay savings (fraction).
     pub fn average_savings(&self) -> f64 {
         if self.rows.is_empty() {
             return 0.0;
         }
-        1.0 - self.rows.iter().map(|r| r.relative_energy_delay).sum::<f64>()
+        1.0 - self
+            .rows
+            .iter()
+            .map(|r| r.relative_energy_delay)
+            .sum::<f64>()
             / self.rows.len() as f64
     }
 
@@ -129,7 +149,11 @@ impl Fig11Result {
         if self.rows.is_empty() {
             return 0.0;
         }
-        self.rows.iter().map(|r| r.baseline_l1_fraction).sum::<f64>() / self.rows.len() as f64
+        self.rows
+            .iter()
+            .map(|r| r.baseline_l1_fraction)
+            .sum::<f64>()
+            / self.rows.len() as f64
     }
 
     /// Renders the figure data as text.
@@ -175,7 +199,10 @@ mod tests {
         let savings = result.average_savings();
         let perfect = result.average_perfect_savings();
         assert!(savings > 0.02, "savings {savings}");
-        assert!(perfect >= savings - 0.01, "perfect {perfect} vs real {savings}");
+        assert!(
+            perfect >= savings - 0.01,
+            "perfect {perfect} vs real {savings}"
+        );
         assert!(perfect < 0.25, "perfect bound {perfect} should be modest");
         // The L1s are a minority of processor energy (the 10-16 % band, with
         // slack for workload variation).

@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 use wp_cache::{DCachePolicy, L1Config};
 
 use crate::compare::DcacheFigure;
+use crate::engine::{SimEngine, SimMatrix, SimPlan};
 use crate::runner::RunOptions;
 
 /// The regenerated Figure 4.
@@ -20,17 +21,32 @@ pub struct Fig4Result {
     pub figure: DcacheFigure,
 }
 
-/// Regenerates Figure 4.
-pub fn run(options: &RunOptions) -> Fig4Result {
+const TITLE: &str = "Figure 4: sequential-access d-cache, relative to 1-cycle parallel access";
+const POLICIES: [DCachePolicy; 1] = [DCachePolicy::Sequential];
+const PAPER: [(&str, f64, f64); 1] = [("sequential", 68.0, 11.0)];
+
+/// The simulation points Figure 4 needs.
+pub fn plan(options: &RunOptions) -> SimPlan {
+    DcacheFigure::plan(&POLICIES, L1Config::paper_dcache(), options)
+}
+
+/// Renders Figure 4 from an executed matrix containing [`plan`]'s points.
+pub fn from_matrix(matrix: &SimMatrix, options: &RunOptions) -> Fig4Result {
     Fig4Result {
-        figure: DcacheFigure::build(
-            "Figure 4: sequential-access d-cache, relative to 1-cycle parallel access",
-            &[DCachePolicy::Sequential],
+        figure: DcacheFigure::from_matrix(
+            matrix,
+            TITLE,
+            &POLICIES,
             L1Config::paper_dcache(),
             options,
-            &[("sequential", 68.0, 11.0)],
+            &PAPER,
         ),
     }
+}
+
+/// Regenerates Figure 4 standalone (plans, executes, renders).
+pub fn run(options: &RunOptions) -> Fig4Result {
+    from_matrix(&SimEngine::default().run(&plan(options)), options)
 }
 
 impl Fig4Result {

@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 use wp_cache::{DCachePolicy, L1Config};
 
 use crate::compare::DcacheFigure;
+use crate::engine::{SimEngine, SimMatrix, SimPlan};
 use crate::runner::RunOptions;
 
 /// The regenerated Figure 5.
@@ -20,17 +21,33 @@ pub struct Fig5Result {
     pub figure: DcacheFigure,
 }
 
-/// Regenerates Figure 5.
-pub fn run(options: &RunOptions) -> Fig5Result {
+const TITLE: &str =
+    "Figure 5: PC- and XOR-based way-prediction, relative to 1-cycle parallel access";
+const POLICIES: [DCachePolicy; 2] = [DCachePolicy::WayPredictPc, DCachePolicy::WayPredictXor];
+const PAPER: [(&str, f64, f64); 2] = [("waypred-pc", 63.0, 2.9), ("waypred-xor", 64.0, 2.3)];
+
+/// The simulation points Figure 5 needs.
+pub fn plan(options: &RunOptions) -> SimPlan {
+    DcacheFigure::plan(&POLICIES, L1Config::paper_dcache(), options)
+}
+
+/// Renders Figure 5 from an executed matrix containing [`plan`]'s points.
+pub fn from_matrix(matrix: &SimMatrix, options: &RunOptions) -> Fig5Result {
     Fig5Result {
-        figure: DcacheFigure::build(
-            "Figure 5: PC- and XOR-based way-prediction, relative to 1-cycle parallel access",
-            &[DCachePolicy::WayPredictPc, DCachePolicy::WayPredictXor],
+        figure: DcacheFigure::from_matrix(
+            matrix,
+            TITLE,
+            &POLICIES,
             L1Config::paper_dcache(),
             options,
-            &[("waypred-pc", 63.0, 2.9), ("waypred-xor", 64.0, 2.3)],
+            &PAPER,
         ),
     }
+}
+
+/// Regenerates Figure 5 standalone (plans, executes, renders).
+pub fn run(options: &RunOptions) -> Fig5Result {
+    from_matrix(&SimEngine::default().run(&plan(options)), options)
 }
 
 impl Fig5Result {

@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use wp_cache::{DCachePolicy, L1Config};
 
 use crate::compare::DcacheFigure;
+use crate::engine::{SimEngine, SimMatrix, SimPlan};
 use crate::runner::RunOptions;
 
 /// The regenerated Figure 6.
@@ -21,29 +22,44 @@ pub struct Fig6Result {
     pub figure: DcacheFigure,
 }
 
-/// Regenerates Figure 6.
-pub fn run(options: &RunOptions) -> Fig6Result {
+const TITLE: &str = "Figure 6: selective-DM schemes, relative to 1-cycle parallel access";
+const POLICIES: [DCachePolicy; 5] = [
+    DCachePolicy::SelDmParallel,
+    DCachePolicy::SelDmWayPredict,
+    DCachePolicy::SelDmSequential,
+    DCachePolicy::WayPredictPc,
+    DCachePolicy::Sequential,
+];
+const PAPER: [(&str, f64, f64); 5] = [
+    ("seldm+parallel", 59.0, 2.0),
+    ("seldm+waypred", 69.0, 2.4),
+    ("seldm+sequential", 73.0, 3.4),
+    ("waypred-pc", 63.0, 2.9),
+    ("sequential", 68.0, 11.0),
+];
+
+/// The simulation points Figure 6 needs.
+pub fn plan(options: &RunOptions) -> SimPlan {
+    DcacheFigure::plan(&POLICIES, L1Config::paper_dcache(), options)
+}
+
+/// Renders Figure 6 from an executed matrix containing [`plan`]'s points.
+pub fn from_matrix(matrix: &SimMatrix, options: &RunOptions) -> Fig6Result {
     Fig6Result {
-        figure: DcacheFigure::build(
-            "Figure 6: selective-DM schemes, relative to 1-cycle parallel access",
-            &[
-                DCachePolicy::SelDmParallel,
-                DCachePolicy::SelDmWayPredict,
-                DCachePolicy::SelDmSequential,
-                DCachePolicy::WayPredictPc,
-                DCachePolicy::Sequential,
-            ],
+        figure: DcacheFigure::from_matrix(
+            matrix,
+            TITLE,
+            &POLICIES,
             L1Config::paper_dcache(),
             options,
-            &[
-                ("seldm+parallel", 59.0, 2.0),
-                ("seldm+waypred", 69.0, 2.4),
-                ("seldm+sequential", 73.0, 3.4),
-                ("waypred-pc", 63.0, 2.9),
-                ("sequential", 68.0, 11.0),
-            ],
+            &PAPER,
         ),
     }
+}
+
+/// Regenerates Figure 6 standalone (plans, executes, renders).
+pub fn run(options: &RunOptions) -> Fig6Result {
+    from_matrix(&SimEngine::default().run(&plan(options)), options)
 }
 
 impl Fig6Result {
@@ -72,17 +88,29 @@ mod tests {
     fn seldm_orderings_match_the_paper() {
         let result = run(&RunOptions::quick());
         let f = &result.figure;
-        let parallel = f.average_savings(DCachePolicy::SelDmParallel).expect("present");
-        let waypred = f.average_savings(DCachePolicy::SelDmWayPredict).expect("present");
+        let parallel = f
+            .average_savings(DCachePolicy::SelDmParallel)
+            .expect("present");
+        let waypred = f
+            .average_savings(DCachePolicy::SelDmWayPredict)
+            .expect("present");
         let sequential = f
             .average_savings(DCachePolicy::SelDmSequential)
             .expect("present");
         // Energy ordering: parallel fallback < way-predicted < sequential.
-        assert!(parallel < waypred + 0.02, "parallel {parallel} vs waypred {waypred}");
-        assert!(waypred < sequential + 0.02, "waypred {waypred} vs sequential {sequential}");
+        assert!(
+            parallel < waypred + 0.02,
+            "parallel {parallel} vs waypred {waypred}"
+        );
+        assert!(
+            waypred < sequential + 0.02,
+            "waypred {waypred} vs sequential {sequential}"
+        );
         // Performance: all selective-DM schemes degrade far less than a
         // sequential cache.
-        let seq_cache = f.average_degradation(DCachePolicy::Sequential).expect("present");
+        let seq_cache = f
+            .average_degradation(DCachePolicy::Sequential)
+            .expect("present");
         let seldm_seq = f
             .average_degradation(DCachePolicy::SelDmSequential)
             .expect("present");

@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 use wp_cache::{DCachePolicy, L1Config};
 
 use crate::compare::DcacheFigure;
+use crate::engine::{SimEngine, SimMatrix, SimPlan};
 use crate::runner::RunOptions;
 
 /// The regenerated Figure 7.
@@ -23,24 +24,44 @@ pub struct Fig7Result {
     pub size_32k: DcacheFigure,
 }
 
-/// Regenerates Figure 7.
-pub fn run(options: &RunOptions) -> Fig7Result {
+const POLICIES: [DCachePolicy; 1] = [DCachePolicy::SelDmWayPredict];
+
+fn l1d_32k() -> L1Config {
+    L1Config::paper_dcache().with_size(32 * 1024)
+}
+
+/// The simulation points Figure 7 needs.
+pub fn plan(options: &RunOptions) -> SimPlan {
+    let mut plan = DcacheFigure::plan(&POLICIES, L1Config::paper_dcache(), options);
+    plan.merge(DcacheFigure::plan(&POLICIES, l1d_32k(), options));
+    plan
+}
+
+/// Renders Figure 7 from an executed matrix containing [`plan`]'s points.
+pub fn from_matrix(matrix: &SimMatrix, options: &RunOptions) -> Fig7Result {
     Fig7Result {
-        size_16k: DcacheFigure::build(
+        size_16k: DcacheFigure::from_matrix(
+            matrix,
             "Figure 7 (A): 16 KB selective-DM + way-prediction",
-            &[DCachePolicy::SelDmWayPredict],
+            &POLICIES,
             L1Config::paper_dcache(),
             options,
             &[("seldm+waypred", 69.0, 2.4)],
         ),
-        size_32k: DcacheFigure::build(
+        size_32k: DcacheFigure::from_matrix(
+            matrix,
             "Figure 7 (B): 32 KB selective-DM + way-prediction",
-            &[DCachePolicy::SelDmWayPredict],
-            L1Config::paper_dcache().with_size(32 * 1024),
+            &POLICIES,
+            l1d_32k(),
             options,
             &[("seldm+waypred", 63.0, 2.1)],
         ),
     }
+}
+
+/// Regenerates Figure 7 standalone (plans, executes, renders).
+pub fn run(options: &RunOptions) -> Fig7Result {
+    from_matrix(&SimEngine::default().run(&plan(options)), options)
 }
 
 impl Fig7Result {
@@ -68,6 +89,9 @@ mod tests {
         assert!(s16 > 0.4 && s32 > 0.4, "savings {s16} / {s32}");
         // The paper's shape: 32 KB saves slightly *less* than 16 KB; allow a
         // little noise but rule out a large increase.
-        assert!(s32 < s16 + 0.05, "32K ({s32}) should not exceed 16K ({s16}) by much");
+        assert!(
+            s32 < s16 + 0.05,
+            "32K ({s32}) should not exceed 16K ({s16}) by much"
+        );
     }
 }

@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 use wp_cache::{DCachePolicy, L1Config};
 
 use crate::compare::DcacheFigure;
+use crate::engine::{SimEngine, SimMatrix, SimPlan};
 use crate::runner::RunOptions;
 
 /// The regenerated Figure 8.
@@ -22,14 +23,30 @@ pub struct Fig8Result {
 /// The paper's average savings per associativity (percent).
 const PAPER_SAVINGS: [(usize, f64); 3] = [(2, 38.0), (4, 69.0), (8, 82.0)];
 
-/// Regenerates Figure 8.
-pub fn run(options: &RunOptions) -> Fig8Result {
+const POLICIES: [DCachePolicy; 1] = [DCachePolicy::SelDmWayPredict];
+
+/// The simulation points Figure 8 needs.
+pub fn plan(options: &RunOptions) -> SimPlan {
+    let mut plan = SimPlan::new();
+    for &(ways, _) in PAPER_SAVINGS.iter() {
+        plan.merge(DcacheFigure::plan(
+            &POLICIES,
+            L1Config::paper_dcache().with_associativity(ways),
+            options,
+        ));
+    }
+    plan
+}
+
+/// Renders Figure 8 from an executed matrix containing [`plan`]'s points.
+pub fn from_matrix(matrix: &SimMatrix, options: &RunOptions) -> Fig8Result {
     let by_associativity = PAPER_SAVINGS
         .iter()
         .map(|&(ways, paper)| {
-            let figure = DcacheFigure::build(
+            let figure = DcacheFigure::from_matrix(
+                matrix,
                 &format!("Figure 8: {ways}-way selective-DM + way-prediction"),
-                &[DCachePolicy::SelDmWayPredict],
+                &POLICIES,
                 L1Config::paper_dcache().with_associativity(ways),
                 options,
                 &[("seldm+waypred", paper, 0.0)],
@@ -38,6 +55,11 @@ pub fn run(options: &RunOptions) -> Fig8Result {
         })
         .collect();
     Fig8Result { by_associativity }
+}
+
+/// Regenerates Figure 8 standalone (plans, executes, renders).
+pub fn run(options: &RunOptions) -> Fig8Result {
+    from_matrix(&SimEngine::default().run(&plan(options)), options)
 }
 
 impl Fig8Result {
@@ -58,7 +80,8 @@ impl Fig8Result {
             .map(|(ways, f)| {
                 (
                     *ways,
-                    f.average_savings(DCachePolicy::SelDmWayPredict).unwrap_or(0.0),
+                    f.average_savings(DCachePolicy::SelDmWayPredict)
+                        .unwrap_or(0.0),
                 )
             })
             .collect()

@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 use wp_cache::{DCachePolicy, L1Config};
 
 use crate::compare::DcacheFigure;
+use crate::engine::{SimEngine, SimMatrix, SimPlan};
 use crate::runner::RunOptions;
 
 /// The regenerated Figure 9.
@@ -20,25 +21,37 @@ pub struct Fig9Result {
     pub figure: DcacheFigure,
 }
 
-/// Regenerates Figure 9.
-pub fn run(options: &RunOptions) -> Fig9Result {
+const TITLE: &str = "Figure 9: 2-cycle d-cache, relative to 2-cycle parallel access";
+const POLICIES: [DCachePolicy; 3] = [
+    DCachePolicy::SelDmWayPredict,
+    DCachePolicy::SelDmSequential,
+    DCachePolicy::Sequential,
+];
+const PAPER: [(&str, f64, f64); 3] = [
+    ("seldm+waypred", 69.0, 2.0),
+    ("seldm+sequential", 73.0, 3.1),
+    ("sequential", 68.0, 13.0),
+];
+
+fn l1d_2cycle() -> L1Config {
+    L1Config::paper_dcache().with_base_latency(2)
+}
+
+/// The simulation points Figure 9 needs.
+pub fn plan(options: &RunOptions) -> SimPlan {
+    DcacheFigure::plan(&POLICIES, l1d_2cycle(), options)
+}
+
+/// Renders Figure 9 from an executed matrix containing [`plan`]'s points.
+pub fn from_matrix(matrix: &SimMatrix, options: &RunOptions) -> Fig9Result {
     Fig9Result {
-        figure: DcacheFigure::build(
-            "Figure 9: 2-cycle d-cache, relative to 2-cycle parallel access",
-            &[
-                DCachePolicy::SelDmWayPredict,
-                DCachePolicy::SelDmSequential,
-                DCachePolicy::Sequential,
-            ],
-            L1Config::paper_dcache().with_base_latency(2),
-            options,
-            &[
-                ("seldm+waypred", 69.0, 2.0),
-                ("seldm+sequential", 73.0, 3.1),
-                ("sequential", 68.0, 13.0),
-            ],
-        ),
+        figure: DcacheFigure::from_matrix(matrix, TITLE, &POLICIES, l1d_2cycle(), options, &PAPER),
     }
+}
+
+/// Regenerates Figure 9 standalone (plans, executes, renders).
+pub fn run(options: &RunOptions) -> Fig9Result {
+    from_matrix(&SimEngine::default().run(&plan(options)), options)
 }
 
 impl Fig9Result {
@@ -66,7 +79,9 @@ mod tests {
             sequential > 2.0 * seldm.max(0.005),
             "sequential ({sequential}) should degrade much more than selective-DM ({seldm})"
         );
-        let savings = f.average_savings(DCachePolicy::SelDmSequential).expect("present");
+        let savings = f
+            .average_savings(DCachePolicy::SelDmSequential)
+            .expect("present");
         assert!(savings > 0.5, "savings {savings}");
     }
 }

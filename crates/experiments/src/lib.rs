@@ -18,10 +18,21 @@
 //! | [`fig10`] | Figure 10 — i-cache way-prediction |
 //! | [`fig11`] | Figure 11 — overall processor energy and energy-delay |
 //!
-//! Each module exposes a `run(&RunOptions) -> …Result` function returning a
-//! serialisable result struct with a `to_table()` text rendering, and every
-//! result records the paper's reference numbers next to the measured ones.
-//! The `wp-experiments` binaries (`table3`, `fig4`, …, `run_all`) print the
+//! Each module exposes three entry points:
+//!
+//! * `plan(&RunOptions) -> SimPlan` — the simulation points the artefact
+//!   needs, *declared* rather than executed;
+//! * `from_matrix(&SimMatrix, &RunOptions) -> …Result` — render the
+//!   artefact from already-executed results;
+//! * `run(&RunOptions) -> …Result` — standalone convenience combining the
+//!   two through a fresh [`SimEngine`].
+//!
+//! The [`engine`] module's [`SimEngine`] dedups identical points across
+//! every consumer's plan and executes the unique set in parallel, so
+//! `run_all` performs one sweep feeding all eleven renderers instead of
+//! eleven serial re-simulations. Every result struct is serialisable and
+//! records the paper's reference numbers next to the measured ones; the
+//! `wp-experiments` binaries (`table3`, `fig4`, …, `run_all`) print the
 //! tables and can dump JSON for EXPERIMENTS.md.
 //!
 //! # Example
@@ -38,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod compare;
+pub mod engine;
 pub mod fig10;
 pub mod fig11;
 pub mod fig4;
@@ -53,5 +65,30 @@ pub mod table4;
 pub mod table5;
 
 pub use compare::PolicyComparison;
+pub use engine::{SimEngine, SimMatrix, SimPlan, SimPoint};
 pub use report::TextTable;
-pub use runner::{BenchmarkRun, MachineConfig, RunOptions};
+pub use runner::{BenchmarkRun, CliOptions, MachineConfig, RunOptions};
+
+/// The union plan of every table and figure — the set of simulation points
+/// `run_all` executes. Shared by the `run_all` binary and the engine's
+/// integration tests so the executed-exactly-once invariant is asserted
+/// against exactly what the binary runs.
+pub fn run_all_plan(options: &RunOptions) -> SimPlan {
+    let mut plan = SimPlan::new();
+    for points in [
+        table3::plan(options),
+        table4::plan(options),
+        fig4::plan(options),
+        fig5::plan(options),
+        fig6::plan(options),
+        table5::plan(options),
+        fig7::plan(options),
+        fig8::plan(options),
+        fig9::plan(options),
+        fig10::plan(options),
+        fig11::plan(options),
+    ] {
+        plan.merge(points);
+    }
+    plan
+}

@@ -48,9 +48,10 @@ impl TextTable {
 
     /// Renders the table with aligned columns.
     pub fn render(&self) -> String {
-        let columns = self.headers.len().max(
-            self.rows.iter().map(Vec::len).max().unwrap_or(0),
-        );
+        let columns = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; columns];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.len());
@@ -62,11 +63,11 @@ impl TextTable {
         }
         let mut out = String::new();
         let format_row = |cells: &[String], widths: &[usize]| -> String {
+            let empty = String::new();
             let mut line = String::new();
-            for i in 0..widths.len() {
-                let empty = String::new();
+            for (i, width) in widths.iter().enumerate() {
                 let cell = cells.get(i).unwrap_or(&empty);
-                line.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+                line.push_str(&format!("{cell:<width$}  "));
             }
             line.trim_end().to_string()
         };

@@ -1,15 +1,22 @@
 //! Shared simulation driver: build a processor for a (benchmark, policy,
 //! cache configuration) triple, run the trace, and return the results.
+//!
+//! The experiment modules do not usually call [`simulate`] directly any
+//! more — they declare [`crate::engine::SimPlan`]s and render from the
+//! deduplicated [`crate::engine::SimMatrix`]; this module supplies the
+//! underlying executor and the [`MachineConfig`] key type.
+
+use core::fmt;
 
 use serde::{Deserialize, Serialize};
-use wp_cache::{DCacheController, DCachePolicy, ICacheController, ICachePolicy, L1Config};
+use wp_cache::{DCachePolicy, ICachePolicy, L1Config};
 use wp_cpu::{CpuConfig, Processor, SimResult};
-use wp_mem::{HierarchyConfig, MemoryHierarchy};
-use wp_predictors::HybridBranchPredictor;
 use wp_workloads::{Benchmark, TraceConfig, TraceGenerator};
 
+use crate::engine::{SimEngine, SimMatrix, SimPlan};
+
 /// Options shared by every experiment runner.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct RunOptions {
     /// Micro-ops simulated per benchmark per configuration.
     pub ops: usize,
@@ -54,8 +61,9 @@ impl Default for RunOptions {
     }
 }
 
-/// The complete hardware configuration of one simulation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// The complete hardware configuration of one simulation. `Hash`/`Eq` make
+/// it usable as (part of) the [`crate::engine::SimMatrix`] key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct MachineConfig {
     /// L1 d-cache configuration.
     pub l1d: L1Config,
@@ -124,20 +132,19 @@ pub struct BenchmarkRun {
 ///
 /// Panics if `machine` contains an invalid cache configuration; the
 /// configurations used by the experiment modules are all statically valid.
-pub fn simulate(benchmark: Benchmark, machine: &MachineConfig, options: &RunOptions) -> BenchmarkRun {
-    let dcache = DCacheController::new(machine.l1d, machine.dpolicy)
-        .expect("experiment d-cache configuration must be valid");
-    let icache = ICacheController::new(machine.l1i, machine.ipolicy)
-        .expect("experiment i-cache configuration must be valid");
-    let hierarchy =
-        MemoryHierarchy::new(HierarchyConfig::default()).expect("Table 1 hierarchy is valid");
-    let mut cpu = Processor::new(
+pub fn simulate(
+    benchmark: Benchmark,
+    machine: &MachineConfig,
+    options: &RunOptions,
+) -> BenchmarkRun {
+    let mut cpu = Processor::with_l1(
         machine.cpu,
-        dcache,
-        icache,
-        hierarchy,
-        HybridBranchPredictor::default(),
-    );
+        machine.l1d,
+        machine.dpolicy,
+        machine.l1i,
+        machine.ipolicy,
+    )
+    .expect("experiment cache configurations must be valid");
     let trace = TraceGenerator::new(
         TraceConfig::new(benchmark)
             .with_ops(options.ops)
@@ -159,40 +166,143 @@ pub fn simulate_all(machine: &MachineConfig, options: &RunOptions) -> Vec<Benchm
         .collect()
 }
 
-/// Parses the command-line arguments shared by every experiment binary:
-/// `--ops N` to change the trace length, `--seed N` to change the seed, and
-/// `--json` to print machine-readable output. Unknown arguments are ignored.
-pub fn options_from_args(args: impl Iterator<Item = String>) -> (RunOptions, bool) {
-    let mut options = RunOptions::default();
-    let mut json = false;
-    let args: Vec<String> = args.collect();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--json" => json = true,
-            "--quick" => options = RunOptions::quick(),
-            "--ops" => {
-                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                    options.ops = v;
-                    i += 1;
-                }
+/// Command-line options shared by every experiment binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CliOptions {
+    /// Simulation length and seed.
+    pub run: RunOptions,
+    /// Print machine-readable JSON instead of text tables.
+    pub json: bool,
+    /// Worker threads for the engine (`None` = all available cores).
+    pub threads: Option<usize>,
+}
+
+impl CliOptions {
+    /// Parses `std::env::args()`, printing the error and usage to stderr and
+    /// exiting with status 2 on a bad command line.
+    pub fn from_env_or_exit() -> Self {
+        match options_from_args(std::env::args().skip(1)) {
+            Ok(options) => options,
+            Err(error) => {
+                eprintln!("error: {error}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
             }
-            "--seed" => {
-                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                    options.seed = v;
-                    i += 1;
-                }
-            }
-            _ => {}
         }
-        i += 1;
     }
-    (options, json)
+
+    /// The engine the options ask for.
+    pub fn engine(&self) -> SimEngine {
+        match self.threads {
+            Some(threads) => SimEngine::new(threads),
+            None => SimEngine::default(),
+        }
+    }
+}
+
+/// Usage text shared by the binaries.
+pub const USAGE: &str = "usage: <experiment> [--quick] [--ops N] [--seed N] [--threads N] [--json]";
+
+/// Shared body of the single-artefact binaries: parse the command line,
+/// execute the artefact's plan on the engine, render from the matrix, and
+/// print the result as a text table or (`--json`) machine-readable JSON.
+pub fn artefact_main<R: serde::Serialize>(
+    plan: fn(&RunOptions) -> SimPlan,
+    from_matrix: fn(&SimMatrix, &RunOptions) -> R,
+    to_table: fn(&R) -> String,
+) {
+    let cli = CliOptions::from_env_or_exit();
+    let matrix = cli.engine().run(&plan(&cli.run));
+    let result = from_matrix(&matrix, &cli.run);
+    if cli.json {
+        println!("{}", crate::report::to_json(&result));
+    } else {
+        println!("{}", to_table(&result));
+    }
+}
+
+/// A command-line parsing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// A flag the experiment binaries do not understand.
+    UnknownFlag(String),
+    /// A flag that takes a value appeared without one.
+    MissingValue(&'static str),
+    /// A flag value that did not parse.
+    InvalidValue(&'static str, String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::UnknownFlag(flag) => write!(f, "unknown flag `{flag}`"),
+            CliError::MissingValue(flag) => write!(f, "flag `{flag}` requires a value"),
+            CliError::InvalidValue(flag, value) => {
+                write!(f, "invalid value `{value}` for flag `{flag}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parses the command-line arguments shared by every experiment binary:
+/// `--quick` for the short configuration, `--ops N` and `--seed N` for the
+/// trace, `--threads N` for the engine's worker count, and `--json` for
+/// machine-readable output. Unknown flags are reported as errors rather
+/// than silently ignored, and explicit `--ops`/`--seed` always override
+/// `--quick` regardless of flag order.
+pub fn options_from_args(args: impl Iterator<Item = String>) -> Result<CliOptions, CliError> {
+    let mut options = CliOptions::default();
+    let mut quick = false;
+    let mut ops: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => options.json = true,
+            "--quick" => quick = true,
+            "--ops" => ops = Some(parse_value("--ops", args.next())?),
+            "--seed" => seed = Some(parse_value("--seed", args.next())?),
+            "--threads" => {
+                let threads: usize = parse_value("--threads", args.next())?;
+                if threads == 0 {
+                    return Err(CliError::InvalidValue("--threads", "0".to_string()));
+                }
+                options.threads = Some(threads);
+            }
+            other => return Err(CliError::UnknownFlag(other.to_string())),
+        }
+    }
+    if quick {
+        options.run = RunOptions::quick();
+    }
+    if let Some(ops) = ops {
+        options.run.ops = ops;
+    }
+    if let Some(seed) = seed {
+        options.run.seed = seed;
+    }
+    Ok(options)
+}
+
+fn parse_value<T: std::str::FromStr>(
+    flag: &'static str,
+    value: Option<String>,
+) -> Result<T, CliError> {
+    let value = value.ok_or(CliError::MissingValue(flag))?;
+    value
+        .parse()
+        .map_err(|_| CliError::InvalidValue(flag, value))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliOptions, CliError> {
+        options_from_args(args.iter().map(|s| s.to_string()))
+    }
 
     #[test]
     fn options_builders_compose() {
@@ -232,5 +342,67 @@ mod tests {
         let b = simulate(Benchmark::Li, &machine, &options);
         assert_eq!(a.result.cycles, b.result.cycles);
         assert_eq!(a.result.dcache, b.result.dcache);
+    }
+
+    #[test]
+    fn known_flags_parse() {
+        let options = parse(&[
+            "--quick",
+            "--ops",
+            "1234",
+            "--seed",
+            "9",
+            "--threads",
+            "3",
+            "--json",
+        ])
+        .expect("valid command line");
+        assert_eq!(options.run.ops, 1234);
+        assert_eq!(options.run.seed, 9);
+        assert_eq!(options.threads, Some(3));
+        assert!(options.json);
+        assert_eq!(options.engine().threads(), 3);
+    }
+
+    #[test]
+    fn explicit_ops_and_seed_override_quick_in_any_order() {
+        let before = parse(&["--ops", "200000", "--quick"]).expect("valid");
+        let after = parse(&["--quick", "--ops", "200000"]).expect("valid");
+        assert_eq!(before.run.ops, 200_000);
+        assert_eq!(before.run, after.run);
+        // --quick still applies to whatever was not explicitly set.
+        assert_eq!(before.run.seed, RunOptions::quick().seed);
+    }
+
+    #[test]
+    fn unknown_flags_are_reported() {
+        assert_eq!(
+            parse(&["--frobnicate"]),
+            Err(CliError::UnknownFlag("--frobnicate".to_string()))
+        );
+    }
+
+    #[test]
+    fn missing_and_invalid_values_are_reported() {
+        assert_eq!(parse(&["--ops"]), Err(CliError::MissingValue("--ops")));
+        assert_eq!(
+            parse(&["--seed", "abc"]),
+            Err(CliError::InvalidValue("--seed", "abc".to_string()))
+        );
+        assert_eq!(
+            parse(&["--threads", "0"]),
+            Err(CliError::InvalidValue("--threads", "0".to_string()))
+        );
+        let error = parse(&["--threads", "x"]).unwrap_err();
+        assert!(error.to_string().contains("--threads"));
+    }
+
+    #[test]
+    fn machine_config_hashes_by_value() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        assert!(set.insert(MachineConfig::baseline()));
+        assert!(!set.insert(MachineConfig::baseline()));
+        assert!(set.insert(MachineConfig::baseline().with_dpolicy(DCachePolicy::Sequential)));
     }
 }

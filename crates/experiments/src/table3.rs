@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 use wp_cache::L1Config;
 use wp_energy::{CacheEnergyModel, RelativeEnergyTable};
 
+use crate::engine::{SimMatrix, SimPlan};
 use crate::report::TextTable;
 use crate::runner::RunOptions;
 
@@ -41,6 +42,17 @@ const PAPER_ROWS: [(&str, f64); 5] = [
     ("Tag array energy (also included in all above rows)", 0.06),
     ("1024 entry x 4 bit prediction table read/write", 0.007),
 ];
+
+/// The simulation points Table 3 needs: none — the table is analytic.
+pub fn plan(_options: &RunOptions) -> SimPlan {
+    SimPlan::new()
+}
+
+/// Renders Table 3; the matrix is unused (analytic result), accepted for
+/// interface uniformity with the simulated figures.
+pub fn from_matrix(_matrix: &SimMatrix, options: &RunOptions) -> Table3Result {
+    run(options)
+}
 
 /// Regenerates Table 3. The [`RunOptions`] are accepted for interface
 /// uniformity but unused — the table is analytic, not simulated.
@@ -85,7 +97,10 @@ impl Table3Result {
                 row.paper.map_or("-".to_string(), |p| format!("{p:.3}")),
             ]);
         }
-        format!("Table 3: cache energy relative to a parallel read\n{}", table.render())
+        format!(
+            "Table 3: cache energy relative to a parallel read\n{}",
+            table.render()
+        )
     }
 }
 

@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 use wp_cache::{DCacheController, DCachePolicy, L1Config};
 use wp_workloads::{Benchmark, OpKind, TraceConfig, TraceGenerator};
 
+use crate::engine::{available_threads, parallel_map, SimMatrix, SimPlan};
 use crate::report::TextTable;
 use crate::runner::RunOptions;
 
@@ -61,21 +62,38 @@ pub fn miss_rate_percent(benchmark: Benchmark, associativity: usize, options: &R
     cache.miss_rate_percent()
 }
 
-/// Regenerates Table 4.
+/// The simulation points Table 4 needs: none — the miss rates come from
+/// bare-controller trace replays, not full-machine simulations.
+pub fn plan(_options: &RunOptions) -> SimPlan {
+    SimPlan::new()
+}
+
+/// Renders Table 4; the matrix is unused (trace-replay result), accepted
+/// for interface uniformity with the simulated figures. Uses all available
+/// cores; binaries honouring `--threads` call [`run_threaded`] instead.
+pub fn from_matrix(_matrix: &SimMatrix, options: &RunOptions) -> Table4Result {
+    run(options)
+}
+
+/// Regenerates Table 4 on all available cores.
 pub fn run(options: &RunOptions) -> Table4Result {
-    let rows = Benchmark::all()
-        .iter()
-        .map(|&b| {
-            let profile = b.profile();
-            Table4Row {
-                benchmark: b.name().to_string(),
-                direct_mapped: miss_rate_percent(b, 1, options),
-                paper_direct_mapped: profile.paper_dm_miss_rate,
-                set_associative: miss_rate_percent(b, 4, options),
-                paper_set_associative: profile.paper_sa_miss_rate,
-            }
-        })
-        .collect();
+    run_threaded(options, available_threads())
+}
+
+/// Regenerates Table 4. The per-benchmark trace replays are independent, so
+/// they run in parallel on `threads` workers.
+pub fn run_threaded(options: &RunOptions, threads: usize) -> Table4Result {
+    let benchmarks = Benchmark::all();
+    let rows = parallel_map(threads, &benchmarks, |&b| {
+        let profile = b.profile();
+        Table4Row {
+            benchmark: b.name().to_string(),
+            direct_mapped: miss_rate_percent(b, 1, options),
+            paper_direct_mapped: profile.paper_dm_miss_rate,
+            set_associative: miss_rate_percent(b, 4, options),
+            paper_set_associative: profile.paper_sa_miss_rate,
+        }
+    });
     Table4Result { rows }
 }
 

@@ -8,7 +8,8 @@
 use serde::{Deserialize, Serialize};
 use wp_cache::{DCachePolicy, L1Config};
 
-use crate::compare::{average_by_policy, compare_dcache_policies};
+use crate::compare::{average_by_policy, compare_dcache_policies_in, dcache_policy_plan};
+use crate::engine::{SimEngine, SimMatrix, SimPlan};
 use crate::report::TextTable;
 use crate::runner::RunOptions;
 
@@ -38,7 +39,12 @@ pub struct Table5Result {
 
 /// Paper reference data: (policy, savings %, perf loss %, problem).
 const PAPER: [(DCachePolicy, f64, f64, &str); 6] = [
-    (DCachePolicy::Sequential, 68.0, 11.0, "high perf. degradation"),
+    (
+        DCachePolicy::Sequential,
+        68.0,
+        11.0,
+        "high perf. degradation",
+    ),
     (DCachePolicy::WayPredictPc, 63.0, 2.9, "low e-savings"),
     (DCachePolicy::WayPredictXor, 64.0, 2.3, "timing"),
     (DCachePolicy::SelDmParallel, 59.0, 2.0, "low e-savings"),
@@ -46,10 +52,16 @@ const PAPER: [(DCachePolicy, f64, f64, &str); 6] = [
     (DCachePolicy::SelDmSequential, 73.0, 3.4, ""),
 ];
 
-/// Regenerates Table 5.
-pub fn run(options: &RunOptions) -> Table5Result {
+/// The simulation points Table 5 needs.
+pub fn plan(options: &RunOptions) -> SimPlan {
     let policies: Vec<DCachePolicy> = PAPER.iter().map(|&(p, ..)| p).collect();
-    let rows = compare_dcache_policies(&policies, L1Config::paper_dcache(), options);
+    dcache_policy_plan(&policies, L1Config::paper_dcache(), options)
+}
+
+/// Renders Table 5 from an executed matrix containing [`plan`]'s points.
+pub fn from_matrix(matrix: &SimMatrix, options: &RunOptions) -> Table5Result {
+    let policies: Vec<DCachePolicy> = PAPER.iter().map(|&(p, ..)| p).collect();
+    let rows = compare_dcache_policies_in(matrix, &policies, L1Config::paper_dcache(), options);
     let averages = average_by_policy(&rows);
     let rows = PAPER
         .iter()
@@ -70,6 +82,11 @@ pub fn run(options: &RunOptions) -> Table5Result {
         })
         .collect();
     Table5Result { rows }
+}
+
+/// Regenerates Table 5 standalone (plans, executes, renders).
+pub fn run(options: &RunOptions) -> Table5Result {
+    from_matrix(&SimEngine::default().run(&plan(options)), options)
 }
 
 impl Table5Result {

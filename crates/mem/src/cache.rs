@@ -154,9 +154,7 @@ impl SetAssocCache {
     pub fn probe(&self, addr: Addr) -> Option<WayIndex> {
         let set = self.geometry.set_index(addr);
         let tag = self.geometry.tag(addr);
-        self.sets[set]
-            .iter()
-            .position(|w| w.valid && w.tag == tag)
+        self.sets[set].iter().position(|w| w.valid && w.tag == tag)
     }
 
     /// Returns the resident line at (`set`, `way`), if any.
@@ -231,7 +229,9 @@ impl SetAssocCache {
     pub fn invalidate(&mut self, addr: Addr) -> Option<CacheLine> {
         let set = self.geometry.set_index(addr);
         let tag = self.geometry.tag(addr);
-        let way = self.sets[set].iter().position(|w| w.valid && w.tag == tag)?;
+        let way = self.sets[set]
+            .iter()
+            .position(|w| w.valid && w.tag == tag)?;
         let line = self.line(set, way);
         self.sets[set][way] = Way::empty();
         line
@@ -297,9 +297,7 @@ mod tests {
 
     fn small_cache(assoc: usize) -> SetAssocCache {
         // 4 sets of `assoc` 32-byte blocks.
-        SetAssocCache::new(
-            CacheGeometry::new(4 * assoc * 32, 32, assoc).expect("valid geometry"),
-        )
+        SetAssocCache::new(CacheGeometry::new(4 * assoc * 32, 32, assoc).expect("valid geometry"))
     }
 
     /// Addresses that land in set 0 with distinct tags.
@@ -311,8 +309,12 @@ mod tests {
     #[test]
     fn miss_then_hit() {
         let mut c = small_cache(4);
-        assert!(c.access(0x100, AccessKind::Read, Placement::SetAssociative).is_miss());
-        assert!(c.access(0x100, AccessKind::Read, Placement::SetAssociative).is_hit());
+        assert!(c
+            .access(0x100, AccessKind::Read, Placement::SetAssociative)
+            .is_miss());
+        assert!(c
+            .access(0x100, AccessKind::Read, Placement::SetAssociative)
+            .is_hit());
         assert_eq!(c.stats().reads, 2);
         assert_eq!(c.stats().read_misses, 1);
     }
@@ -321,7 +323,9 @@ mod tests {
     fn same_block_different_word_hits() {
         let mut c = small_cache(4);
         c.access(0x100, AccessKind::Read, Placement::SetAssociative);
-        assert!(c.access(0x11c, AccessKind::Read, Placement::SetAssociative).is_hit());
+        assert!(c
+            .access(0x11c, AccessKind::Read, Placement::SetAssociative)
+            .is_hit());
     }
 
     #[test]
@@ -339,7 +343,9 @@ mod tests {
         let evicted = res.evicted.expect("a block must be evicted");
         assert_eq!(evicted.block_addr, c.geometry().block_addr(b));
         // `a` must still hit.
-        assert!(c.access(a, AccessKind::Read, Placement::SetAssociative).is_hit());
+        assert!(c
+            .access(a, AccessKind::Read, Placement::SetAssociative)
+            .is_hit());
     }
 
     #[test]
@@ -366,7 +372,10 @@ mod tests {
         // Addresses 0 and 4 share set 0 *and* DM way 0 (way bits wrap mod 4).
         let a = set0_addr(&c, 0);
         let b = set0_addr(&c, 4);
-        assert_eq!(c.geometry().direct_mapped_way(a), c.geometry().direct_mapped_way(b));
+        assert_eq!(
+            c.geometry().direct_mapped_way(a),
+            c.geometry().direct_mapped_way(b)
+        );
         c.access(a, AccessKind::Read, Placement::DirectMapped);
         let res = c.access(b, AccessKind::Read, Placement::DirectMapped);
         assert!(res.is_miss());
@@ -378,8 +387,12 @@ mod tests {
         let mut c = small_cache(4);
         c.access(a, AccessKind::Read, Placement::SetAssociative);
         c.access(b, AccessKind::Read, Placement::SetAssociative);
-        assert!(c.access(a, AccessKind::Read, Placement::SetAssociative).is_hit());
-        assert!(c.access(b, AccessKind::Read, Placement::SetAssociative).is_hit());
+        assert!(c
+            .access(a, AccessKind::Read, Placement::SetAssociative)
+            .is_hit());
+        assert!(c
+            .access(b, AccessKind::Read, Placement::SetAssociative)
+            .is_hit());
     }
 
     #[test]

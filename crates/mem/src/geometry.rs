@@ -211,8 +211,8 @@ impl CacheGeometry {
     /// (Section 2.1: "the address's index bits extended with log2 N bits
     /// borrowed from the tag").
     pub fn direct_mapped_way(&self, addr: Addr) -> WayIndex {
-        ((addr >> (self.block_offset_bits + self.index_bits))
-            & ((self.associativity as u64) - 1)) as WayIndex
+        ((addr >> (self.block_offset_bits + self.index_bits)) & ((self.associativity as u64) - 1))
+            as WayIndex
     }
 
     /// Number of blocks the cache can hold in total.
@@ -254,15 +254,21 @@ mod tests {
     fn rejects_zero_parameters() {
         assert!(matches!(
             CacheGeometry::new(0, 32, 4),
-            Err(GeometryError::Zero { parameter: "size_bytes" })
+            Err(GeometryError::Zero {
+                parameter: "size_bytes"
+            })
         ));
         assert!(matches!(
             CacheGeometry::new(16384, 0, 4),
-            Err(GeometryError::Zero { parameter: "block_bytes" })
+            Err(GeometryError::Zero {
+                parameter: "block_bytes"
+            })
         ));
         assert!(matches!(
             CacheGeometry::new(16384, 32, 0),
-            Err(GeometryError::Zero { parameter: "associativity" })
+            Err(GeometryError::Zero {
+                parameter: "associativity"
+            })
         ));
     }
 
@@ -270,15 +276,24 @@ mod tests {
     fn rejects_non_power_of_two() {
         assert!(matches!(
             CacheGeometry::new(16384, 48, 4),
-            Err(GeometryError::NotPowerOfTwo { parameter: "block_bytes", .. })
+            Err(GeometryError::NotPowerOfTwo {
+                parameter: "block_bytes",
+                ..
+            })
         ));
         assert!(matches!(
             CacheGeometry::new(16384, 32, 3),
-            Err(GeometryError::NotPowerOfTwo { parameter: "associativity", .. })
+            Err(GeometryError::NotPowerOfTwo {
+                parameter: "associativity",
+                ..
+            })
         ));
         assert!(matches!(
             CacheGeometry::new(3 * 16384, 32, 4),
-            Err(GeometryError::NotPowerOfTwo { parameter: "num_sets", .. })
+            Err(GeometryError::NotPowerOfTwo {
+                parameter: "num_sets",
+                ..
+            })
         ));
     }
 

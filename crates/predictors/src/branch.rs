@@ -154,7 +154,11 @@ impl HybridBranchPredictor {
         let bimodal_pred = self.bimodal[bimodal_idx].is_high();
         let gshare_pred = self.gshare[gshare_idx].is_high();
         let use_gshare = self.chooser[chooser_idx].is_high();
-        let predicted = if use_gshare { gshare_pred } else { bimodal_pred };
+        let predicted = if use_gshare {
+            gshare_pred
+        } else {
+            bimodal_pred
+        };
         let taken = outcome.is_taken();
 
         self.predictions += 1;

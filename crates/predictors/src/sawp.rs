@@ -38,7 +38,10 @@ impl Sawp {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two(), "SAWP size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "SAWP size must be a power of two"
+        );
         Self {
             entries: vec![None; entries],
             lookups: 0,

@@ -56,7 +56,10 @@ impl SelDmPredictor {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
         Self {
             counters: vec![SaturatingCounter::two_bit(0); entries],
         }

@@ -143,7 +143,10 @@ impl VictimList {
 
     /// The eviction count recorded for `block`, if it is currently tracked.
     pub fn eviction_count(&self, block: BlockAddr) -> Option<u32> {
-        self.entries.iter().find(|e| e.block == block).map(|e| e.count)
+        self.entries
+            .iter()
+            .find(|e| e.block == block)
+            .map(|e| e.count)
     }
 }
 
@@ -188,7 +191,10 @@ mod tests {
         list.record_eviction(0x300);
         assert_eq!(list.len(), 2);
         assert_eq!(list.replacements(), 1);
-        assert!(list.eviction_count(0x200).is_none(), "stale entry displaced");
+        assert!(
+            list.eviction_count(0x200).is_none(),
+            "stale entry displaced"
+        );
         assert_eq!(list.eviction_count(0x100), Some(2));
         assert_eq!(list.eviction_count(0x300), Some(1));
     }
@@ -199,7 +205,7 @@ mod tests {
         list.record_eviction(0xa00);
         list.record_eviction(0xa00);
         list.record_eviction(0xb00); // displaces 0xa00
-        // 0xa00 starts from scratch.
+                                     // 0xa00 starts from scratch.
         assert!(!list.record_eviction(0xa00));
         assert_eq!(list.eviction_count(0xa00), Some(1));
     }

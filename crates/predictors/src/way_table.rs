@@ -19,7 +19,10 @@ struct WayTable {
 
 impl WayTable {
     fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "table size must be a power of two"
+        );
         Self {
             entries: vec![None; entries],
             predictions: 0,
@@ -133,7 +136,10 @@ impl XorWayPredictor {
     ///
     /// Panics if `entries` or `block_bytes` is not a power of two.
     pub fn new(entries: usize, block_bytes: usize) -> Self {
-        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
         Self {
             table: WayTable::new(entries),
             block_shift: block_bytes.trailing_zeros(),

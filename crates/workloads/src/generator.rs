@@ -282,7 +282,11 @@ impl TraceGenerator {
         // makes extra load latency (sequential access, mispredictions)
         // visible to the out-of-order core, as in real codes. Floating-point
         // codes have more independent work between a load and its use.
-        let load_use_prob = if self.profile.floating_point { 0.45 } else { 0.62 };
+        let load_use_prob = if self.profile.floating_point {
+            0.45
+        } else {
+            0.62
+        };
         let first = if self.ops_since_last_load <= 6 && self.rng.gen_bool(load_use_prob) {
             self.ops_since_last_load
         } else {
@@ -339,7 +343,7 @@ impl TraceGenerator {
         } else {
             // The XOR of base register and offset landed in a different
             // block: off by one or a few blocks.
-            let delta = (1 + self.rng.gen_range(0..4)) * BLOCK_BYTES;
+            let delta = (1 + self.rng.gen_range(0u64..4)) * BLOCK_BYTES;
             if self.rng.gen_bool(0.5) {
                 addr.wrapping_add(delta)
             } else {
@@ -569,7 +573,7 @@ fn build_program(
             // Occasionally skip ahead so consecutive blocks do not always
             // share an i-cache block (exercises the SAWP).
             if rng.gen_bool(0.2) {
-                next_pc += BLOCK_BYTES * rng.gen_range(1..4);
+                next_pc += BLOCK_BYTES * rng.gen_range(1u64..4);
             }
 
             let is_last = b == blocks_per_function - 1;
@@ -587,10 +591,7 @@ fn build_program(
                     function: callee,
                     entry_block,
                 }
-            } else if b > 0
-                && rng.gen_bool(0.25)
-                && last_loop_block.map_or(true, |l| b >= l + 5)
-            {
+            } else if b > 0 && rng.gen_bool(0.25) && last_loop_block.map_or(true, |l| b >= l + 5) {
                 // A loop back-edge: the body re-executes a sampled trip
                 // count before the walk moves on. Back-edges are spaced out
                 // so loop nests stay shallow.
@@ -602,7 +603,7 @@ fn build_program(
                 // A forward branch (if/else skip). Per-branch bias: strongly
                 // biased with probability `branch_predictability`, weakly
                 // biased otherwise.
-                let target = (b + rng.gen_range(2..4)).min(blocks_per_function - 1);
+                let target = (b + rng.gen_range(2usize..4)).min(blocks_per_function - 1);
                 let biased_taken = rng.gen_bool(profile.taken_bias);
                 let taken_prob = if rng.gen_bool(profile.branch_predictability) {
                     if biased_taken {
@@ -648,10 +649,24 @@ fn make_slot(
     let store_frac = (profile.store_frac * dilution).min(0.9 - load_frac);
     let r: f64 = rng.gen();
     if r < load_frac {
-        let stream = allocate_stream(profile, rng, streams, next_seq_array, dm_groups, patho_groups);
+        let stream = allocate_stream(
+            profile,
+            rng,
+            streams,
+            next_seq_array,
+            dm_groups,
+            patho_groups,
+        );
         Slot::Load { stream }
     } else if r < load_frac + store_frac {
-        let stream = allocate_stream(profile, rng, streams, next_seq_array, dm_groups, patho_groups);
+        let stream = allocate_stream(
+            profile,
+            rng,
+            streams,
+            next_seq_array,
+            dm_groups,
+            patho_groups,
+        );
         Slot::Store { stream }
     } else if rng.gen_bool(profile.fp_frac) {
         Slot::FpAlu
@@ -687,8 +702,7 @@ fn allocate_stream(
         // a group concentrates the conflicts the way a few offending
         // instructions do in real codes, and keeps the blocks within the
         // associativity of one set so they do not thrash the 4-way baseline.
-        if dm_groups.len() < MAX_DM_CONFLICT_GROUPS && (dm_groups.is_empty() || rng.gen_bool(0.2))
-        {
+        if dm_groups.len() < MAX_DM_CONFLICT_GROUPS && (dm_groups.is_empty() || rng.gen_bool(0.2)) {
             dm_groups.push(make_dm_conflict_group(
                 profile.dm_conflict_group,
                 dm_groups.len(),
@@ -707,12 +721,11 @@ fn allocate_stream(
         Stream::Pathological {
             group: rng.gen_range(0..patho_groups.len()),
         }
-    } else if r
-        < profile.w_seq
-            + profile.w_pool
-            + profile.w_dm_conflict
-            + profile.w_pathological
-            + profile.w_far
+    } else if r < profile.w_seq
+        + profile.w_pool
+        + profile.w_dm_conflict
+        + profile.w_pathological
+        + profile.w_far
     {
         Stream::Far
     } else {
@@ -790,8 +803,10 @@ mod tests {
 
     #[test]
     fn different_seeds_give_different_traces() {
-        let a = TraceGenerator::generate(TraceConfig::new(Benchmark::Li).with_ops(5_000).with_seed(1));
-        let b = TraceGenerator::generate(TraceConfig::new(Benchmark::Li).with_ops(5_000).with_seed(2));
+        let a =
+            TraceGenerator::generate(TraceConfig::new(Benchmark::Li).with_ops(5_000).with_seed(1));
+        let b =
+            TraceGenerator::generate(TraceConfig::new(Benchmark::Li).with_ops(5_000).with_seed(2));
         assert_ne!(a, b);
     }
 
@@ -829,7 +844,7 @@ mod tests {
         let trace = quick_trace(Benchmark::Go, 20_000);
         for op in &trace {
             if let OpKind::Branch { target, .. } = op.kind {
-                assert!(target >= CODE_BASE && target < SCALAR_BASE);
+                assert!((CODE_BASE..SCALAR_BASE).contains(&target));
             }
             assert!(op.pc >= CODE_BASE && op.pc < SCALAR_BASE);
         }
@@ -960,7 +975,10 @@ mod tests {
         let dm_line = |a: Addr| (a / BLOCK_BYTES) % (REF_SETS * REF_ASSOC);
         assert!(group.windows(2).all(|w| set(w[0]) == set(w[1])));
         assert!(group.windows(2).all(|w| dm_line(w[0]) == dm_line(w[1])));
-        let tags: HashSet<_> = group.iter().map(|a| a / (REF_SETS * REF_ASSOC * BLOCK_BYTES)).collect();
+        let tags: HashSet<_> = group
+            .iter()
+            .map(|a| a / (REF_SETS * REF_ASSOC * BLOCK_BYTES))
+            .collect();
         assert_eq!(tags.len(), group.len());
     }
 

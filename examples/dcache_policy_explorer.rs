@@ -16,7 +16,9 @@ fn parse_benchmark(name: &str) -> Option<Benchmark> {
 }
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "vortex".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "vortex".to_string());
     let Some(benchmark) = parse_benchmark(&name) else {
         eprintln!(
             "unknown benchmark '{name}'; expected one of: {}",
@@ -49,10 +51,7 @@ fn main() {
                 run.result.performance_degradation_vs(&baseline.result) * 100.0
             ),
             format!("{:.1}", run.result.dcache.miss_rate_percent()),
-            format!(
-                "{:.0}",
-                run.result.dcache.way_prediction_accuracy() * 100.0
-            ),
+            format!("{:.0}", run.result.dcache.way_prediction_accuracy() * 100.0),
         ]);
     }
     println!("d-cache design options on {benchmark} (vs 1-cycle parallel access)\n");

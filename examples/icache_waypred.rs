@@ -5,14 +5,17 @@
 //!
 //! Run with `cargo run --release --example icache_waypred`.
 
+use wpsdm::cache::{DCacheController, DCachePolicy};
 use wpsdm::cache::{ICacheController, ICachePolicy, L1Config};
 use wpsdm::cpu::{CpuConfig, Processor};
-use wpsdm::cache::{DCacheController, DCachePolicy};
 use wpsdm::mem::{HierarchyConfig, MemoryHierarchy};
 use wpsdm::predictors::HybridBranchPredictor;
 use wpsdm::workloads::{Benchmark, TraceConfig, TraceGenerator};
 
-fn run(benchmark: Benchmark, policy: ICachePolicy) -> Result<wpsdm::cpu::SimResult, Box<dyn std::error::Error>> {
+fn run(
+    benchmark: Benchmark,
+    policy: ICachePolicy,
+) -> Result<wpsdm::cpu::SimResult, Box<dyn std::error::Error>> {
     let dcache = DCacheController::new(L1Config::paper_dcache(), DCachePolicy::Parallel)?;
     let icache = ICacheController::new(L1Config::paper_icache(), policy)?;
     let hierarchy = MemoryHierarchy::new(HierarchyConfig::default())?;
@@ -29,7 +32,12 @@ fn run(benchmark: Benchmark, policy: ICachePolicy) -> Result<wpsdm::cpu::SimResu
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("i-cache way-prediction (16 KB, 4-way), per benchmark:\n");
-    for benchmark in [Benchmark::M88ksim, Benchmark::Go, Benchmark::Applu, Benchmark::Fpppp] {
+    for benchmark in [
+        Benchmark::M88ksim,
+        Benchmark::Go,
+        Benchmark::Applu,
+        Benchmark::Fpppp,
+    ] {
         let baseline = run(benchmark, ICachePolicy::Parallel)?;
         let predicted = run(benchmark, ICachePolicy::WayPredict)?;
         let metrics = predicted.icache_relative_to(&baseline);

@@ -3,9 +3,7 @@
 //! the examples and experiment binaries do, and assert the paper's
 //! qualitative results.
 
-use wpsdm::cache::{
-    DCacheController, DCachePolicy, ICacheController, ICachePolicy, L1Config,
-};
+use wpsdm::cache::{DCacheController, DCachePolicy, ICacheController, ICachePolicy, L1Config};
 use wpsdm::cpu::{CpuConfig, Processor, SimResult};
 use wpsdm::energy::ProcessorEnergyModel;
 use wpsdm::mem::{HierarchyConfig, MemoryHierarchy};
@@ -55,8 +53,16 @@ fn selective_dm_waypredict_beats_parallel_on_energy_delay() {
 
 #[test]
 fn sequential_access_saves_energy_but_degrades_more_than_selective_dm() {
-    let baseline = simulate(Benchmark::Li, DCachePolicy::Parallel, ICachePolicy::Parallel);
-    let sequential = simulate(Benchmark::Li, DCachePolicy::Sequential, ICachePolicy::Parallel);
+    let baseline = simulate(
+        Benchmark::Li,
+        DCachePolicy::Parallel,
+        ICachePolicy::Parallel,
+    );
+    let sequential = simulate(
+        Benchmark::Li,
+        DCachePolicy::Sequential,
+        ICachePolicy::Parallel,
+    );
     let seldm = simulate(
         Benchmark::Li,
         DCachePolicy::SelDmSequential,
@@ -73,7 +79,11 @@ fn sequential_access_saves_energy_but_degrades_more_than_selective_dm() {
 
 #[test]
 fn icache_way_prediction_cuts_icache_energy_without_slowing_down() {
-    let baseline = simulate(Benchmark::M88ksim, DCachePolicy::Parallel, ICachePolicy::Parallel);
+    let baseline = simulate(
+        Benchmark::M88ksim,
+        DCachePolicy::Parallel,
+        ICachePolicy::Parallel,
+    );
     let technique = simulate(
         Benchmark::M88ksim,
         DCachePolicy::Parallel,
@@ -118,7 +128,11 @@ fn combined_techniques_reduce_overall_processor_energy_delay() {
 
 #[test]
 fn perfect_way_prediction_bounds_the_realisable_policies() {
-    let baseline = simulate(Benchmark::Gcc, DCachePolicy::Parallel, ICachePolicy::Parallel);
+    let baseline = simulate(
+        Benchmark::Gcc,
+        DCachePolicy::Parallel,
+        ICachePolicy::Parallel,
+    );
     let perfect = simulate(
         Benchmark::Gcc,
         DCachePolicy::PerfectWayPredict,

@@ -1,0 +1,110 @@
+//! Integration tests for the simulation engine: determinism across
+//! execution schedules, cross-figure dedup, and the run_all
+//! execute-each-point-exactly-once invariant.
+
+use wpsdm::cache::DCachePolicy;
+use wpsdm::experiments::engine::{SimEngine, SimPlan};
+use wpsdm::experiments::{fig11, fig6, run_all_plan};
+use wpsdm::experiments::{MachineConfig, RunOptions, SimPoint};
+use wpsdm::workloads::Benchmark;
+
+/// A trace length small enough to sweep the full run_all plan in a test.
+fn tiny() -> RunOptions {
+    RunOptions::quick().with_ops(2_000)
+}
+
+#[test]
+fn run_all_plan_shares_points_across_figures() {
+    let options = tiny();
+    let plan = run_all_plan(&options);
+    let unique = plan.unique_points();
+
+    // The figures genuinely overlap: Figures 4-6, Table 5, Figure 10 (4-way)
+    // and Figure 11 all reuse the parallel baseline, Figures 6/7/8 and
+    // Table 5 share the selective-DM machine, and so on.
+    assert!(
+        unique.len() < plan.len(),
+        "the union plan must contain cross-figure duplicates \
+         ({} requested, {} unique)",
+        plan.len(),
+        unique.len()
+    );
+
+    // And the deduplicated plan must contain no duplicate points.
+    for (i, a) in unique.iter().enumerate() {
+        for b in unique.iter().skip(i + 1) {
+            assert_ne!(a, b, "unique_points must not repeat a point");
+        }
+    }
+
+    // The shared baseline is requested by six artefacts but appears once.
+    let baseline_requests = plan
+        .points()
+        .iter()
+        .filter(|p| p.benchmark == Benchmark::Gcc && p.machine == MachineConfig::baseline())
+        .count();
+    assert!(
+        baseline_requests >= 6,
+        "expected at least six consumers of the baseline, got {baseline_requests}"
+    );
+}
+
+#[test]
+fn run_all_executes_each_unique_point_exactly_once() {
+    let options = tiny();
+    let plan = run_all_plan(&options);
+    let unique = plan.unique_points().len();
+
+    let engine = SimEngine::default();
+    let mut matrix = engine.run(&plan);
+    assert_eq!(
+        matrix.executed_points(),
+        unique,
+        "the engine must execute each unique (benchmark, machine, options) \
+         point exactly once across all 11 tables/figures"
+    );
+    assert_eq!(matrix.len(), unique);
+
+    // Feeding the same plan again performs zero additional simulations.
+    engine.run_into(&mut matrix, &plan);
+    assert_eq!(matrix.executed_points(), unique);
+
+    // Every renderer can produce its artefact from the shared matrix.
+    assert!(!fig6::from_matrix(&matrix, &options).to_table().is_empty());
+    assert!(!fig11::from_matrix(&matrix, &options).to_table().is_empty());
+}
+
+#[test]
+fn serial_and_parallel_runs_are_identical() {
+    let options = tiny();
+    // A representative slice of the run_all plan (keeps the double
+    // execution cheap).
+    let mut plan = SimPlan::new();
+    let baseline = MachineConfig::baseline();
+    for benchmark in [Benchmark::Gcc, Benchmark::Swim, Benchmark::Fpppp] {
+        plan.add(SimPoint::new(benchmark, baseline, options));
+        plan.add(SimPoint::new(
+            benchmark,
+            baseline.with_dpolicy(DCachePolicy::SelDmWayPredict),
+            options,
+        ));
+        plan.add(SimPoint::new(
+            benchmark,
+            baseline.with_dpolicy(DCachePolicy::Sequential),
+            options,
+        ));
+    }
+
+    let serial = SimEngine::serial().run(&plan);
+    let parallel = SimEngine::new(8).run(&plan);
+
+    for point in plan.unique_points() {
+        let a = serial.require(point.benchmark, &point.machine, &point.options);
+        let b = parallel.require(point.benchmark, &point.machine, &point.options);
+        assert_eq!(
+            a, b,
+            "{}: serial and parallel results must be identical for the same seed",
+            point.benchmark
+        );
+    }
+}

@@ -13,7 +13,7 @@ use wpsdm::workloads::{Benchmark, TraceConfig, TraceGenerator};
 /// A strategy over valid L1-style geometries.
 fn geometry_strategy() -> impl Strategy<Value = CacheGeometry> {
     (0usize..=3, 0usize..=2, 0usize..=3).prop_map(|(size, block, assoc)| {
-        let size_bytes = 4 * 1024 << size; // 4K..32K
+        let size_bytes = (4 * 1024) << size; // 4K..32K
         let block_bytes = 16 << block; // 16..64
         let associativity = 1 << assoc; // 1..8
         CacheGeometry::new(size_bytes, block_bytes, associativity).expect("valid geometry")

@@ -1,0 +1,223 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize, Deserialize)]` for the shapes this
+//! workspace uses — structs with named fields and enums with unit variants —
+//! by walking the raw token stream (no `syn`/`quote` available offline).
+//! Generics are not supported; deriving on a generic type is a compile
+//! error with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a derive input parsed into.
+enum Input {
+    /// Struct name and named-field identifiers.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum name and unit-variant identifiers.
+    Enum { name: String, variants: Vec<String> },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse(input) {
+        Input::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((\"{f}\".to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\n\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = match parse(input) {
+        Input::Struct { name, .. } | Input::Enum { name, .. } => name,
+    };
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+/// Parses a derive input down to the names the generated impls need.
+fn parse(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    let mut kind: Option<&'static str> = None;
+    let mut name: Option<String> = None;
+
+    while let Some(token) = tokens.next() {
+        match token {
+            // Skip outer attributes (`#[...]`, doc comments).
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(ident) => {
+                let text = ident.to_string();
+                match text.as_str() {
+                    "pub" => {
+                        // Skip a `pub(...)` restriction if present.
+                        if let Some(TokenTree::Group(g)) = tokens.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                let _ = tokens.next();
+                            }
+                        }
+                    }
+                    "struct" | "enum" => {
+                        kind = Some(if text == "struct" { "struct" } else { "enum" });
+                        match tokens.next() {
+                            Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                            other => panic!("expected type name after `{text}`, got {other:?}"),
+                        }
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let kind = kind.expect("derive input must be a struct or enum");
+    let name = name.expect("derive input must have a name");
+
+    // The remaining tokens are (optionally) generics, then the body group.
+    let mut body = None;
+    for token in tokens {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("the offline serde_derive shim does not support generic types ({name})")
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                body = Some(g.stream());
+                break;
+            }
+            _ => {}
+        }
+    }
+    let body = body.unwrap_or_else(|| {
+        panic!("the offline serde_derive shim only supports brace-bodied types ({name})")
+    });
+
+    if kind == "struct" {
+        Input::Struct {
+            name,
+            fields: parse_named_fields(body),
+        }
+    } else {
+        Input::Enum {
+            name,
+            variants: parse_unit_variants(body),
+        }
+    }
+}
+
+/// Extracts field names from a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        let ident = loop {
+            match tokens.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = tokens.next();
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(i)) => break i.to_string(),
+                Some(other) => panic!("unexpected token in struct body: {other:?}"),
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "the offline serde_derive shim only supports named fields \
+                 (after `{ident}` expected `:`, got {other:?})"
+            ),
+        }
+        fields.push(ident);
+        // Skip the type: consume until a comma at angle-bracket depth zero.
+        let mut depth = 0i32;
+        for token in tokens.by_ref() {
+            if let TokenTree::Punct(p) = token {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Extracts variant names from a unit-variant enum body.
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    while let Some(token) = tokens.next() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(ident) => {
+                let variant = ident.to_string();
+                match tokens.peek() {
+                    None => variants.push(variant),
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                        variants.push(variant);
+                        let _ = tokens.next();
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        // Explicit discriminant: skip to the next comma.
+                        variants.push(variant);
+                        for token in tokens.by_ref() {
+                            if matches!(&token, TokenTree::Punct(p) if p.as_char() == ',') {
+                                break;
+                            }
+                        }
+                    }
+                    Some(other) => panic!(
+                        "the offline serde_derive shim only supports unit enum \
+                         variants ({variant} is followed by {other:?})"
+                    ),
+                }
+            }
+            other => panic!("unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}

@@ -1,0 +1,174 @@
+//! Minimal offline stand-in for `serde_json`: JSON rendering of
+//! `serde::Value` trees with the same compact / pretty split as the real
+//! crate.
+
+#![forbid(unsafe_code)]
+
+use core::fmt;
+
+pub use serde::Value;
+
+/// Serialisation error. Rendering a `Value` tree cannot fail, so this is
+/// uninhabited in practice; it exists to keep the `Result` signatures of the
+/// real crate.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialisation error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialises `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialises `value` to pretty JSON (two-space indent, like `serde_json`).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                out.push_str(&format_float(*x));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            write_seq(out, items.len(), indent, depth, |out, index, ind, d| {
+                write_value(out, &items[index], ind, d)
+            });
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            write_seq(out, fields.len(), indent, depth, |out, index, ind, d| {
+                let (key, value) = &fields[index];
+                write_string(out, key);
+                out.push(':');
+                if ind.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, value, ind, d);
+            });
+            out.push('}');
+        }
+    }
+}
+
+/// Writes `len` comma-separated (and, in pretty mode, indented) items, each
+/// rendered by `write_item(out, index, indent, depth)`. The caller pushes
+/// the surrounding delimiters.
+fn write_seq(
+    out: &mut String,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    mut write_item: impl FnMut(&mut String, usize, Option<usize>, usize),
+) {
+    for index in 0..len {
+        if index > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        write_item(out, index, indent, depth + 1);
+    }
+    if len > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * depth));
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats a finite float the way `serde_json` does: integral values keep a
+/// trailing `.0` so the token remains a float.
+fn format_float(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{x:.1}")
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_rendering() {
+        let v = Value::Object(vec![
+            ("x".to_string(), Value::UInt(3)),
+            (
+                "ys".to_string(),
+                Value::Array(vec![Value::Float(0.5), Value::Float(2.0)]),
+            ),
+        ]);
+        assert_eq!(
+            to_string(&ValueWrap(v.clone())).unwrap(),
+            "{\"x\":3,\"ys\":[0.5,2.0]}"
+        );
+        let pretty = to_string_pretty(&ValueWrap(v)).unwrap();
+        assert!(pretty.contains("\"x\": 3"));
+        assert!(pretty.contains("  \"ys\": ["));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = Value::Str("a\"b\\c\nd".to_string());
+        assert_eq!(to_string(&ValueWrap(v)).unwrap(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(
+            to_string(&ValueWrap(Value::Float(f64::NAN))).unwrap(),
+            "null"
+        );
+    }
+
+    struct ValueWrap(Value);
+    impl serde::Serialize for ValueWrap {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+}

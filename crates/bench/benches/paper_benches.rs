@@ -7,12 +7,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::io::Cursor;
 use wp_cache::{DCachePolicy, ICachePolicy, L1Config};
 use wp_energy::{CacheEnergyModel, RelativeEnergyTable};
 use wp_experiments::engine::{SimEngine, SimPlan, SimPoint};
 use wp_experiments::runner::{simulate, MachineConfig, RunOptions};
 use wp_experiments::table4;
-use wp_workloads::Benchmark;
+use wp_workloads::{Benchmark, TraceConfig, TraceGenerator, TraceReader, TraceWriter};
 
 /// Trace length used by the benchmark harness (small enough that every
 /// group completes quickly, large enough to exercise warm caches).
@@ -216,6 +217,45 @@ fn engine_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// The trace codec: encode a reference stream and decode it back, tracking
+/// capture/replay throughput against the live generator.
+fn trace_codec(c: &mut Criterion) {
+    let config = TraceConfig::new(Benchmark::Gcc)
+        .with_ops(BENCH_OPS)
+        .with_seed(7);
+    let ops: Vec<_> = TraceGenerator::new(config).collect();
+    let mut group = c.benchmark_group("trace_codec");
+    group.bench_function("generate", |b| {
+        b.iter(|| black_box(TraceGenerator::new(config).count()))
+    });
+    group.bench_function("capture", |b| {
+        b.iter(|| {
+            let mut writer = TraceWriter::new(Cursor::new(Vec::new()), "bench").expect("header");
+            for op in &ops {
+                writer.write_op(op).expect("record");
+            }
+            black_box(writer.finish().expect("finish").into_inner().len())
+        })
+    });
+    let mut writer = TraceWriter::new(Cursor::new(Vec::new()), "bench").expect("header");
+    for op in &ops {
+        writer.write_op(op).expect("record");
+    }
+    let bytes = writer.finish().expect("finish").into_inner();
+    group.bench_function("replay", |b| {
+        b.iter(|| {
+            let reader = TraceReader::new(Cursor::new(bytes.as_slice())).expect("header");
+            let mut decoded = 0usize;
+            for op in reader {
+                black_box(op.expect("intact recording"));
+                decoded += 1;
+            }
+            black_box(decoded)
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = paper;
     config = Criterion::default().sample_size(10);
@@ -231,6 +271,7 @@ criterion_group! {
         fig9_high_latency,
         fig10_icache,
         fig11_processor,
-        engine_sweep
+        engine_sweep,
+        trace_codec
 }
 criterion_main!(paper);

@@ -177,6 +177,27 @@ impl CoreAccess {
 
 /// The shared substrate of an energy-aware L1 controller: configuration,
 /// tag store, energy model, and the probe/latency/energy accounting rules.
+///
+/// # Example
+///
+/// Stores involve no way selection in any policy (end of Section 2.1), so
+/// they exercise the core without a [`WaySelect`] implementation:
+///
+/// ```
+/// use wp_cache::{AccessCore, L1Config};
+/// use wp_mem::Placement;
+///
+/// # fn main() -> Result<(), wp_cache::ConfigError> {
+/// let mut core = AccessCore::new(L1Config::paper_dcache())?;
+/// let miss = core.write(0x1000, Placement::SetAssociative);
+/// let hit = core.write(0x1000, Placement::SetAssociative);
+/// assert!(miss.result.is_miss() && hit.result.is_hit());
+/// assert_eq!(hit.probe.ways_probed, 1);
+/// // The miss also paid the refill write into the selected way.
+/// assert!(miss.probe.energy > hit.probe.energy);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone)]
 pub struct AccessCore {
     config: L1Config,

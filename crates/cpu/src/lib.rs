@@ -15,6 +15,49 @@
 //!
 //! The model also counts per-unit activity for the Wattch-style
 //! [`wp_energy::ProcessorEnergyModel`].
+//!
+//! [`Processor::run`] consumes any `IntoIterator<Item = MicroOp>`, so a
+//! live [`wp_workloads::TraceGenerator`], a [`wp_workloads::Scenario`]
+//! stream, and a recorded [`wp_workloads::TraceReplay`] streaming off disk
+//! are all simulated identically — a capture→replay round trip reproduces
+//! the live run's statistics bit for bit:
+//!
+//! ```
+//! use std::io::Cursor;
+//! use wp_cpu::{CpuConfig, Processor};
+//! use wp_workloads::{Benchmark, TraceConfig, TraceGenerator};
+//! use wp_workloads::{TraceReader, TraceWriter};
+//! use wp_cache::{DCachePolicy, ICachePolicy, L1Config};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let build = || {
+//!     Processor::with_l1(
+//!         CpuConfig::default(),
+//!         L1Config::paper_dcache(),
+//!         DCachePolicy::SelDmWayPredict,
+//!         L1Config::paper_icache(),
+//!         ICachePolicy::WayPredict,
+//!     )
+//!     .expect("paper configuration is valid")
+//! };
+//! let config = TraceConfig::new(Benchmark::Li).with_ops(5_000);
+//!
+//! // Live generator.
+//! let live = build().run(TraceGenerator::new(config));
+//!
+//! // Capture the same stream, then replay it from the recording.
+//! let mut writer = TraceWriter::new(Cursor::new(Vec::new()), "li")?;
+//! for op in TraceGenerator::new(config) {
+//!     writer.write_op(&op)?;
+//! }
+//! let bytes = writer.finish()?.into_inner();
+//! let replayed = build().run(
+//!     TraceReader::new(Cursor::new(bytes))?.map(|op| op.expect("intact recording")),
+//! );
+//! assert_eq!(live, replayed);
+//! # Ok(())
+//! # }
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,143 @@
+//! Captures a built-in workload's reference stream to a trace file.
+//!
+//! Any generated workload — one of the paper's eleven benchmarks or a
+//! stress scenario (`pointer_chase`, `strided_stream`, `phase_mix`) — is
+//! run through its generator once and every micro-op is recorded in the
+//! `WPTR` binary format (or, with `--text`, the human-readable twin). The
+//! resulting file replays bit-identically through `trace_replay` or a
+//! [`wp_workloads::TraceReplay`].
+//!
+//! Usage: `cargo run --release -p wp-experiments --bin trace_capture --
+//! --workload NAME --out PATH [--quick] [--ops N] [--seed N] [--text]`
+
+use std::io::BufWriter;
+use std::path::PathBuf;
+
+use wp_experiments::runner::RunOptions;
+use wp_workloads::{capture_to_file, TextTraceWriter, WorkloadSpec};
+
+const USAGE: &str = "usage: trace_capture --workload NAME --out PATH \
+                     [--quick] [--ops N] [--seed N] [--text]";
+
+struct Cli {
+    workload: WorkloadSpec,
+    out: PathBuf,
+    run: RunOptions,
+    text: bool,
+}
+
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
+    let mut workload: Option<WorkloadSpec> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut run = RunOptions::default();
+    let mut quick = false;
+    let mut ops: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut text = false;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workload" => {
+                let name = args.next().ok_or("flag `--workload` requires a value")?;
+                workload = Some(WorkloadSpec::parse(&name).ok_or_else(|| {
+                    format!(
+                        "unknown workload `{name}` (expected one of: {})",
+                        WorkloadSpec::generated_names().join(", ")
+                    )
+                })?);
+            }
+            "--out" => {
+                out = Some(PathBuf::from(
+                    args.next().ok_or("flag `--out` requires a value")?,
+                ))
+            }
+            "--quick" => quick = true,
+            "--ops" => {
+                let value = args.next().ok_or("flag `--ops` requires a value")?;
+                ops = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("invalid --ops `{value}`"))?,
+                );
+            }
+            "--seed" => {
+                let value = args.next().ok_or("flag `--seed` requires a value")?;
+                seed = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("invalid --seed `{value}`"))?,
+                );
+            }
+            "--text" => text = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if quick {
+        run = RunOptions::quick();
+    }
+    if let Some(ops) = ops {
+        run.ops = ops;
+    }
+    if let Some(seed) = seed {
+        run.seed = seed;
+    }
+    Ok(Cli {
+        workload: workload.ok_or("missing required flag `--workload`")?,
+        out: out.ok_or("missing required flag `--out`")?,
+        run,
+        text,
+    })
+}
+
+fn main() {
+    let cli = match parse_args(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(error) => {
+            eprintln!("error: {error}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let label = format!(
+        "{} ops={} seed={}",
+        cli.workload.label(),
+        cli.run.ops,
+        cli.run.seed
+    );
+    let stream = cli
+        .workload
+        .stream(cli.run.ops, cli.run.seed)
+        .expect("generated workloads always open");
+
+    let result = if cli.text {
+        std::fs::File::create(&cli.out)
+            .map_err(Into::into)
+            .and_then(|file| {
+                let mut writer = TextTraceWriter::new(BufWriter::new(file), &label)?;
+                for op in stream {
+                    writer.write_op(&op)?;
+                }
+                let records = writer.records();
+                writer.finish()?;
+                Ok(records)
+            })
+    } else {
+        capture_to_file(stream, &cli.out, &label)
+    };
+
+    match result {
+        Ok(records) => {
+            let bytes = std::fs::metadata(&cli.out).map(|m| m.len()).unwrap_or(0);
+            println!(
+                "captured {records} ops of `{label}` to {} ({bytes} bytes, {:.2} bytes/op)",
+                cli.out.display(),
+                bytes as f64 / records.max(1) as f64,
+            );
+        }
+        Err(error) => {
+            eprintln!("error: capture failed: {error}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -20,16 +20,21 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use wp_cpu::SimResult;
-use wp_workloads::Benchmark;
+use wp_workloads::{Benchmark, WorkloadSpec};
 
-use crate::runner::{simulate, MachineConfig, RunOptions};
+use crate::runner::{simulate_workload, MachineConfig, RunOptions};
 
 /// One simulation point: the full configuration that determines a
 /// [`SimResult`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The workload component is a [`WorkloadSpec`], so a point can be backed by
+/// a synthetic benchmark, a stress scenario, or a recorded trace file — for
+/// traces the *content identity* (digest, not path) participates in the
+/// dedup key, so the same capture referenced twice simulates once.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SimPoint {
-    /// The benchmark simulated.
-    pub benchmark: Benchmark,
+    /// The workload simulated.
+    pub workload: WorkloadSpec,
     /// The machine configuration simulated.
     pub machine: MachineConfig,
     /// Trace length and seed.
@@ -37,18 +42,58 @@ pub struct SimPoint {
 }
 
 impl SimPoint {
-    /// Builds a point.
+    /// Builds a point over one of the paper's synthetic benchmarks.
     pub fn new(benchmark: Benchmark, machine: MachineConfig, options: RunOptions) -> Self {
+        Self::with_workload(WorkloadSpec::Benchmark(benchmark), machine, options)
+    }
+
+    /// Builds a point over any workload source (benchmark, scenario, or
+    /// trace file).
+    pub fn with_workload(
+        workload: WorkloadSpec,
+        machine: MachineConfig,
+        options: RunOptions,
+    ) -> Self {
         Self {
-            benchmark,
+            workload,
             machine,
             options,
         }
+    }
+
+    /// The paper benchmark behind this point, if it is benchmark-backed.
+    pub fn benchmark(&self) -> Option<Benchmark> {
+        self.workload.benchmark()
     }
 }
 
 /// The simulation points one or more consumers need, possibly with
 /// duplicates across consumers — the engine executes each unique point once.
+///
+/// # Example
+///
+/// ```
+/// use wp_experiments::{MachineConfig, RunOptions, SimEngine, SimPlan, SimPoint};
+/// use wp_workloads::{Benchmark, Scenario, WorkloadSpec};
+///
+/// let options = RunOptions::quick().with_ops(2_000);
+/// let machine = MachineConfig::baseline();
+///
+/// let mut plan = SimPlan::new();
+/// plan.add(SimPoint::new(Benchmark::Gcc, machine, options));
+/// plan.add(SimPoint::new(Benchmark::Gcc, machine, options)); // duplicate
+/// plan.add(SimPoint::with_workload(
+///     WorkloadSpec::Scenario(Scenario::pointer_chase()),
+///     machine,
+///     options,
+/// ));
+/// assert_eq!(plan.len(), 3);
+/// assert_eq!(plan.unique_points().len(), 2);
+///
+/// let matrix = SimEngine::serial().run(&plan);
+/// assert_eq!(matrix.executed_points(), 2); // the duplicate was free
+/// assert!(matrix.get(Benchmark::Gcc, &machine, &options).is_some());
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct SimPlan {
     points: Vec<SimPoint>,
@@ -98,8 +143,8 @@ impl SimPlan {
         let mut seen = std::collections::HashSet::new();
         self.points
             .iter()
-            .filter(|p| seen.insert(**p))
-            .copied()
+            .filter(|p| seen.insert(*p))
+            .cloned()
             .collect()
     }
 }
@@ -117,7 +162,7 @@ impl SimMatrix {
         Self::default()
     }
 
-    /// The result for a point, if it has been simulated.
+    /// The result for a benchmark-backed point, if it has been simulated.
     pub fn get(
         &self,
         benchmark: Benchmark,
@@ -126,6 +171,42 @@ impl SimMatrix {
     ) -> Option<&SimResult> {
         self.results
             .get(&SimPoint::new(benchmark, *machine, *options))
+    }
+
+    /// The result for a point over any workload source, if it has been
+    /// simulated.
+    pub fn get_workload(
+        &self,
+        workload: &WorkloadSpec,
+        machine: &MachineConfig,
+        options: &RunOptions,
+    ) -> Option<&SimResult> {
+        self.results.get(&SimPoint::with_workload(
+            workload.clone(),
+            *machine,
+            *options,
+        ))
+    }
+
+    /// The result for a workload-backed point a consumer's plan declared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point is missing from the matrix, like
+    /// [`SimMatrix::require`].
+    pub fn require_workload(
+        &self,
+        workload: &WorkloadSpec,
+        machine: &MachineConfig,
+        options: &RunOptions,
+    ) -> &SimResult {
+        self.get_workload(workload, machine, options)
+            .unwrap_or_else(|| {
+                panic!(
+                    "simulation point missing from the matrix (plan/renderer mismatch): \
+                     {workload} on {machine:?} with {options:?}"
+                )
+            })
     }
 
     /// The result for a point a consumer's plan declared.
@@ -172,6 +253,27 @@ impl SimMatrix {
 }
 
 /// Executes [`SimPlan`]s into [`SimMatrix`]es, in parallel.
+///
+/// Results are deterministic in the point key, so a serial engine and a
+/// parallel one produce identical matrices:
+///
+/// ```
+/// use wp_experiments::{MachineConfig, RunOptions, SimEngine, SimPlan, SimPoint};
+/// use wp_workloads::Benchmark;
+///
+/// let options = RunOptions::quick().with_ops(2_000);
+/// let mut plan = SimPlan::new();
+/// plan.add(SimPoint::new(Benchmark::Li, MachineConfig::baseline(), options));
+///
+/// let serial = SimEngine::serial().run(&plan);
+/// let parallel = SimEngine::new(4).run(&plan);
+/// for point in plan.unique_points() {
+///     assert_eq!(
+///         serial.require_workload(&point.workload, &point.machine, &point.options),
+///         parallel.require_workload(&point.workload, &point.machine, &point.options),
+///     );
+/// }
+/// ```
 #[derive(Debug, Clone)]
 pub struct SimEngine {
     threads: usize,
@@ -212,7 +314,7 @@ impl SimEngine {
             .filter(|p| !matrix.contains(p))
             .collect();
         let results = parallel_map(self.threads, &missing, |point| {
-            simulate(point.benchmark, &point.machine, &point.options).result
+            simulate_workload(&point.workload, &point.machine, &point.options)
         });
         matrix.executed += missing.len();
         for (point, result) in missing.into_iter().zip(results) {
@@ -347,10 +449,35 @@ mod tests {
         let parallel = SimEngine::new(4).run(&plan);
         assert_eq!(serial.len(), parallel.len());
         for point in plan.unique_points() {
-            let a = serial.require(point.benchmark, &point.machine, &point.options);
-            let b = parallel.require(point.benchmark, &point.machine, &point.options);
+            let a = serial.require_workload(&point.workload, &point.machine, &point.options);
+            let b = parallel.require_workload(&point.workload, &point.machine, &point.options);
             assert_eq!(a, b, "results must not depend on the execution schedule");
         }
+    }
+
+    #[test]
+    fn scenario_points_are_distinct_from_benchmark_points() {
+        let options = tiny();
+        let baseline = MachineConfig::baseline();
+        let mut plan = SimPlan::new();
+        plan.add(SimPoint::new(Benchmark::Gcc, baseline, options));
+        plan.add(SimPoint::with_workload(
+            WorkloadSpec::Scenario(wp_workloads::Scenario::pointer_chase()),
+            baseline,
+            options,
+        ));
+        plan.add(SimPoint::with_workload(
+            WorkloadSpec::Scenario(wp_workloads::Scenario::pointer_chase()),
+            baseline,
+            options,
+        ));
+        assert_eq!(plan.unique_points().len(), 2);
+        let matrix = SimEngine::new(2).run(&plan);
+        assert_eq!(matrix.executed_points(), 2);
+        let scenario = WorkloadSpec::Scenario(wp_workloads::Scenario::pointer_chase());
+        assert!(matrix
+            .get_workload(&scenario, &baseline, &options)
+            .is_some());
     }
 
     #[test]

@@ -35,6 +35,14 @@
 //! `wp-experiments` binaries (`table3`, `fig4`, …, `run_all`) print the
 //! tables and can dump JSON for EXPERIMENTS.md.
 //!
+//! A [`SimPoint`]'s workload is a [`wp_workloads::WorkloadSpec`]: a paper
+//! benchmark, a stress scenario, or a recorded trace file whose *content
+//! digest* is the dedup identity. The `trace_capture` binary records any
+//! generated workload in the `WPTR` format (see `docs/TRACE_FORMAT.md`)
+//! and `trace_replay` streams it back through this engine, reproducing the
+//! live run's statistics exactly. `docs/PAPER_MAP.md` maps each paper
+//! artefact to its module, plan, and fidelity knobs.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -67,7 +75,7 @@ pub mod table5;
 pub use compare::PolicyComparison;
 pub use engine::{SimEngine, SimMatrix, SimPlan, SimPoint};
 pub use report::TextTable;
-pub use runner::{BenchmarkRun, CliOptions, MachineConfig, RunOptions};
+pub use runner::{simulate_workload, BenchmarkRun, CliOptions, MachineConfig, RunOptions};
 
 /// The union plan of every table and figure — the set of simulation points
 /// `run_all` executes. Shared by the `run_all` binary and the engine's

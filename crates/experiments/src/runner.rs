@@ -11,7 +11,7 @@ use core::fmt;
 use serde::{Deserialize, Serialize};
 use wp_cache::{DCachePolicy, ICachePolicy, L1Config};
 use wp_cpu::{CpuConfig, Processor, SimResult};
-use wp_workloads::{Benchmark, TraceConfig, TraceGenerator};
+use wp_workloads::{Benchmark, WorkloadSpec};
 
 use crate::engine::{SimEngine, SimMatrix, SimPlan};
 
@@ -126,7 +126,37 @@ pub struct BenchmarkRun {
     pub result: SimResult,
 }
 
-/// Builds and runs one simulation.
+/// Builds and runs one simulation over any workload source: a synthetic
+/// benchmark, a stress scenario, or a recorded trace replayed off disk. The
+/// stream never materializes in memory; the processor consumes it the same
+/// way in all three cases.
+///
+/// # Panics
+///
+/// Panics if `machine` contains an invalid cache configuration, or if a
+/// trace-file workload cannot be re-opened (its header was validated when
+/// the [`WorkloadSpec`] was built, so a failure here means the file changed
+/// underneath the experiment).
+pub fn simulate_workload(
+    workload: &WorkloadSpec,
+    machine: &MachineConfig,
+    options: &RunOptions,
+) -> SimResult {
+    let mut cpu = Processor::with_l1(
+        machine.cpu,
+        machine.l1d,
+        machine.dpolicy,
+        machine.l1i,
+        machine.ipolicy,
+    )
+    .expect("experiment cache configurations must be valid");
+    let stream = workload
+        .stream(options.ops, options.seed)
+        .unwrap_or_else(|e| panic!("workload {workload} failed to open: {e}"));
+    cpu.run(stream)
+}
+
+/// Builds and runs one simulation of a paper benchmark.
 ///
 /// # Panics
 ///
@@ -137,20 +167,7 @@ pub fn simulate(
     machine: &MachineConfig,
     options: &RunOptions,
 ) -> BenchmarkRun {
-    let mut cpu = Processor::with_l1(
-        machine.cpu,
-        machine.l1d,
-        machine.dpolicy,
-        machine.l1i,
-        machine.ipolicy,
-    )
-    .expect("experiment cache configurations must be valid");
-    let trace = TraceGenerator::new(
-        TraceConfig::new(benchmark)
-            .with_ops(options.ops)
-            .with_seed(options.seed),
-    );
-    let result = cpu.run(trace);
+    let result = simulate_workload(&WorkloadSpec::Benchmark(benchmark), machine, options);
     BenchmarkRun {
         benchmark,
         machine: *machine,

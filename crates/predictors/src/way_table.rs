@@ -117,7 +117,7 @@ impl PcWayPredictor {
 }
 
 /// Way predictor indexed by the XOR approximation of the load address
-/// (the "late available" handle of Section 2.2.1, after [3] and [10]).
+/// (the "late available" handle of Section 2.2.1, after \[3\] and \[10\]).
 ///
 /// The caller supplies the approximate address (source register XOR offset);
 /// the trace generator models how often that approximation matches the real

@@ -22,6 +22,15 @@
 //! Traces are produced by [`TraceGenerator`], an iterator of [`MicroOp`]s
 //! that is fully deterministic given a [`TraceConfig`] seed.
 //!
+//! Beyond the paper's profiles, the crate provides two more reference-stream
+//! sources, unified behind [`WorkloadSpec`]:
+//!
+//! * [`scenario`] — parameterised stress scenarios (pointer chasing, strided
+//!   streaming with configurable conflict pressure, a phase-switching mix);
+//! * [`trace`] — a versioned on-disk trace format with capture
+//!   ([`TraceWriter`]) and streaming replay ([`TraceReplay`]), so predictor
+//!   policies can be compared on bit-identical recorded streams.
+//!
 //! # Example
 //!
 //! ```
@@ -41,7 +50,16 @@
 mod generator;
 mod op;
 mod profile;
+pub mod scenario;
+pub mod trace;
+mod workload;
 
 pub use generator::{TraceConfig, TraceGenerator};
 pub use op::{BranchClass, MicroOp, OpKind};
 pub use profile::{Benchmark, BenchmarkProfile};
+pub use scenario::{Scenario, ScenarioGenerator};
+pub use trace::{
+    capture_to_file, file_digest, TextTraceReader, TextTraceWriter, TraceError, TraceHandle,
+    TraceId, TraceReader, TraceReplay, TraceWriter, TRACE_MAGIC, TRACE_VERSION,
+};
+pub use workload::{WorkloadSpec, WorkloadStream};

@@ -61,6 +61,11 @@ impl Benchmark {
         self.profile().name
     }
 
+    /// Looks up a benchmark by its paper name (`"gcc"`, `"swim"`, …).
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Benchmark::all().into_iter().find(|b| b.name() == name)
+    }
+
     /// The behavioural profile used by the trace generator.
     pub fn profile(&self) -> &'static BenchmarkProfile {
         match self {

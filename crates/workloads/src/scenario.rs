@@ -1,0 +1,528 @@
+//! Parameterised workload scenarios beyond the paper's eleven SPEC profiles.
+//!
+//! The benchmark profiles in [`crate::BenchmarkProfile`] mimic specific SPEC CPU95
+//! applications; the scenarios here are *stress patterns* with explicit
+//! knobs, built to exercise the predictor stack from new angles and to give
+//! the trace capture/replay path diverse material:
+//!
+//! * [`Scenario::PointerChase`] — a linked-list ring traversal: every load's
+//!   address is produced by the previous load, so the out-of-order core
+//!   cannot overlap misses, and way-prediction sees a per-PC stream that
+//!   revisits blocks only once per lap;
+//! * [`Scenario::StridedStream`] — a strided streaming walk with
+//!   configurable *conflict pressure*: a per-mille knob routes accesses to a
+//!   rotation over cache-aliasing blocks, dialling the direct-mapped
+//!   conflict-miss rate continuously;
+//! * [`Scenario::PhaseMix`] — a phase-switching mix that cycles between
+//!   streaming, a cache-resident hot pool, and conflict-heavy phases, each
+//!   with its own code region, re-training the predictors at every switch.
+//!
+//! Like [`crate::TraceGenerator`], a [`ScenarioGenerator`] is a fully
+//! deterministic iterator of [`MicroOp`]s given `(scenario, ops, seed)`.
+//!
+//! # Example
+//!
+//! ```
+//! use wp_workloads::{Scenario, ScenarioGenerator};
+//!
+//! let scenario = Scenario::pointer_chase();
+//! let trace: Vec<_> = ScenarioGenerator::new(scenario, 1_000, 7).collect();
+//! assert_eq!(trace.len(), 1_000);
+//! // Deterministic: the same (scenario, ops, seed) replays identically.
+//! let again: Vec<_> = ScenarioGenerator::new(scenario, 1_000, 7).collect();
+//! assert_eq!(trace, again);
+//! ```
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wp_mem::Addr;
+
+use crate::op::{BranchClass, MicroOp, OpKind};
+
+/// Code region base for scenario loop bodies.
+const CODE_BASE: Addr = 0x0040_0000;
+/// Heap region holding the pointer-chase nodes.
+const HEAP_BASE: Addr = 0x7000_0000;
+/// Region of the streaming array.
+const STREAM_BASE: Addr = 0x8000_0000;
+/// Region of the conflict-rotation blocks.
+const CONFLICT_BASE: Addr = 0x9000_0000;
+/// Region of the cache-resident hot pool.
+const HOT_BASE: Addr = 0xa000_0000;
+
+/// Block size the patterns are constructed for (the paper's 32-byte L1
+/// blocks).
+const BLOCK_BYTES: u64 = 32;
+/// Capacity of one direct-mapped way of the reference 16 KB 4-way L1; blocks
+/// this far apart alias in both the direct-mapped and the set-associative
+/// organisation.
+const WAY_BYTES: u64 = 16 * 1024;
+/// Length of the streaming array before the walk wraps (much larger than any
+/// L1 the experiments sweep).
+const STREAM_LENGTH: u64 = 4 * 1024 * 1024;
+/// Blocks in the conflict rotation (exceeds every associativity swept).
+const CONFLICT_BLOCKS: u64 = 12;
+/// Blocks in the cache-resident hot pool (fits comfortably in 16 KB).
+const HOT_BLOCKS: u64 = 64;
+
+/// A parameterised stress scenario. All parameters are plain integers so a
+/// scenario can serve as (part of) a simulation dedup key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scenario {
+    /// A pointer-chasing traversal of a singly linked ring of `nodes` nodes
+    /// laid out `node_stride` bytes apart in a shuffled order.
+    PointerChase {
+        /// Number of nodes in the ring.
+        nodes: u32,
+        /// Distance in bytes between consecutive node slots.
+        node_stride: u32,
+    },
+    /// A strided streaming walk with configurable conflict pressure.
+    StridedStream {
+        /// Stride in bytes between consecutive stream accesses.
+        stride: u32,
+        /// Per-mille of loads redirected to the conflict-block rotation
+        /// (0 = pure streaming, 1000 = pure conflict thrash).
+        conflict_permille: u16,
+    },
+    /// A phase-switching mix cycling streaming → hot-pool → conflict phases.
+    PhaseMix {
+        /// Ops per phase before switching to the next behaviour.
+        phase_ops: u32,
+    },
+}
+
+impl Scenario {
+    /// The default pointer-chase: 4096 nodes, 64 bytes apart (a 256 KB
+    /// working set that misses in every L1 the experiments sweep).
+    pub fn pointer_chase() -> Self {
+        Scenario::PointerChase {
+            nodes: 4096,
+            node_stride: 64,
+        }
+    }
+
+    /// The default strided stream: 64-byte stride with 15 % of loads on the
+    /// conflict rotation.
+    pub fn strided_stream() -> Self {
+        Scenario::StridedStream {
+            stride: 64,
+            conflict_permille: 150,
+        }
+    }
+
+    /// The default phase mix: switch behaviour every 20 000 ops.
+    pub fn phase_mix() -> Self {
+        Scenario::PhaseMix { phase_ops: 20_000 }
+    }
+
+    /// The three default scenarios.
+    pub fn all() -> [Scenario; 3] {
+        [
+            Self::pointer_chase(),
+            Self::strided_stream(),
+            Self::phase_mix(),
+        ]
+    }
+
+    /// The scenario's snake_case name (stable; used by workload CLIs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::PointerChase { .. } => "pointer_chase",
+            Scenario::StridedStream { .. } => "strided_stream",
+            Scenario::PhaseMix { .. } => "phase_mix",
+        }
+    }
+
+    /// Looks up a default-parameter scenario by [`Scenario::name`].
+    pub fn parse(name: &str) -> Option<Scenario> {
+        Self::all().into_iter().find(|s| s.name() == name)
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Deterministic iterator of [`MicroOp`]s for one [`Scenario`].
+#[derive(Debug, Clone)]
+pub struct ScenarioGenerator {
+    scenario: Scenario,
+    num_ops: usize,
+    emitted: usize,
+    rng: StdRng,
+    /// Ops of the current loop body not yet emitted.
+    pending: VecDeque<MicroOp>,
+    /// Pointer-chase: successor of each node in traversal order.
+    next_node: Vec<u32>,
+    /// Pointer-chase: the node the next load dereferences.
+    current_node: u32,
+    /// Strided stream: current offset into the array.
+    stream_offset: u64,
+    /// Conflict rotation cursor (strided stream and phase mix).
+    conflict_cursor: u64,
+    /// Phase mix: index of the current phase behaviour (0..3).
+    phase: u32,
+    /// Phase mix: ops emitted within the current phase.
+    phase_emitted: u32,
+}
+
+impl ScenarioGenerator {
+    /// Builds the generator; identical `(scenario, num_ops, seed)` triples
+    /// produce identical streams.
+    pub fn new(scenario: Scenario, num_ops: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5ce4_a110_0000_0000);
+        let next_node = match scenario {
+            Scenario::PointerChase { nodes, .. } => shuffled_ring(nodes.max(2), &mut rng),
+            _ => Vec::new(),
+        };
+        Self {
+            scenario,
+            num_ops,
+            emitted: 0,
+            rng,
+            pending: VecDeque::with_capacity(8),
+            next_node,
+            current_node: 0,
+            stream_offset: 0,
+            conflict_cursor: 0,
+            phase: 0,
+            phase_emitted: 0,
+        }
+    }
+
+    /// The scenario being generated.
+    pub fn scenario(&self) -> Scenario {
+        self.scenario
+    }
+
+    /// Address of the current conflict-rotation block, advancing the cursor.
+    fn next_conflict_addr(&mut self) -> Addr {
+        let addr = CONFLICT_BASE + (self.conflict_cursor % CONFLICT_BLOCKS) * WAY_BYTES;
+        self.conflict_cursor += 1;
+        addr
+    }
+
+    /// Queues the next loop-body iteration of the scenario.
+    fn fill_pattern(&mut self) {
+        match self.scenario {
+            Scenario::PointerChase { node_stride, .. } => {
+                let addr = HEAP_BASE + u64::from(self.current_node) * u64::from(node_stride);
+                self.current_node = self.next_node[self.current_node as usize];
+                let pc = CODE_BASE;
+                // The next pointer is consumed by the *next* iteration's
+                // load, four ops later: a serialized dependence chain.
+                self.pending.extend([
+                    MicroOp {
+                        pc,
+                        kind: OpKind::Load {
+                            addr,
+                            approx_addr: addr,
+                        },
+                        src_deps: [4, 0],
+                    },
+                    MicroOp {
+                        pc: pc + 4,
+                        kind: OpKind::IntAlu,
+                        src_deps: [1, 0],
+                    },
+                    MicroOp {
+                        pc: pc + 8,
+                        kind: OpKind::IntAlu,
+                        src_deps: [1, 0],
+                    },
+                    MicroOp {
+                        pc: pc + 12,
+                        kind: OpKind::Branch {
+                            taken: true,
+                            target: pc,
+                            class: BranchClass::Conditional,
+                        },
+                        src_deps: [0, 0],
+                    },
+                ]);
+            }
+            Scenario::StridedStream {
+                stride,
+                conflict_permille,
+            } => {
+                let conflict = self.rng.gen_range(0u64..1000) < u64::from(conflict_permille);
+                let addr = if conflict {
+                    self.next_conflict_addr()
+                } else {
+                    let addr = STREAM_BASE + self.stream_offset;
+                    self.stream_offset = (self.stream_offset + u64::from(stride)) % STREAM_LENGTH;
+                    addr
+                };
+                let pc = CODE_BASE + 0x100;
+                self.pending.extend([
+                    MicroOp {
+                        pc,
+                        kind: OpKind::Load {
+                            addr,
+                            approx_addr: addr,
+                        },
+                        src_deps: [0, 0],
+                    },
+                    MicroOp {
+                        pc: pc + 4,
+                        kind: OpKind::FpAlu,
+                        src_deps: [1, 0],
+                    },
+                    MicroOp {
+                        pc: pc + 8,
+                        kind: OpKind::Store { addr: addr ^ 0x8 },
+                        src_deps: [2, 0],
+                    },
+                    MicroOp {
+                        pc: pc + 12,
+                        kind: OpKind::Branch {
+                            taken: true,
+                            target: pc,
+                            class: BranchClass::Conditional,
+                        },
+                        src_deps: [0, 0],
+                    },
+                ]);
+            }
+            Scenario::PhaseMix { phase_ops } => {
+                let phase_ops = phase_ops.max(4);
+                if self.phase_emitted >= phase_ops {
+                    self.phase = (self.phase + 1) % 3;
+                    self.phase_emitted = 0;
+                }
+                // Each phase runs its own loop body in its own code region,
+                // so every switch re-trains the i-cache and the predictors.
+                let pc = CODE_BASE + 0x1000 * (1 + u64::from(self.phase));
+                let addr = match self.phase {
+                    0 => {
+                        let addr = STREAM_BASE + self.stream_offset;
+                        self.stream_offset = (self.stream_offset + BLOCK_BYTES) % STREAM_LENGTH;
+                        addr
+                    }
+                    1 => {
+                        let block = self.rng.gen_range(0..HOT_BLOCKS);
+                        HOT_BASE + block * BLOCK_BYTES + self.rng.gen_range(0..BLOCK_BYTES / 8) * 8
+                    }
+                    _ => self.next_conflict_addr(),
+                };
+                self.pending.extend([
+                    MicroOp {
+                        pc,
+                        kind: OpKind::Load {
+                            addr,
+                            approx_addr: addr,
+                        },
+                        src_deps: [0, 0],
+                    },
+                    MicroOp {
+                        pc: pc + 4,
+                        kind: OpKind::IntAlu,
+                        src_deps: [1, 0],
+                    },
+                    MicroOp {
+                        pc: pc + 8,
+                        kind: OpKind::IntAlu,
+                        src_deps: [1, 2],
+                    },
+                    MicroOp {
+                        pc: pc + 12,
+                        kind: OpKind::Branch {
+                            taken: true,
+                            target: pc,
+                            class: BranchClass::Conditional,
+                        },
+                        src_deps: [0, 0],
+                    },
+                ]);
+                self.phase_emitted += 4;
+            }
+        }
+    }
+}
+
+impl Iterator for ScenarioGenerator {
+    type Item = MicroOp;
+
+    fn next(&mut self) -> Option<MicroOp> {
+        if self.emitted >= self.num_ops {
+            return None;
+        }
+        if self.pending.is_empty() {
+            self.fill_pattern();
+        }
+        self.emitted += 1;
+        self.pending.pop_front()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.num_ops - self.emitted;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for ScenarioGenerator {}
+
+/// A shuffled ring over `n` nodes: `next[i]` is the successor of node `i`,
+/// and following `next` from any node visits all `n` nodes before returning.
+fn shuffled_ring(n: u32, rng: &mut StdRng) -> Vec<u32> {
+    // Fisher-Yates over the visit order, then link consecutive visits.
+    let mut order: Vec<u32> = (0..n).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut next = vec![0u32; n as usize];
+    for window in 0..order.len() {
+        let from = order[window];
+        let to = order[(window + 1) % order.len()];
+        next[from as usize] = to;
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn trace(scenario: Scenario, ops: usize) -> Vec<MicroOp> {
+        ScenarioGenerator::new(scenario, ops, 7).collect()
+    }
+
+    #[test]
+    fn emits_exactly_the_requested_ops() {
+        for scenario in Scenario::all() {
+            for n in [0usize, 1, 3, 1000] {
+                assert_eq!(trace(scenario, n).len(), n, "{scenario}");
+            }
+        }
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        for scenario in Scenario::all() {
+            let a: Vec<_> = ScenarioGenerator::new(scenario, 5_000, 3).collect();
+            let b: Vec<_> = ScenarioGenerator::new(scenario, 5_000, 3).collect();
+            assert_eq!(a, b, "{scenario}");
+        }
+    }
+
+    #[test]
+    fn names_parse_back() {
+        for scenario in Scenario::all() {
+            assert_eq!(Scenario::parse(scenario.name()), Some(scenario));
+        }
+        assert_eq!(Scenario::parse("nope"), None);
+    }
+
+    #[test]
+    fn pointer_chase_visits_every_node_once_per_lap() {
+        let nodes = 64u32;
+        let scenario = Scenario::PointerChase {
+            nodes,
+            node_stride: 64,
+        };
+        // One lap = nodes iterations of the 4-op body.
+        let ops = trace(scenario, (nodes as usize) * 4);
+        let loads: Vec<Addr> = ops
+            .iter()
+            .filter_map(|op| match op.kind {
+                OpKind::Load { addr, .. } => Some(addr),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(loads.len(), nodes as usize);
+        let unique: HashSet<_> = loads.iter().collect();
+        assert_eq!(unique.len(), nodes as usize, "a lap must not revisit nodes");
+    }
+
+    #[test]
+    fn pointer_chase_loads_form_a_dependence_chain() {
+        let ops = trace(Scenario::pointer_chase(), 400);
+        for op in &ops {
+            if op.kind.is_load() {
+                assert_eq!(op.src_deps[0], 4, "each load consumes the previous one");
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_pressure_dials_distinct_block_reuse() {
+        let pure = Scenario::StridedStream {
+            stride: 64,
+            conflict_permille: 0,
+        };
+        let heavy = Scenario::StridedStream {
+            stride: 64,
+            conflict_permille: 900,
+        };
+        let distinct_blocks = |scenario| {
+            trace(scenario, 20_000)
+                .iter()
+                .filter_map(|op| match op.kind {
+                    OpKind::Load { addr, .. } => Some(addr / BLOCK_BYTES),
+                    _ => None,
+                })
+                .collect::<HashSet<_>>()
+                .len()
+        };
+        // Pure streaming touches a new block every few accesses; heavy
+        // conflict pressure recycles the same 12 aliasing blocks.
+        assert!(distinct_blocks(pure) > 5 * distinct_blocks(heavy));
+    }
+
+    #[test]
+    fn conflict_blocks_alias_in_the_reference_geometry() {
+        let mut generator = ScenarioGenerator::new(
+            Scenario::StridedStream {
+                stride: 64,
+                conflict_permille: 1000,
+            },
+            100,
+            1,
+        );
+        let sets = WAY_BYTES / BLOCK_BYTES; // direct-mapped line count
+        let lines: HashSet<_> = (&mut generator)
+            .filter_map(|op| match op.kind {
+                OpKind::Load { addr, .. } => Some((addr / BLOCK_BYTES) % sets),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lines.len(), 1, "conflict blocks must map to one line");
+    }
+
+    #[test]
+    fn phase_mix_switches_code_regions() {
+        let ops = trace(Scenario::PhaseMix { phase_ops: 100 }, 1_000);
+        let pcs: HashSet<_> = ops.iter().map(|op| op.pc & !0xfff).collect();
+        assert!(pcs.len() >= 3, "expected three phase code regions");
+    }
+
+    #[test]
+    fn exact_size_iterator_reports_remaining() {
+        let mut generator = ScenarioGenerator::new(Scenario::phase_mix(), 10, 0);
+        assert_eq!(generator.len(), 10);
+        generator.next();
+        assert_eq!(generator.len(), 9);
+    }
+
+    #[test]
+    fn shuffled_ring_is_a_single_cycle() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for n in [2u32, 3, 17, 256] {
+            let next = shuffled_ring(n, &mut rng);
+            let mut seen = HashSet::new();
+            let mut node = 0u32;
+            for _ in 0..n {
+                assert!(seen.insert(node), "revisited node {node} early");
+                node = next[node as usize];
+            }
+            assert_eq!(node, 0, "ring must close after {n} steps");
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! A unified handle over every reference-stream source: the synthetic SPEC
+//! profiles, the parameterised stress scenarios, and recorded trace files.
+//!
+//! [`WorkloadSpec`] is the *identity* of a workload — hashable and
+//! comparable, so the experiment engine can use it (together with the
+//! machine and run options) as a simulation dedup key. For trace files the
+//! identity is the content digest, not the path. [`WorkloadSpec::stream`]
+//! turns the identity into a concrete [`MicroOp`] iterator.
+//!
+//! # Example
+//!
+//! ```
+//! use wp_workloads::{Benchmark, Scenario, WorkloadSpec};
+//!
+//! let gcc = WorkloadSpec::parse("gcc").expect("a paper benchmark");
+//! let chase = WorkloadSpec::parse("pointer_chase").expect("a scenario");
+//! assert_eq!(gcc, WorkloadSpec::Benchmark(Benchmark::Gcc));
+//! assert_eq!(chase, WorkloadSpec::Scenario(Scenario::pointer_chase()));
+//!
+//! let trace: Vec<_> = chase.stream(500, 42).expect("not a file").collect();
+//! assert_eq!(trace.len(), 500);
+//! ```
+
+use crate::generator::{TraceConfig, TraceGenerator};
+use crate::op::MicroOp;
+use crate::profile::Benchmark;
+use crate::scenario::{Scenario, ScenarioGenerator};
+use crate::trace::{TraceError, TraceHandle, TraceReplay};
+
+/// Any source of a reference stream.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum WorkloadSpec {
+    /// A synthetic SPEC CPU95-like profile from the paper's Table 2.
+    Benchmark(Benchmark),
+    /// A parameterised stress scenario.
+    Scenario(Scenario),
+    /// A recorded trace file (identified by content, not path).
+    Trace(TraceHandle),
+}
+
+impl WorkloadSpec {
+    /// Looks up a generated workload by name: a benchmark (`gcc`, `swim`,
+    /// …) or a default-parameter scenario (`pointer_chase`,
+    /// `strided_stream`, `phase_mix`). Trace files are opened with
+    /// [`WorkloadSpec::from_trace_file`] instead.
+    pub fn parse(name: &str) -> Option<WorkloadSpec> {
+        if let Some(benchmark) = Benchmark::from_name(name) {
+            return Some(WorkloadSpec::Benchmark(benchmark));
+        }
+        Scenario::parse(name).map(WorkloadSpec::Scenario)
+    }
+
+    /// Every named generated workload: the eleven paper benchmarks followed
+    /// by the default scenarios.
+    pub fn generated_names() -> Vec<&'static str> {
+        Benchmark::all()
+            .iter()
+            .map(|b| b.name())
+            .chain(Scenario::all().iter().map(|s| s.name()))
+            .collect()
+    }
+
+    /// Opens and validates a trace file as a workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O or header-validation error from
+    /// [`TraceHandle::open`].
+    pub fn from_trace_file(path: impl Into<std::path::PathBuf>) -> Result<Self, TraceError> {
+        Ok(WorkloadSpec::Trace(TraceHandle::open(path)?))
+    }
+
+    /// A short display label (`gcc`, `pointer_chase`,
+    /// `trace:<stem>#<digest>`).
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadSpec::Benchmark(b) => b.name().to_string(),
+            WorkloadSpec::Scenario(s) => s.name().to_string(),
+            WorkloadSpec::Trace(h) => h.label(),
+        }
+    }
+
+    /// The benchmark, if this is a benchmark workload.
+    pub fn benchmark(&self) -> Option<Benchmark> {
+        match self {
+            WorkloadSpec::Benchmark(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Opens the reference stream: at most `ops` micro-ops, generated with
+    /// `seed` for the synthetic sources. A trace replays its recorded
+    /// stream (the seed is irrelevant) truncated to `ops` if the recording
+    /// is longer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] if a trace-file workload cannot be
+    /// re-opened; generated workloads never fail.
+    pub fn stream(&self, ops: usize, seed: u64) -> Result<WorkloadStream, TraceError> {
+        Ok(match self {
+            WorkloadSpec::Benchmark(benchmark) => WorkloadStream::Generated(Box::new(
+                TraceGenerator::new(TraceConfig::new(*benchmark).with_ops(ops).with_seed(seed)),
+            )),
+            WorkloadSpec::Scenario(scenario) => {
+                WorkloadStream::Scenario(ScenarioGenerator::new(*scenario, ops, seed))
+            }
+            WorkloadSpec::Trace(handle) => WorkloadStream::Replay(handle.replay()?.take(ops)),
+        })
+    }
+}
+
+impl std::fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+impl From<Benchmark> for WorkloadSpec {
+    fn from(benchmark: Benchmark) -> Self {
+        WorkloadSpec::Benchmark(benchmark)
+    }
+}
+
+impl From<Scenario> for WorkloadSpec {
+    fn from(scenario: Scenario) -> Self {
+        WorkloadSpec::Scenario(scenario)
+    }
+}
+
+impl From<TraceHandle> for WorkloadSpec {
+    fn from(handle: TraceHandle) -> Self {
+        WorkloadSpec::Trace(handle)
+    }
+}
+
+/// The concrete [`MicroOp`] stream behind a [`WorkloadSpec`]: the processor
+/// consumes all three variants identically.
+#[derive(Debug)]
+pub enum WorkloadStream {
+    /// A live synthetic benchmark generator (boxed: the generator holds the
+    /// whole static program, much larger than the other variants).
+    Generated(Box<TraceGenerator>),
+    /// A live scenario generator.
+    Scenario(ScenarioGenerator),
+    /// A streaming trace-file replay, truncated to the requested ops.
+    Replay(std::iter::Take<TraceReplay>),
+}
+
+impl Iterator for WorkloadStream {
+    type Item = MicroOp;
+
+    fn next(&mut self) -> Option<MicroOp> {
+        match self {
+            WorkloadStream::Generated(g) => g.next(),
+            WorkloadStream::Scenario(s) => s.next(),
+            WorkloadStream::Replay(r) => r.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            WorkloadStream::Generated(g) => g.size_hint(),
+            WorkloadStream::Scenario(s) => s.size_hint(),
+            WorkloadStream::Replay(r) => r.size_hint(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_generated_name_parses() {
+        let names = WorkloadSpec::generated_names();
+        assert_eq!(names.len(), 14); // 11 benchmarks + 3 scenarios
+        for name in names {
+            let spec = WorkloadSpec::parse(name).expect("listed names parse");
+            assert_eq!(spec.label(), name);
+        }
+        assert_eq!(WorkloadSpec::parse("unknown"), None);
+    }
+
+    #[test]
+    fn benchmark_streams_match_the_generator() {
+        let spec = WorkloadSpec::Benchmark(Benchmark::Li);
+        let via_spec: Vec<_> = spec.stream(2_000, 9).expect("generated").collect();
+        let direct: Vec<_> =
+            TraceGenerator::new(TraceConfig::new(Benchmark::Li).with_ops(2_000).with_seed(9))
+                .collect();
+        assert_eq!(via_spec, direct);
+        assert_eq!(spec.benchmark(), Some(Benchmark::Li));
+    }
+
+    #[test]
+    fn scenario_streams_match_the_generator() {
+        let spec = WorkloadSpec::Scenario(Scenario::strided_stream());
+        let via_spec: Vec<_> = spec.stream(2_000, 9).expect("generated").collect();
+        let direct: Vec<_> = ScenarioGenerator::new(Scenario::strided_stream(), 2_000, 9).collect();
+        assert_eq!(via_spec, direct);
+        assert_eq!(spec.benchmark(), None);
+    }
+
+    #[test]
+    fn specs_hash_by_identity() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        assert!(set.insert(WorkloadSpec::Benchmark(Benchmark::Gcc)));
+        assert!(!set.insert(WorkloadSpec::Benchmark(Benchmark::Gcc)));
+        assert!(set.insert(WorkloadSpec::Scenario(Scenario::pointer_chase())));
+        assert!(set.insert(WorkloadSpec::Scenario(Scenario::PointerChase {
+            nodes: 8,
+            node_stride: 64,
+        })));
+    }
+}

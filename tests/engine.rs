@@ -41,7 +41,7 @@ fn run_all_plan_shares_points_across_figures() {
     let baseline_requests = plan
         .points()
         .iter()
-        .filter(|p| p.benchmark == Benchmark::Gcc && p.machine == MachineConfig::baseline())
+        .filter(|p| p.benchmark() == Some(Benchmark::Gcc) && p.machine == MachineConfig::baseline())
         .count();
     assert!(
         baseline_requests >= 6,
@@ -99,12 +99,12 @@ fn serial_and_parallel_runs_are_identical() {
     let parallel = SimEngine::new(8).run(&plan);
 
     for point in plan.unique_points() {
-        let a = serial.require(point.benchmark, &point.machine, &point.options);
-        let b = parallel.require(point.benchmark, &point.machine, &point.options);
+        let a = serial.require_workload(&point.workload, &point.machine, &point.options);
+        let b = parallel.require_workload(&point.workload, &point.machine, &point.options);
         assert_eq!(
             a, b,
             "{}: serial and parallel results must be identical for the same seed",
-            point.benchmark
+            point.workload
         );
     }
 }

@@ -194,7 +194,7 @@ pub mod collection {
         VecStrategy { element, length }
     }
 
-    /// The result of [`vec`].
+    /// The result of [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -8,12 +8,15 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::io::Cursor;
-use wp_cache::{DCachePolicy, ICachePolicy, L1Config};
+use wp_cache::{DCacheController, DCachePolicy, ICachePolicy, L1Config};
+use wp_cpu::Processor;
 use wp_energy::{CacheEnergyModel, RelativeEnergyTable};
 use wp_experiments::engine::{SimEngine, SimPlan, SimPoint};
 use wp_experiments::runner::{simulate, MachineConfig, RunOptions};
 use wp_experiments::table4;
-use wp_workloads::{Benchmark, TraceConfig, TraceGenerator, TraceReader, TraceWriter};
+use wp_workloads::{
+    Benchmark, OpKind, TraceConfig, TraceGenerator, TraceReader, TraceWriter, WorkloadSpec,
+};
 
 /// Trace length used by the benchmark harness (small enough that every
 /// group completes quickly, large enough to exercise warm caches).
@@ -256,6 +259,58 @@ fn trace_codec(c: &mut Criterion) {
     group.finish();
 }
 
+/// End-to-end simulator throughput: the d-cache access loop under the
+/// conventional and the headline policies, and the block-driven processor
+/// run — the same quantities `bench_report` records into
+/// `BENCH_sim_throughput.json` (see `docs/PERFORMANCE.md`).
+fn sim_throughput(c: &mut Criterion) {
+    let stream: Vec<(u64, u64, u64, bool)> = TraceGenerator::new(
+        TraceConfig::new(Benchmark::Gcc)
+            .with_ops(4 * BENCH_OPS)
+            .with_seed(7),
+    )
+    .filter_map(|op| match op.kind {
+        OpKind::Load { addr, approx_addr } => Some((op.pc, addr, approx_addr, true)),
+        OpKind::Store { addr } => Some((op.pc, addr, 0, false)),
+        _ => None,
+    })
+    .collect();
+    let mut group = c.benchmark_group("sim_throughput");
+    for (name, policy) in [
+        ("dcache_parallel", DCachePolicy::Parallel),
+        ("dcache_seldm_waypred", DCachePolicy::SelDmWayPredict),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cache = DCacheController::new(L1Config::paper_dcache(), policy)
+                    .expect("paper config is valid");
+                let mut latency = 0u64;
+                for &(pc, addr, approx, is_load) in &stream {
+                    let out = if is_load {
+                        cache.load(pc, addr, approx)
+                    } else {
+                        cache.store(pc, addr)
+                    };
+                    latency += out.latency;
+                }
+                black_box((latency, cache.stats().misses()))
+            })
+        });
+    }
+    group.bench_function("processor_run_blocks", |b| {
+        let m = machine(DCachePolicy::SelDmWayPredict, ICachePolicy::WayPredict);
+        b.iter(|| {
+            let mut cpu = Processor::with_l1(m.cpu, m.l1d, m.dpolicy, m.l1i, m.ipolicy)
+                .expect("paper config is valid");
+            let mut ops = WorkloadSpec::Benchmark(Benchmark::Gcc)
+                .stream(BENCH_OPS, 7)
+                .expect("generated workloads never fail");
+            black_box(cpu.run_blocks(&mut ops).cycles)
+        })
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = paper;
     config = Criterion::default().sample_size(10);
@@ -272,6 +327,7 @@ criterion_group! {
         fig10_icache,
         fig11_processor,
         engine_sweep,
-        trace_codec
+        trace_codec,
+        sim_throughput
 }
 criterion_main!(paper);

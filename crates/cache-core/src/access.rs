@@ -203,6 +203,49 @@ pub struct AccessCore {
     config: L1Config,
     cache: SetAssocCache,
     energy: CacheEnergyModel,
+    costs: ProbeCosts,
+}
+
+/// Per-probe-shape costs, precomputed once from the energy model and the
+/// configuration so resolving a probe on the hot path is a pair of table
+/// lookups — no floating-point model evaluation (the analytic model takes
+/// square roots and logarithms) and no allocation per access.
+#[derive(Debug, Clone)]
+struct ProbeCosts {
+    /// Energy of a conventional parallel read of all ways.
+    parallel_read: Energy,
+    /// Energy of a read probing exactly `i` data ways, indexed by `i`.
+    /// Non-parallel probes touch at most two ways (the probe plus the
+    /// corrective probe of a misprediction), so a fixed three-entry array
+    /// covers every case without a heap indirection.
+    n_way_read: [Energy; 3],
+    /// Refill write into the selected way, charged to every miss.
+    refill_write: Energy,
+    /// Energy of a store: tag probe plus a single data-way write.
+    write: Energy,
+    base_latency: u64,
+    sequential_latency: u64,
+    mispredict_latency: u64,
+    associativity: usize,
+}
+
+impl ProbeCosts {
+    fn new(config: &L1Config, energy: &CacheEnergyModel) -> Self {
+        Self {
+            parallel_read: energy.parallel_read_energy(),
+            n_way_read: [
+                energy.n_way_read_energy(0),
+                energy.n_way_read_energy(1),
+                energy.n_way_read_energy(2),
+            ],
+            refill_write: energy.data_way_write_energy(),
+            write: energy.write_energy(),
+            base_latency: config.base_latency,
+            sequential_latency: config.sequential_latency(),
+            mispredict_latency: config.mispredict_latency(),
+            associativity: config.associativity,
+        }
+    }
 }
 
 impl AccessCore {
@@ -213,10 +256,13 @@ impl AccessCore {
     /// Returns a [`ConfigError`] if the configuration is inconsistent.
     pub fn new(config: L1Config) -> Result<Self, ConfigError> {
         let geometry = config.geometry()?;
+        let energy = CacheEnergyModel::new(geometry);
+        let costs = ProbeCosts::new(&config, &energy);
         Ok(Self {
             config,
             cache: SetAssocCache::new(geometry),
-            energy: CacheEnergyModel::new(geometry),
+            energy,
+            costs,
         })
     }
 
@@ -237,6 +283,7 @@ impl AccessCore {
 
     /// One read access under policy `select`: consult the policy, run the
     /// tag store, price the probe, and train the policy.
+    #[inline(always)]
     pub fn read<P: WaySelect>(
         &mut self,
         select: &mut P,
@@ -264,18 +311,19 @@ impl AccessCore {
     /// One write access: stores check the tag array first and then write
     /// only the matching way, in every policy (end of Section 2.1), so they
     /// involve no way selection.
+    #[inline]
     pub fn write(&mut self, addr: Addr, placement: Placement) -> CoreAccess {
         let result = self.cache.access(addr, AccessKind::Write, placement);
-        let mut energy = self.energy.write_energy();
+        let mut energy = self.costs.write;
         if !result.hit {
-            energy += self.energy.data_way_write_energy();
+            energy += self.costs.refill_write;
         }
         CoreAccess {
             result,
             probe: Probe {
                 outcome: ProbeOutcome::SingleWay,
                 ways_probed: 1,
-                latency: self.config.base_latency,
+                latency: self.costs.base_latency,
                 energy,
             },
             selection: Selection::parallel(),
@@ -285,49 +333,48 @@ impl AccessCore {
 
     /// Prices a read probe: the shared ways-probed / latency / energy rules
     /// of Sections 2.1–2.3 and Table 3, previously duplicated between the
-    /// two controllers.
+    /// two controllers. All costs come from the precomputed [`ProbeCosts`]
+    /// tables, so this is allocation-free and model-evaluation-free.
+    #[inline(always)]
     fn resolve(&self, choice: WaySelection, result: &AccessResult) -> Probe {
-        let resident_way = result.hit.then_some(result.way);
+        let costs = &self.costs;
         let (outcome, ways_probed, latency) = match choice {
             WaySelection::Parallel => (
                 ProbeOutcome::Parallel,
-                self.config.associativity,
-                self.config.base_latency,
+                costs.associativity,
+                costs.base_latency,
             ),
             WaySelection::Sequential => (
                 ProbeOutcome::Sequential,
                 usize::from(result.hit),
-                self.config.sequential_latency(),
+                costs.sequential_latency,
             ),
             WaySelection::Oracle => (
                 ProbeOutcome::SingleWay,
                 usize::from(result.hit),
-                self.config.base_latency,
+                costs.base_latency,
             ),
             WaySelection::Predicted(way) | WaySelection::DirectMapped(way) => {
-                match resident_way {
+                if result.hit && result.way != way {
                     // The block lives in a different way: the single-way
                     // probe was wrong and a corrective second probe is
                     // needed.
-                    Some(actual) if actual != way => (
-                        ProbeOutcome::Mispredicted,
-                        2,
-                        self.config.mispredict_latency(),
-                    ),
+                    (ProbeOutcome::Mispredicted, 2, costs.mispredict_latency)
+                } else {
                     // Correct single-way probe, or a miss in which only the
                     // selected way was touched before the tag array reported
                     // the miss.
-                    _ => (ProbeOutcome::SingleWay, 1, self.config.base_latency),
+                    (ProbeOutcome::SingleWay, 1, costs.base_latency)
                 }
             }
         };
         let mut energy = match outcome {
-            ProbeOutcome::Parallel => self.energy.parallel_read_energy(),
-            _ => self.energy.n_way_read_energy(ways_probed),
+            ProbeOutcome::Parallel => costs.parallel_read,
+            _ => costs.n_way_read[ways_probed],
         };
         if !result.hit {
             // Refill write into the selected way; identical in every policy.
-            energy += self.energy.data_way_write_energy();
+            energy += costs.refill_write;
         }
         Probe {
             outcome,

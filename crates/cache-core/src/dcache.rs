@@ -92,8 +92,17 @@ pub struct DLoadCtx {
 #[derive(Debug, Clone)]
 pub struct DWaySelect {
     policy: DCachePolicy,
-    prediction_table_energy: PredictionTableEnergy,
-    victim_list_energy: PredictionTableEnergy,
+    /// Energy of one prediction-table access, precomputed from the
+    /// [`PredictionTableEnergy`] model at construction (the model's
+    /// analytic evaluation is too slow for the per-access hot path).
+    table_energy: Energy,
+    /// Energy of one victim-list access, precomputed likewise.
+    victim_energy: Energy,
+    /// The selective-DM prediction made by the latest [`WaySelect::select`]
+    /// call, reused by [`WaySelect::train`] on the same access so the
+    /// counter table is read once per load (the counters are only mutated
+    /// by `train` itself, after this value is consumed).
+    last_seldm: MappingPrediction,
     seldm: SelDmPredictor,
     victims: VictimList,
     pc_way: PcWayPredictor,
@@ -106,15 +115,18 @@ impl DWaySelect {
         let way_bits = PcWayPredictor::bits_per_entry(config.associativity);
         Self {
             policy,
-            prediction_table_energy: PredictionTableEnergy::new(
+            table_energy: PredictionTableEnergy::new(
                 config.prediction_table_entries,
                 // Selective-DM counter (2 bits) plus the optional way field.
                 SelDmPredictor::BITS_PER_ENTRY + way_bits,
-            ),
-            victim_list_energy: PredictionTableEnergy::new(
+            )
+            .access_energy(),
+            victim_energy: PredictionTableEnergy::new(
                 config.victim_list_entries.next_power_of_two().max(2),
                 32,
-            ),
+            )
+            .access_energy(),
+            last_seldm: MappingPrediction::SetAssociative,
             seldm: SelDmPredictor::new(config.prediction_table_entries),
             victims: VictimList::new(config.victim_list_entries, 2),
             pc_way: PcWayPredictor::new(config.prediction_table_entries),
@@ -126,6 +138,7 @@ impl DWaySelect {
     /// place non-conflicting blocks (per the victim list) in their
     /// direct-mapping way and conflicting blocks in their set-associative
     /// position; every other policy uses conventional LRU placement.
+    #[inline]
     pub fn placement(&self, block_addr: wp_mem::BlockAddr) -> Placement {
         if !self.policy.uses_selective_dm() || self.victims.is_conflicting(block_addr) {
             Placement::SetAssociative
@@ -139,10 +152,7 @@ impl DWaySelect {
     /// list energy charged.
     pub fn note_eviction(&mut self, block_addr: wp_mem::BlockAddr) -> (bool, Energy) {
         if self.policy.uses_selective_dm() {
-            (
-                self.victims.record_eviction(block_addr),
-                self.victim_list_energy.access_energy(),
-            )
+            (self.victims.record_eviction(block_addr), self.victim_energy)
         } else {
             (false, 0.0)
         }
@@ -152,8 +162,9 @@ impl DWaySelect {
 impl WaySelect for DWaySelect {
     type Ctx = DLoadCtx;
 
+    #[inline]
     fn select(&mut self, ctx: &DLoadCtx) -> Selection {
-        let table = self.prediction_table_energy.access_energy();
+        let table = self.table_energy;
         match self.policy {
             DCachePolicy::Parallel => Selection::parallel(),
             DCachePolicy::Sequential => Selection {
@@ -173,7 +184,8 @@ impl WaySelect for DWaySelect {
             DCachePolicy::SelDmParallel
             | DCachePolicy::SelDmWayPredict
             | DCachePolicy::SelDmSequential => {
-                if self.seldm.predict(ctx.pc) == MappingPrediction::DirectMapped {
+                self.last_seldm = self.seldm.predict(ctx.pc);
+                if self.last_seldm == MappingPrediction::DirectMapped {
                     return Selection {
                         choice: WaySelection::DirectMapped(ctx.dm_way),
                         source: WaySource::SelectiveDm,
@@ -202,13 +214,14 @@ impl WaySelect for DWaySelect {
         }
     }
 
+    #[inline]
     fn train(&mut self, ctx: &DLoadCtx, observed: Observation, _cache: &SetAssocCache) -> Energy {
         // Way-table training with the way the block actually occupies now.
         match self.policy {
             DCachePolicy::WayPredictPc => self.pc_way.update(ctx.pc, observed.way),
             DCachePolicy::WayPredictXor => self.xor_way.update(ctx.approx_addr, observed.way),
             DCachePolicy::SelDmWayPredict
-                if self.seldm.predict(ctx.pc) == MappingPrediction::SetAssociative =>
+                if self.last_seldm == MappingPrediction::SetAssociative =>
             {
                 self.pc_way.update(ctx.pc, observed.way)
             }
@@ -304,15 +317,17 @@ impl DCacheController {
     /// the selective-DM victim list where applicable); the caller is
     /// responsible for adding the L2/memory latency to the returned L1
     /// latency.
+    #[inline]
     pub fn load(&mut self, pc: Addr, addr: Addr, approx_addr: Addr) -> DAccessOutcome {
         self.stats.loads += 1;
-        let geometry = *self.core.cache().geometry();
+        let geometry = self.core.cache().geometry();
         let ctx = DLoadCtx {
             pc,
             approx_addr,
             dm_way: geometry.direct_mapped_way(addr),
         };
-        let placement = self.select.placement(geometry.block_addr(addr));
+        let block_addr = geometry.block_addr(addr);
+        let placement = self.select.placement(block_addr);
 
         let access = self.core.read(&mut self.select, &ctx, addr, placement);
         if !access.result.hit {
@@ -341,10 +356,11 @@ impl DCacheController {
     /// Stores check the tag array first and then write only the matching
     /// way, in every policy (end of Section 2.1), so they neither waste
     /// energy nor use prediction. Write misses allocate the block.
+    #[inline]
     pub fn store(&mut self, _pc: Addr, addr: Addr) -> DAccessOutcome {
         self.stats.stores += 1;
-        let geometry = *self.core.cache().geometry();
-        let placement = self.select.placement(geometry.block_addr(addr));
+        let block_addr = self.core.cache().geometry().block_addr(addr);
+        let placement = self.select.placement(block_addr);
         let access = self.core.write(addr, placement);
         if !access.result.hit {
             self.stats.store_misses += 1;
@@ -363,6 +379,7 @@ impl DCacheController {
     }
 
     /// Records an eviction in the victim list and the statistics.
+    #[inline]
     fn note_eviction(&mut self, access: &CoreAccess) {
         if let Some(line) = access.result.evicted {
             self.stats.evictions += 1;
@@ -375,6 +392,7 @@ impl DCacheController {
     }
 
     /// Predictor bookkeeping derived from the selection and its outcome.
+    #[inline]
     fn record_selection(&mut self, access: &CoreAccess) {
         let single_way_correct = access.probe.outcome == ProbeOutcome::SingleWay;
         match access.selection.choice {
@@ -394,6 +412,7 @@ impl DCacheController {
         }
     }
 
+    #[inline]
     fn record_load_class(&mut self, class: DAccessClass) {
         match class {
             DAccessClass::DirectMapped => self.stats.direct_mapped_accesses += 1,
@@ -407,6 +426,7 @@ impl DCacheController {
 }
 
 /// Maps a resolved probe onto the Figure 6 breakdown classes.
+#[inline]
 fn classify(access: &CoreAccess) -> DAccessClass {
     match access.probe.outcome {
         ProbeOutcome::Parallel => DAccessClass::Parallel,

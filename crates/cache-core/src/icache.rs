@@ -128,7 +128,10 @@ const RAS_DEPTH: usize = 16;
 #[derive(Debug, Clone)]
 pub struct IWaySelect {
     policy: ICachePolicy,
-    way_field_energy: PredictionTableEnergy,
+    /// Energy of one way-field access, precomputed from the
+    /// [`PredictionTableEnergy`] model at construction (the analytic model
+    /// is too slow to evaluate per fetch).
+    way_field_energy: Energy,
     btb: Btb,
     sawp: Sawp,
     ras: ReturnAddressStack,
@@ -142,7 +145,8 @@ impl IWaySelect {
             way_field_energy: PredictionTableEnergy::new(
                 config.prediction_table_entries,
                 Sawp::bits_per_entry(config.associativity),
-            ),
+            )
+            .access_energy(),
             btb: Btb::new(BTB_ENTRIES),
             sawp: Sawp::new(config.prediction_table_entries),
             ras: ReturnAddressStack::new(RAS_DEPTH),
@@ -196,7 +200,7 @@ impl WaySelect for IWaySelect {
         let way_predicting = self.policy == ICachePolicy::WayPredict;
         let mut energy = 0.0;
         if way_predicting {
-            energy += self.way_field_energy.access_energy();
+            energy += self.way_field_energy;
         }
         match ctx.kind {
             FetchKind::Sequential { prev_pc } | FetchKind::NotTakenBranch { prev_pc } => {

@@ -30,7 +30,7 @@ use wp_cache::{
 use wp_energy::ActivityCounts;
 use wp_mem::{AccessKind, MemoryHierarchy};
 use wp_predictors::{BranchOutcome, HybridBranchPredictor};
-use wp_workloads::{BranchClass, MicroOp, OpKind};
+use wp_workloads::{BranchClass, IterBlockSource, MicroOp, OpBlockSource, OpBuffer, OpKind};
 
 use crate::result::SimResult;
 
@@ -188,7 +188,19 @@ impl Processor {
 
     /// Runs the trace to completion and returns the timing, activity, and
     /// cache statistics.
+    ///
+    /// This is a convenience wrapper over [`Processor::run_blocks`]: the
+    /// iterator is consumed through a block buffer, so the two entry points
+    /// produce bit-identical results for the same op sequence.
     pub fn run(&mut self, trace: impl IntoIterator<Item = MicroOp>) -> SimResult {
+        self.run_blocks(&mut IterBlockSource(trace.into_iter()))
+    }
+
+    /// Runs a block-producing op source to completion — the throughput
+    /// entry point: the source refills a reusable [`OpBuffer`] and the
+    /// scheduling loop walks plain slices, resolving the workload kind once
+    /// per block instead of once per op.
+    pub fn run_blocks(&mut self, source: &mut impl OpBlockSource) -> SimResult {
         let block_mask = !(self.dcache.config().block_bytes as u64 - 1);
 
         let mut activity = ActivityCounts::default();
@@ -207,167 +219,170 @@ impl Processor {
         let mut last_commit: u64 = 0;
         let mut ops_since_cleanup: usize = 0;
 
-        for op in trace {
-            // ---- structural gating: ROB and LSQ occupancy ----
-            if rob.len() == self.config.rob_entries {
-                let oldest = rob.pop_front().unwrap_or(0);
-                if oldest > fetch_cycle {
-                    fetch_cycle = oldest;
-                    cur_block = None;
+        let mut buf = OpBuffer::new();
+        while source.fill(&mut buf) > 0 {
+            for &op in buf.ops() {
+                // ---- structural gating: ROB and LSQ occupancy ----
+                if rob.len() == self.config.rob_entries {
+                    let oldest = rob.pop_front().unwrap_or(0);
+                    if oldest > fetch_cycle {
+                        fetch_cycle = oldest;
+                        cur_block = None;
+                    }
                 }
-            }
-            let is_mem = op.kind.is_mem();
-            if is_mem && lsq.len() == self.config.lsq_entries {
-                let oldest = lsq.pop_front().unwrap_or(0);
-                if oldest > fetch_cycle {
-                    fetch_cycle = oldest;
-                    cur_block = None;
+                let is_mem = op.kind.is_mem();
+                if is_mem && lsq.len() == self.config.lsq_entries {
+                    let oldest = lsq.pop_front().unwrap_or(0);
+                    if oldest > fetch_cycle {
+                        fetch_cycle = oldest;
+                        cur_block = None;
+                    }
                 }
-            }
 
-            // ---- fetch ----
-            let block = op.pc & block_mask;
-            if cur_block != Some(block) {
-                fetch_cycle += 1;
-                if let Some(resume) = pending_resume.take() {
-                    fetch_cycle = fetch_cycle.max(resume);
-                }
-                let outcome = self.icache.fetch(op.pc, next_kind);
-                let mut stall = outcome.latency.saturating_sub(1);
-                if outcome.is_miss() {
-                    let (below, _) = self.hierarchy.access(op.pc, AccessKind::Read);
-                    stall += below;
-                    activity.l2_accesses += 1;
-                }
-                fetch_cycle += stall;
-                slots_left = self.config.fetch_width;
-                cur_block = Some(block);
-                next_kind = FetchKind::Sequential { prev_pc: op.pc };
-            } else if slots_left == 0 {
-                fetch_cycle += 1;
-                slots_left = self.config.fetch_width;
-            }
-            slots_left -= 1;
-            let fetched_at = fetch_cycle;
-
-            // ---- ready / issue ----
-            let mut ready = fetched_at + self.config.dispatch_latency;
-            for dep in op.src_deps {
-                let dep = dep as usize;
-                if dep > 0 && dep <= completes.len() {
-                    ready = ready.max(completes[completes.len() - dep]);
-                }
-            }
-            let issue = reserve_slot(&mut issue_used, ready, self.config.issue_width as u32);
-
-            // ---- execute ----
-            let latency = match op.kind {
-                OpKind::IntAlu => {
-                    activity.int_ops += 1;
-                    self.config.int_latency
-                }
-                OpKind::FpAlu => {
-                    activity.fp_ops += 1;
-                    self.config.fp_latency
-                }
-                OpKind::Load { addr, approx_addr } => {
-                    activity.loads += 1;
-                    let out = self.dcache.load(op.pc, addr, approx_addr);
-                    let mut lat = out.latency;
-                    if out.is_miss() {
-                        let (below, _) = self.hierarchy.access(addr, AccessKind::Read);
-                        lat += below;
+                // ---- fetch ----
+                let block = op.pc & block_mask;
+                if cur_block != Some(block) {
+                    fetch_cycle += 1;
+                    if let Some(resume) = pending_resume.take() {
+                        fetch_cycle = fetch_cycle.max(resume);
+                    }
+                    let outcome = self.icache.fetch(op.pc, next_kind);
+                    let mut stall = outcome.latency.saturating_sub(1);
+                    if outcome.is_miss() {
+                        let (below, _) = self.hierarchy.access(op.pc, AccessKind::Read);
+                        stall += below;
                         activity.l2_accesses += 1;
                     }
-                    lat
+                    fetch_cycle += stall;
+                    slots_left = self.config.fetch_width;
+                    cur_block = Some(block);
+                    next_kind = FetchKind::Sequential { prev_pc: op.pc };
+                } else if slots_left == 0 {
+                    fetch_cycle += 1;
+                    slots_left = self.config.fetch_width;
                 }
-                OpKind::Store { addr } => {
-                    activity.stores += 1;
-                    let out = self.dcache.store(op.pc, addr);
-                    if out.is_miss() {
-                        // The store's refill proceeds off the critical path,
-                        // but it still consumes L2 bandwidth/energy.
-                        let _ = self.hierarchy.access(addr, AccessKind::Write);
-                        activity.l2_accesses += 1;
-                    }
-                    out.latency
-                }
-                OpKind::Branch { .. } => {
-                    activity.branches += 1;
-                    self.config.int_latency
-                }
-            };
-            let complete = issue + latency;
-            completes.push_back(complete);
-            if completes.len() > MAX_DEP_WINDOW {
-                completes.pop_front();
-            }
+                slots_left -= 1;
+                let fetched_at = fetch_cycle;
 
-            // ---- branch resolution and next-fetch steering ----
-            if let OpKind::Branch {
-                taken,
-                target,
-                class,
-            } = op.kind
-            {
-                let predicted = self
-                    .branch_predictor
-                    .update(op.pc, BranchOutcome::from_taken(taken));
-                let direction_mispredicted = match class {
-                    BranchClass::Conditional => predicted.is_taken() != taken,
-                    // Calls, returns and jumps are unconditionally taken.
-                    BranchClass::Call | BranchClass::Return | BranchClass::Jump => false,
+                // ---- ready / issue ----
+                let mut ready = fetched_at + self.config.dispatch_latency;
+                for dep in op.src_deps {
+                    let dep = dep as usize;
+                    if dep > 0 && dep <= completes.len() {
+                        ready = ready.max(completes[completes.len() - dep]);
+                    }
+                }
+                let issue = reserve_slot(&mut issue_used, ready, self.config.issue_width as u32);
+
+                // ---- execute ----
+                let latency = match op.kind {
+                    OpKind::IntAlu => {
+                        activity.int_ops += 1;
+                        self.config.int_latency
+                    }
+                    OpKind::FpAlu => {
+                        activity.fp_ops += 1;
+                        self.config.fp_latency
+                    }
+                    OpKind::Load { addr, approx_addr } => {
+                        activity.loads += 1;
+                        let out = self.dcache.load(op.pc, addr, approx_addr);
+                        let mut lat = out.latency;
+                        if out.is_miss() {
+                            let (below, _) = self.hierarchy.access(addr, AccessKind::Read);
+                            lat += below;
+                            activity.l2_accesses += 1;
+                        }
+                        lat
+                    }
+                    OpKind::Store { addr } => {
+                        activity.stores += 1;
+                        let out = self.dcache.store(op.pc, addr);
+                        if out.is_miss() {
+                            // The store's refill proceeds off the critical path,
+                            // but it still consumes L2 bandwidth/energy.
+                            let _ = self.hierarchy.access(addr, AccessKind::Write);
+                            activity.l2_accesses += 1;
+                        }
+                        out.latency
+                    }
+                    OpKind::Branch { .. } => {
+                        activity.branches += 1;
+                        self.config.int_latency
+                    }
                 };
-                if direction_mispredicted {
-                    // Fetch of the correct path waits for the branch to
-                    // resolve in the pipeline.
-                    pending_resume = Some(complete + 1 + self.config.mispredict_extra_penalty);
-                    cur_block = None;
-                    next_kind = FetchKind::Redirect;
-                } else if taken {
-                    cur_block = None;
-                    next_kind = match class {
-                        BranchClass::Call => FetchKind::Call {
-                            branch_pc: op.pc,
-                            return_pc: op.pc + 4,
-                        },
-                        BranchClass::Return => FetchKind::Return,
-                        _ => FetchKind::TakenBranch { branch_pc: op.pc },
-                    };
-                    // A predicted-taken branch whose target is not in the BTB
-                    // costs a short fetch bubble while decode produces it.
-                    if class != BranchClass::Return
-                        && self.icache.predicted_target(op.pc) != Some(target)
-                    {
-                        pending_resume = Some(fetched_at + 1 + self.config.btb_miss_penalty);
-                    }
-                } else {
-                    next_kind = FetchKind::NotTakenBranch { prev_pc: op.pc };
+                let complete = issue + latency;
+                completes.push_back(complete);
+                if completes.len() > MAX_DEP_WINDOW {
+                    completes.pop_front();
                 }
-            }
 
-            // ---- commit ----
-            let commit_ready = complete.max(prev_commit);
-            let commit = reserve_slot(
-                &mut commit_used,
-                commit_ready,
-                self.config.commit_width as u32,
-            );
-            prev_commit = commit;
-            last_commit = last_commit.max(commit);
-            rob.push_back(commit);
-            if is_mem {
-                lsq.push_back(commit);
-            }
-            activity.instructions += 1;
+                // ---- branch resolution and next-fetch steering ----
+                if let OpKind::Branch {
+                    taken,
+                    target,
+                    class,
+                } = op.kind
+                {
+                    let predicted = self
+                        .branch_predictor
+                        .update(op.pc, BranchOutcome::from_taken(taken));
+                    let direction_mispredicted = match class {
+                        BranchClass::Conditional => predicted.is_taken() != taken,
+                        // Calls, returns and jumps are unconditionally taken.
+                        BranchClass::Call | BranchClass::Return | BranchClass::Jump => false,
+                    };
+                    if direction_mispredicted {
+                        // Fetch of the correct path waits for the branch to
+                        // resolve in the pipeline.
+                        pending_resume = Some(complete + 1 + self.config.mispredict_extra_penalty);
+                        cur_block = None;
+                        next_kind = FetchKind::Redirect;
+                    } else if taken {
+                        cur_block = None;
+                        next_kind = match class {
+                            BranchClass::Call => FetchKind::Call {
+                                branch_pc: op.pc,
+                                return_pc: op.pc + 4,
+                            },
+                            BranchClass::Return => FetchKind::Return,
+                            _ => FetchKind::TakenBranch { branch_pc: op.pc },
+                        };
+                        // A predicted-taken branch whose target is not in the BTB
+                        // costs a short fetch bubble while decode produces it.
+                        if class != BranchClass::Return
+                            && self.icache.predicted_target(op.pc) != Some(target)
+                        {
+                            pending_resume = Some(fetched_at + 1 + self.config.btb_miss_penalty);
+                        }
+                    } else {
+                        next_kind = FetchKind::NotTakenBranch { prev_pc: op.pc };
+                    }
+                }
 
-            // ---- keep the bandwidth maps bounded ----
-            ops_since_cleanup += 1;
-            if ops_since_cleanup >= 1 << 16 {
-                ops_since_cleanup = 0;
-                let floor = fetched_at.saturating_sub(4 * self.config.rob_entries as u64);
-                issue_used.retain(|&c, _| c >= floor);
-                commit_used.retain(|&c, _| c >= floor);
+                // ---- commit ----
+                let commit_ready = complete.max(prev_commit);
+                let commit = reserve_slot(
+                    &mut commit_used,
+                    commit_ready,
+                    self.config.commit_width as u32,
+                );
+                prev_commit = commit;
+                last_commit = last_commit.max(commit);
+                rob.push_back(commit);
+                if is_mem {
+                    lsq.push_back(commit);
+                }
+                activity.instructions += 1;
+
+                // ---- keep the bandwidth maps bounded ----
+                ops_since_cleanup += 1;
+                if ops_since_cleanup >= 1 << 16 {
+                    ops_since_cleanup = 0;
+                    let floor = fetched_at.saturating_sub(4 * self.config.rob_entries as u64);
+                    issue_used.retain(|&c, _| c >= floor);
+                    commit_used.retain(|&c, _| c >= floor);
+                }
             }
         }
 

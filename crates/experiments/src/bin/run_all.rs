@@ -9,7 +9,12 @@
 //! document instead of text tables.
 //!
 //! Usage: `cargo run --release -p wp-experiments --bin run_all
-//! [--quick] [--ops N] [--seed N] [--threads N] [--json]`
+//! [--quick] [--ops N] [--seed N] [--threads N] [--json]
+//! [--no-matrix-cache] [--matrix-cache-dir PATH]`
+//!
+//! Results are memoized on disk (see `wp_experiments::matrix_cache`), so a
+//! second identical invocation executes zero simulations; pass
+//! `--no-matrix-cache` to force everything to simulate.
 
 use serde::Serialize;
 use wp_experiments::runner::CliOptions;
@@ -45,7 +50,12 @@ fn main() {
         engine.threads()
     );
     let matrix = engine.run(&plan);
-    debug_assert_eq!(matrix.executed_points(), unique);
+    eprintln!(
+        "run_all: executed {} simulations, {} served from the matrix cache",
+        matrix.executed_points(),
+        matrix.cache_hits()
+    );
+    debug_assert_eq!(matrix.executed_points() + matrix.cache_hits(), unique);
 
     let results = RunAllResult {
         table3: table3::from_matrix(&matrix, &options),

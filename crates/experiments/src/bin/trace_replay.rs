@@ -8,18 +8,24 @@
 //! the predictor policies from workload generation noise.
 //!
 //! Usage: `cargo run --release -p wp-experiments --bin trace_replay --
-//! --trace PATH [--ops N] [--threads N] [--json]`
+//! --trace PATH [--ops N] [--threads N] [--json] [--no-matrix-cache]
+//! [--matrix-cache-dir PATH]`
+//!
+//! Replays participate in the persistent matrix cache keyed by the trace's
+//! content digest; `--no-matrix-cache` forces every policy to re-simulate
+//! (deterministic-run auditing, CI).
 
 use std::path::PathBuf;
 
 use serde::Serialize;
 use wp_cache::DCachePolicy;
-use wp_experiments::engine::{SimEngine, SimPlan, SimPoint};
+use wp_experiments::engine::{SimPlan, SimPoint};
 use wp_experiments::report::{ratio, TextTable};
-use wp_experiments::runner::{MachineConfig, RunOptions};
+use wp_experiments::runner::{CliOptions, MachineConfig, RunOptions};
 use wp_workloads::WorkloadSpec;
 
-const USAGE: &str = "usage: trace_replay --trace PATH [--ops N] [--threads N] [--json]";
+const USAGE: &str = "usage: trace_replay --trace PATH [--ops N] [--threads N] [--json] \
+                     [--no-matrix-cache] [--matrix-cache-dir PATH]";
 
 /// The policies replayed against the recorded stream (the baseline first).
 const POLICIES: [DCachePolicy; 4] = [
@@ -34,6 +40,8 @@ struct Cli {
     ops: Option<usize>,
     threads: Option<usize>,
     json: bool,
+    no_matrix_cache: bool,
+    matrix_cache_dir: Option<PathBuf>,
 }
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
@@ -41,8 +49,17 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
     let mut ops: Option<usize> = None;
     let mut threads: Option<usize> = None;
     let mut json = false;
+    let mut no_matrix_cache = false;
+    let mut matrix_cache_dir: Option<PathBuf> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--no-matrix-cache" => no_matrix_cache = true,
+            "--matrix-cache-dir" => {
+                matrix_cache_dir = Some(PathBuf::from(
+                    args.next()
+                        .ok_or("flag `--matrix-cache-dir` requires a value")?,
+                ))
+            }
             "--trace" => {
                 trace = Some(PathBuf::from(
                     args.next().ok_or("flag `--trace` requires a value")?,
@@ -75,6 +92,8 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
         ops,
         threads,
         json,
+        no_matrix_cache,
+        matrix_cache_dir,
     })
 }
 
@@ -135,10 +154,17 @@ fn main() {
             options,
         ));
     }
-    let engine = match cli.threads {
-        Some(threads) => SimEngine::new(threads),
-        None => SimEngine::default(),
-    };
+    // Reuse the shared engine/cache assembly from the common CLI options,
+    // so replay and the artefact binaries can never diverge on cache
+    // behaviour.
+    let engine = CliOptions {
+        run: options,
+        json: cli.json,
+        threads: cli.threads,
+        no_matrix_cache: cli.no_matrix_cache,
+        matrix_cache_dir: cli.matrix_cache_dir.clone(),
+    }
+    .engine();
     let matrix = engine.run(&plan);
 
     let baseline_machine = MachineConfig::baseline().with_dpolicy(POLICIES[0]);

@@ -17,11 +17,11 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use wp_cpu::SimResult;
 use wp_workloads::{Benchmark, WorkloadSpec};
 
+use crate::matrix_cache::MatrixCache;
 use crate::runner::{simulate_workload, MachineConfig, RunOptions};
 
 /// One simulation point: the full configuration that determines a
@@ -154,6 +154,7 @@ impl SimPlan {
 pub struct SimMatrix {
     results: HashMap<SimPoint, SimResult>,
     executed: usize,
+    cache_hits: usize,
 }
 
 impl SimMatrix {
@@ -247,8 +248,15 @@ impl SimMatrix {
 
     /// How many simulations the engine actually executed into this matrix —
     /// the dedup/memoization invariant: at most one per unique point, ever.
+    /// Points served from the on-disk [`MatrixCache`] do not count.
     pub fn executed_points(&self) -> usize {
         self.executed
+    }
+
+    /// How many points were served from the on-disk [`MatrixCache`] instead
+    /// of being simulated.
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits
     }
 }
 
@@ -277,20 +285,42 @@ impl SimMatrix {
 #[derive(Debug, Clone)]
 pub struct SimEngine {
     threads: usize,
+    cache: Option<MatrixCache>,
 }
 
 impl SimEngine {
     /// An engine running on `threads` worker threads (clamped to at least
-    /// one).
+    /// one), with no persistent cache.
     pub fn new(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
+            cache: None,
         }
     }
 
     /// A single-threaded engine (useful as a determinism reference).
     pub fn serial() -> Self {
         Self::new(1)
+    }
+
+    /// Attaches a persistent on-disk result cache: points whose results are
+    /// already stored are loaded instead of simulated, and freshly
+    /// simulated results are stored back. Results served from the cache are
+    /// bit-identical to simulating (see [`MatrixCache`]).
+    pub fn with_matrix_cache(mut self, cache: MatrixCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Detaches any persistent cache (every missing point simulates).
+    pub fn without_matrix_cache(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
+    /// The attached persistent cache, if any.
+    pub fn matrix_cache(&self) -> Option<&MatrixCache> {
+        self.cache.as_ref()
     }
 
     /// The configured worker-thread count.
@@ -306,18 +336,33 @@ impl SimEngine {
     }
 
     /// Runs the not-yet-simulated points of `plan` into `matrix`. Points
-    /// already present are reused, so repeated calls never re-execute work.
+    /// already present are reused, points stored in the attached
+    /// [`MatrixCache`] are loaded from disk, and only the remainder
+    /// simulates; repeated calls never re-execute work.
     pub fn run_into(&self, matrix: &mut SimMatrix, plan: &SimPlan) {
         let missing: Vec<SimPoint> = plan
             .unique_points()
             .into_iter()
             .filter(|p| !matrix.contains(p))
             .collect();
-        let results = parallel_map(self.threads, &missing, |point| {
+        let mut to_simulate = Vec::with_capacity(missing.len());
+        for point in missing {
+            match self.cache.as_ref().and_then(|cache| cache.load(&point)) {
+                Some(result) => {
+                    matrix.cache_hits += 1;
+                    matrix.results.insert(point, result);
+                }
+                None => to_simulate.push(point),
+            }
+        }
+        let results = parallel_map(self.threads, &to_simulate, |point| {
             simulate_workload(&point.workload, &point.machine, &point.options)
         });
-        matrix.executed += missing.len();
-        for (point, result) in missing.into_iter().zip(results) {
+        matrix.executed += to_simulate.len();
+        for (point, result) in to_simulate.into_iter().zip(results) {
+            if let Some(cache) = &self.cache {
+                cache.store(&point, &result);
+            }
             matrix.results.insert(point, result);
         }
     }
@@ -338,10 +383,13 @@ pub fn available_threads() -> usize {
 }
 
 /// Applies `f` to every item on `threads` scoped worker threads, returning
-/// the outputs in input order. The work-stealing is a shared atomic cursor,
-/// so wall-clock scales with the slowest items rather than a static
-/// partition. Used by the engine and by experiments with non-`simulate`
-/// work (Table 4's trace replays).
+/// the outputs in input order. Work distribution is an atomic-cursor queue:
+/// each worker claims the next index and pushes `(index, result)` into its
+/// own local vector — no per-item lock, no shared result slots — and the
+/// per-worker vectors are merged back into input order at the end.
+/// Wall-clock scales with the slowest items rather than a static partition.
+/// Used by the engine and by experiments with non-`simulate` work (Table
+/// 4's trace replays).
 pub fn parallel_map<T: Sync, R: Send>(
     threads: usize,
     items: &[T],
@@ -352,23 +400,33 @@ pub fn parallel_map<T: Sync, R: Send>(
         return items.iter().map(f).collect();
     }
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let index = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(index) else { break };
-                *slots[index].lock().expect("result slot poisoned") = Some(f(item));
-            });
-        }
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(index) else {
+                            return produced;
+                        };
+                        produced.push((index, f(item)));
+                    }
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|worker| worker.join().expect("parallel_map worker panicked"))
+            .collect()
     });
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    for (index, result) in per_worker.into_iter().flatten() {
+        slots[index] = Some(result);
+    }
     slots
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every index visited exactly once")
-        })
+        .map(|slot| slot.expect("every index visited exactly once"))
         .collect()
 }
 

@@ -66,6 +66,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod matrix_cache;
 pub mod report;
 pub mod runner;
 pub mod table3;
@@ -74,6 +75,7 @@ pub mod table5;
 
 pub use compare::PolicyComparison;
 pub use engine::{SimEngine, SimMatrix, SimPlan, SimPoint};
+pub use matrix_cache::MatrixCache;
 pub use report::TextTable;
 pub use runner::{simulate_workload, BenchmarkRun, CliOptions, MachineConfig, RunOptions};
 

@@ -1,0 +1,312 @@
+//! A persistent on-disk cache of simulation results.
+//!
+//! Every [`SimPoint`] determines its [`SimResult`]
+//! completely (workload identity, machine configuration, run options), so a
+//! result computed once can be reused by every later process. The cache
+//! stores one small binary file per point, named by a stable 64-bit FNV-1a
+//! digest of the point (plus a format-version salt), under a directory that
+//! defaults to `target/wp-matrix-cache` and can be moved with the
+//! `WPSDM_MATRIX_CACHE_DIR` environment variable or the binaries'
+//! `--matrix-cache-dir` flag.
+//!
+//! Invalidation is by digest: changing any component of the point — the
+//! trace seed or length, a cache parameter, a policy, or the workload
+//! (trace workloads hash their *content digest*, not their path) — changes
+//! the digest and therefore misses. Bumping [`CACHE_FORMAT_VERSION`]
+//! invalidates every stored result at once; that is the knob to turn when a
+//! simulator change alters what results mean. Unreadable, truncated, or
+//! version-mismatched files are treated as misses, never as errors.
+//!
+//! Values round-trip exactly: every `f64` is stored via its IEEE-754 bit
+//! pattern, so a result served from disk is bit-identical to the freshly
+//! simulated one (asserted by `tests/matrix_cache.rs`).
+
+use std::hash::{Hash, Hasher};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use wp_cache::{DCacheStats, ICacheStats};
+use wp_cpu::SimResult;
+use wp_energy::ActivityCounts;
+use wp_workloads::Fnv1a;
+
+use crate::engine::SimPoint;
+
+/// Bump to invalidate every previously stored result (the digest of every
+/// point changes). Bump whenever the simulator's meaning of a result
+/// changes — not for pure performance work, which must be bit-identical.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// Magic prefix of a stored result file.
+const MAGIC: &[u8; 4] = b"WPSM";
+
+/// Serialized size of one result: magic + version + digest + 36 numeric
+/// fields of 8 bytes each.
+const RECORD_BYTES: usize = 4 + 4 + 8 + 36 * 8;
+
+/// The persistent result store the engine consults before simulating.
+#[derive(Debug, Clone)]
+pub struct MatrixCache {
+    dir: PathBuf,
+}
+
+impl MatrixCache {
+    /// A cache rooted at `dir` (created lazily on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The default cache location: `$WPSDM_MATRIX_CACHE_DIR`, or
+    /// `target/wp-matrix-cache` relative to the working directory.
+    pub fn default_dir() -> PathBuf {
+        std::env::var_os("WPSDM_MATRIX_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target/wp-matrix-cache"))
+    }
+
+    /// A cache at [`MatrixCache::default_dir`].
+    pub fn at_default_dir() -> Self {
+        Self::new(Self::default_dir())
+    }
+
+    /// The directory results are stored under.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The stable digest naming `point`'s result file.
+    pub fn digest(point: &SimPoint) -> u64 {
+        let mut hasher = Fnv1a::new();
+        CACHE_FORMAT_VERSION.hash(&mut hasher);
+        point.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    fn path_for(&self, digest: u64) -> PathBuf {
+        self.dir.join(format!("{digest:016x}.wpsim"))
+    }
+
+    /// Loads the stored result for `point`, if an intact one exists.
+    pub fn load(&self, point: &SimPoint) -> Option<SimResult> {
+        let digest = Self::digest(point);
+        let bytes = std::fs::read(self.path_for(digest)).ok()?;
+        decode(&bytes, digest)
+    }
+
+    /// Stores `result` for `point`. Best-effort: I/O failures (read-only
+    /// filesystem, permissions) silently degrade to an uncached run. The
+    /// write goes through a per-process temporary file renamed into place,
+    /// so concurrent processes never observe a torn record.
+    pub fn store(&self, point: &SimPoint, result: &SimResult) {
+        let digest = Self::digest(point);
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        let tmp = self
+            .dir
+            .join(format!("{digest:016x}.wpsim.tmp{}", std::process::id()));
+        let write = std::fs::File::create(&tmp)
+            .and_then(|mut file| file.write_all(&encode(result, digest)));
+        if write.is_ok() {
+            let _ = std::fs::rename(&tmp, self.path_for(digest));
+        }
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+fn encode(result: &SimResult, digest: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_BYTES);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&CACHE_FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&digest.to_le_bytes());
+    let mut u = |value: u64| out.extend_from_slice(&value.to_le_bytes());
+    u(result.cycles);
+    let a = &result.activity;
+    for value in [
+        a.cycles,
+        a.instructions,
+        a.int_ops,
+        a.fp_ops,
+        a.loads,
+        a.stores,
+        a.branches,
+        a.l2_accesses,
+    ] {
+        u(value);
+    }
+    let d = &result.dcache;
+    for value in [
+        d.loads,
+        d.load_misses,
+        d.stores,
+        d.store_misses,
+        d.evictions,
+        d.direct_mapped_accesses,
+        d.parallel_accesses,
+        d.way_predicted_accesses,
+        d.sequential_accesses,
+        d.mispredicted_accesses,
+        d.way_predictions,
+        d.way_predictions_correct,
+        d.seldm_predicted_dm,
+        d.seldm_predicted_dm_correct,
+        d.conflicting_blocks_flagged,
+        d.cache_energy.to_bits(),
+        d.prediction_energy.to_bits(),
+    ] {
+        u(value);
+    }
+    let i = &result.icache;
+    for value in [
+        i.fetches,
+        i.fetch_misses,
+        i.sawp_correct,
+        i.btb_correct,
+        i.no_prediction,
+        i.mispredicted,
+        i.cache_energy.to_bits(),
+        i.prediction_energy.to_bits(),
+    ] {
+        u(value);
+    }
+    u(result.memory_accesses);
+    u(result.branch_accuracy.to_bits());
+    debug_assert_eq!(out.len(), RECORD_BYTES);
+    out
+}
+
+fn decode(bytes: &[u8], digest: u64) -> Option<SimResult> {
+    if bytes.len() != RECORD_BYTES || &bytes[0..4] != MAGIC {
+        return None;
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().ok()?);
+    let stored_digest = u64::from_le_bytes(bytes[8..16].try_into().ok()?);
+    if version != CACHE_FORMAT_VERSION || stored_digest != digest {
+        return None;
+    }
+    let mut offset = 16;
+    let mut u = || {
+        let value = u64::from_le_bytes(bytes[offset..offset + 8].try_into().unwrap());
+        offset += 8;
+        value
+    };
+    let cycles = u();
+    let activity = ActivityCounts {
+        cycles: u(),
+        instructions: u(),
+        int_ops: u(),
+        fp_ops: u(),
+        loads: u(),
+        stores: u(),
+        branches: u(),
+        l2_accesses: u(),
+    };
+    let dcache = DCacheStats {
+        loads: u(),
+        load_misses: u(),
+        stores: u(),
+        store_misses: u(),
+        evictions: u(),
+        direct_mapped_accesses: u(),
+        parallel_accesses: u(),
+        way_predicted_accesses: u(),
+        sequential_accesses: u(),
+        mispredicted_accesses: u(),
+        way_predictions: u(),
+        way_predictions_correct: u(),
+        seldm_predicted_dm: u(),
+        seldm_predicted_dm_correct: u(),
+        conflicting_blocks_flagged: u(),
+        cache_energy: f64::from_bits(u()),
+        prediction_energy: f64::from_bits(u()),
+    };
+    let icache = ICacheStats {
+        fetches: u(),
+        fetch_misses: u(),
+        sawp_correct: u(),
+        btb_correct: u(),
+        no_prediction: u(),
+        mispredicted: u(),
+        cache_energy: f64::from_bits(u()),
+        prediction_energy: f64::from_bits(u()),
+    };
+    let memory_accesses = u();
+    let branch_accuracy = f64::from_bits(u());
+    Some(SimResult {
+        cycles,
+        activity,
+        dcache,
+        icache,
+        memory_accesses,
+        branch_accuracy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{simulate_workload, MachineConfig, RunOptions};
+    use wp_workloads::Benchmark;
+
+    fn point() -> SimPoint {
+        SimPoint::new(
+            Benchmark::Li,
+            MachineConfig::baseline(),
+            RunOptions::quick().with_ops(3_000),
+        )
+    }
+
+    fn temp_cache(tag: &str) -> MatrixCache {
+        let dir = std::env::temp_dir().join(format!(
+            "wpsdm-matrix-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        MatrixCache::new(dir)
+    }
+
+    #[test]
+    fn digests_are_stable_and_distinguish_points() {
+        let a = point();
+        let b = SimPoint::new(
+            Benchmark::Li,
+            MachineConfig::baseline(),
+            RunOptions::quick().with_ops(3_000).with_seed(7),
+        );
+        assert_eq!(MatrixCache::digest(&a), MatrixCache::digest(&a));
+        assert_ne!(MatrixCache::digest(&a), MatrixCache::digest(&b));
+    }
+
+    #[test]
+    fn results_round_trip_bit_identically() {
+        let cache = temp_cache("roundtrip");
+        let point = point();
+        let result = simulate_workload(&point.workload, &point.machine, &point.options);
+        assert!(cache.load(&point).is_none());
+        cache.store(&point, &result);
+        let loaded = cache.load(&point).expect("stored result must load");
+        assert_eq!(loaded, result);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_and_truncated_files_are_misses() {
+        let cache = temp_cache("corrupt");
+        let point = point();
+        let result = simulate_workload(&point.workload, &point.machine, &point.options);
+        cache.store(&point, &result);
+        let file = cache
+            .dir()
+            .join(format!("{:016x}.wpsim", MatrixCache::digest(&point)));
+        // Truncated.
+        let full = std::fs::read(&file).expect("stored file exists");
+        std::fs::write(&file, &full[..full.len() - 1]).expect("rewrite");
+        assert!(cache.load(&point).is_none());
+        // Wrong magic.
+        let mut bad = full.clone();
+        bad[0] = b'X';
+        std::fs::write(&file, &bad).expect("rewrite");
+        assert!(cache.load(&point).is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}

@@ -14,6 +14,7 @@ use wp_cpu::{CpuConfig, Processor, SimResult};
 use wp_workloads::{Benchmark, WorkloadSpec};
 
 use crate::engine::{SimEngine, SimMatrix, SimPlan};
+use crate::matrix_cache::MatrixCache;
 
 /// Options shared by every experiment runner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -184,7 +185,7 @@ pub fn simulate_all(machine: &MachineConfig, options: &RunOptions) -> Vec<Benchm
 }
 
 /// Command-line options shared by every experiment binary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct CliOptions {
     /// Simulation length and seed.
     pub run: RunOptions,
@@ -192,6 +193,12 @@ pub struct CliOptions {
     pub json: bool,
     /// Worker threads for the engine (`None` = all available cores).
     pub threads: Option<usize>,
+    /// Disable the persistent on-disk matrix cache (`--no-matrix-cache`):
+    /// every point simulates, and nothing is written back.
+    pub no_matrix_cache: bool,
+    /// Root the matrix cache at this directory instead of
+    /// [`MatrixCache::default_dir`] (`--matrix-cache-dir PATH`).
+    pub matrix_cache_dir: Option<std::path::PathBuf>,
 }
 
 impl CliOptions {
@@ -208,17 +215,30 @@ impl CliOptions {
         }
     }
 
-    /// The engine the options ask for.
+    /// The engine the options ask for: the requested thread count, with the
+    /// persistent matrix cache attached unless `--no-matrix-cache` was
+    /// given (results served from the cache are bit-identical to
+    /// simulating, so the flag exists for determinism auditing and CI,
+    /// not correctness).
     pub fn engine(&self) -> SimEngine {
-        match self.threads {
+        let engine = match self.threads {
             Some(threads) => SimEngine::new(threads),
             None => SimEngine::default(),
+        };
+        if self.no_matrix_cache {
+            return engine;
         }
+        let cache = match &self.matrix_cache_dir {
+            Some(dir) => MatrixCache::new(dir),
+            None => MatrixCache::at_default_dir(),
+        };
+        engine.with_matrix_cache(cache)
     }
 }
 
 /// Usage text shared by the binaries.
-pub const USAGE: &str = "usage: <experiment> [--quick] [--ops N] [--seed N] [--threads N] [--json]";
+pub const USAGE: &str = "usage: <experiment> [--quick] [--ops N] [--seed N] [--threads N] \
+                         [--json] [--no-matrix-cache] [--matrix-cache-dir PATH]";
 
 /// Shared body of the single-artefact binaries: parse the command line,
 /// execute the artefact's plan on the engine, render from the matrix, and
@@ -230,6 +250,18 @@ pub fn artefact_main<R: serde::Serialize>(
 ) {
     let cli = CliOptions::from_env_or_exit();
     let matrix = cli.engine().run(&plan(&cli.run));
+    if matrix.cache_hits() > 0 {
+        // Make cached sweeps impossible to mistake for fresh ones: the
+        // cache is keyed by configuration, not by code, so after a
+        // simulator change the stored results must be dropped (bump
+        // `matrix_cache::CACHE_FORMAT_VERSION`) or bypassed.
+        eprintln!(
+            "note: {} of {} points served from the on-disk matrix cache; \
+             pass --no-matrix-cache to re-simulate everything",
+            matrix.cache_hits(),
+            matrix.cache_hits() + matrix.executed_points()
+        );
+    }
     let result = from_matrix(&matrix, &cli.run);
     if cli.json {
         println!("{}", crate::report::to_json(&result));
@@ -265,10 +297,13 @@ impl std::error::Error for CliError {}
 
 /// Parses the command-line arguments shared by every experiment binary:
 /// `--quick` for the short configuration, `--ops N` and `--seed N` for the
-/// trace, `--threads N` for the engine's worker count, and `--json` for
-/// machine-readable output. Unknown flags are reported as errors rather
-/// than silently ignored, and explicit `--ops`/`--seed` always override
-/// `--quick` regardless of flag order.
+/// trace, `--threads N` for the engine's worker count, `--json` for
+/// machine-readable output, and `--no-matrix-cache` /
+/// `--matrix-cache-dir PATH` to control the persistent result cache (CI
+/// and trace_replay use `--no-matrix-cache` to force every point to
+/// simulate). Unknown flags are reported as errors rather than silently
+/// ignored, and explicit `--ops`/`--seed` always override `--quick`
+/// regardless of flag order.
 pub fn options_from_args(args: impl Iterator<Item = String>) -> Result<CliOptions, CliError> {
     let mut options = CliOptions::default();
     let mut quick = false;
@@ -287,6 +322,13 @@ pub fn options_from_args(args: impl Iterator<Item = String>) -> Result<CliOption
                     return Err(CliError::InvalidValue("--threads", "0".to_string()));
                 }
                 options.threads = Some(threads);
+            }
+            "--no-matrix-cache" => options.no_matrix_cache = true,
+            "--matrix-cache-dir" => {
+                let dir = args
+                    .next()
+                    .ok_or(CliError::MissingValue("--matrix-cache-dir"))?;
+                options.matrix_cache_dir = Some(dir.into());
             }
             other => return Err(CliError::UnknownFlag(other.to_string())),
         }
@@ -389,6 +431,31 @@ mod tests {
         assert_eq!(before.run, after.run);
         // --quick still applies to whatever was not explicitly set.
         assert_eq!(before.run.seed, RunOptions::quick().seed);
+    }
+
+    #[test]
+    fn matrix_cache_flags_parse() {
+        // Default: the persistent cache is attached at the default root.
+        let default = parse(&[]).expect("valid");
+        assert!(!default.no_matrix_cache);
+        assert!(default.engine().matrix_cache().is_some());
+        // --no-matrix-cache detaches it.
+        let off = parse(&["--no-matrix-cache"]).expect("valid");
+        assert!(off.no_matrix_cache);
+        assert!(off.engine().matrix_cache().is_none());
+        // --matrix-cache-dir moves it.
+        let moved = parse(&["--matrix-cache-dir", "/tmp/wpsdm-cache-test"]).expect("valid");
+        assert_eq!(
+            moved
+                .engine()
+                .matrix_cache()
+                .map(|cache| cache.dir().to_path_buf()),
+            Some(std::path::PathBuf::from("/tmp/wpsdm-cache-test"))
+        );
+        assert_eq!(
+            parse(&["--matrix-cache-dir"]),
+            Err(CliError::MissingValue("--matrix-cache-dir"))
+        );
     }
 
     #[test]

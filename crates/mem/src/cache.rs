@@ -43,29 +43,71 @@ pub struct CacheLine {
     pub direct_mapped: bool,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Way {
-    valid: bool,
-    tag: u64,
-    block_addr: BlockAddr,
-    dirty: bool,
-    direct_mapped: bool,
-    /// Larger is more recently used.
-    lru_stamp: u64,
+/// A plain bit vector used for the per-way valid/dirty/direct-mapped flags.
+///
+/// The tag store keeps flags out of the tag array so the hot lookup loop
+/// touches only the contiguous `tags` slice plus one flag word per set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BitSet {
+    words: Vec<u64>,
 }
 
-impl Way {
-    fn empty() -> Self {
+impl BitSet {
+    fn new(bits: usize) -> Self {
         Self {
-            valid: false,
-            tag: 0,
-            block_addr: 0,
-            dirty: false,
-            direct_mapped: false,
-            lru_stamp: 0,
+            words: vec![0; bits.div_ceil(64)],
         }
     }
+
+    #[inline]
+    fn get(&self, index: usize) -> bool {
+        (self.words[index / 64] >> (index % 64)) & 1 != 0
+    }
+
+    /// The `len` bits starting at `base`, as the low bits of one word.
+    /// `base` is always `set * assoc` with both powers of two, so for
+    /// `len <= 64` the range never straddles a word boundary.
+    #[inline]
+    fn range_mask(&self, base: usize, len: usize) -> u64 {
+        debug_assert!(len <= 64 && base % len == 0);
+        let word = self.words[base / 64];
+        let mask = if len == 64 {
+            u64::MAX
+        } else {
+            (1u64 << len) - 1
+        };
+        (word >> (base % 64)) & mask
+    }
+
+    #[inline]
+    fn set(&mut self, index: usize, value: bool) {
+        let word = &mut self.words[index / 64];
+        let bit = 1u64 << (index % 64);
+        if value {
+            *word |= bit;
+        } else {
+            *word &= !bit;
+        }
+    }
+
+    fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
 }
+
+/// What one fused pass over a set observed: the hit way (scan stops there),
+/// or — when the tag missed and the whole set was necessarily visited — the
+/// LRU victim the set-associative fill would choose (first invalid way,
+/// else the first way with the minimum LRU stamp).
+struct SetScan {
+    hit_way: Option<WayIndex>,
+    victim_way: WayIndex,
+}
+
+/// The block was written since it was filled.
+const FLAG_DIRTY: u8 = 1;
+/// The block sits in its direct-mapping way.
+const FLAG_DM: u8 = 2;
 
 /// Result of a cache access or fill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +140,14 @@ impl AccessResult {
 /// The cache stores no data payload — the workspace is a timing and energy
 /// simulator, so only residency, way position, and dirtiness matter.
 ///
+/// The tag store is laid out structure-of-arrays: contiguous `tags` and
+/// `lru_stamps` slices plus valid/dirty/direct-mapped bitsets, all indexed
+/// by `set * associativity + way`, with dirty/direct-mapped sharing one
+/// flag byte per block. Block addresses are reconstructed from
+/// `(set, tag)` on demand, so the lookup loop touches the minimum of
+/// memory, and one fused scan serves the probe, hit, and victim-selection
+/// paths (see `docs/PERFORMANCE.md`).
+///
 /// # Example
 ///
 /// ```
@@ -115,7 +165,17 @@ impl AccessResult {
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
     geometry: CacheGeometry,
-    sets: Vec<Vec<Way>>,
+    /// Ways per set, cached out of the geometry for the hot loop.
+    assoc: usize,
+    /// Tag of the block in `(set, way)`, at index `set * assoc + way`.
+    tags: Vec<u64>,
+    /// LRU stamp of `(set, way)`; larger is more recently used.
+    lru_stamps: Vec<u64>,
+    valid: BitSet,
+    /// Per-block dirty / direct-mapped flag byte ([`FLAG_DIRTY`] |
+    /// [`FLAG_DM`]): the fill path overwrites the whole byte in one store
+    /// and the eviction path reads both flags in one load.
+    flags: Vec<u8>,
     stats: CacheStats,
     clock: u64,
 }
@@ -123,12 +183,96 @@ pub struct SetAssocCache {
 impl SetAssocCache {
     /// Creates an empty cache with the given geometry.
     pub fn new(geometry: CacheGeometry) -> Self {
-        let sets = vec![vec![Way::empty(); geometry.associativity()]; geometry.num_sets()];
+        let blocks = geometry.num_blocks();
         Self {
             geometry,
-            sets,
+            assoc: geometry.associativity(),
+            tags: vec![0; blocks],
+            lru_stamps: vec![0; blocks],
+            valid: BitSet::new(blocks),
+            flags: vec![0; blocks],
             stats: CacheStats::default(),
             clock: 0,
+        }
+    }
+
+    /// One fused pass over `set`'s ways: the hot loop compares only the
+    /// contiguous tag slice against one valid-bit word, stopping at a
+    /// match; on a miss — where the whole set was necessarily visited — it
+    /// also reports the victim a set-associative fill would choose (first
+    /// invalid way, else the first way with the minimum LRU stamp), so the
+    /// fill path never re-scans the tags.
+    #[inline(always)]
+    fn scan(&self, base: usize, tag: u64) -> SetScan {
+        if self.assoc > 64 {
+            return self.scan_wide(base, tag);
+        }
+        let valid_mask = self.valid.range_mask(base, self.assoc);
+        let tags = &self.tags[base..base + self.assoc];
+        for (way, &resident) in tags.iter().enumerate() {
+            if resident == tag && valid_mask & (1 << way) != 0 {
+                return SetScan {
+                    hit_way: Some(way),
+                    victim_way: 0,
+                };
+            }
+        }
+        let full = if self.assoc == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.assoc) - 1
+        };
+        let victim_way = if valid_mask != full {
+            // First invalid way.
+            (!valid_mask).trailing_zeros() as usize
+        } else {
+            // All valid: first way with the minimum LRU stamp.
+            let stamps = &self.lru_stamps[base..base + self.assoc];
+            let mut lru_way = 0;
+            let mut lru_stamp = stamps[0];
+            for (way, &stamp) in stamps.iter().enumerate().skip(1) {
+                if stamp < lru_stamp {
+                    lru_stamp = stamp;
+                    lru_way = way;
+                }
+            }
+            lru_way
+        };
+        SetScan {
+            hit_way: None,
+            victim_way,
+        }
+    }
+
+    /// Bit-at-a-time variant of [`SetAssocCache::scan`] for associativities
+    /// beyond one mask word (cold: no realistic configuration needs it).
+    #[cold]
+    fn scan_wide(&self, base: usize, tag: u64) -> SetScan {
+        let mut first_invalid = None;
+        let mut lru_way = 0;
+        let mut lru_stamp = u64::MAX;
+        for way in 0..self.assoc {
+            let index = base + way;
+            if !self.valid.get(index) {
+                if first_invalid.is_none() {
+                    first_invalid = Some(way);
+                }
+                continue;
+            }
+            if self.tags[index] == tag {
+                return SetScan {
+                    hit_way: Some(way),
+                    victim_way: 0,
+                };
+            }
+            if self.lru_stamps[index] < lru_stamp {
+                lru_stamp = self.lru_stamps[index];
+                lru_way = way;
+            }
+        }
+        SetScan {
+            hit_way: None,
+            victim_way: first_invalid.unwrap_or(lru_way),
         }
     }
 
@@ -151,19 +295,19 @@ impl SetAssocCache {
     ///
     /// Returns the way holding the block if it is resident. This models a
     /// pure tag-array probe.
+    #[inline]
     pub fn probe(&self, addr: Addr) -> Option<WayIndex> {
-        let set = self.geometry.set_index(addr);
-        let tag = self.geometry.tag(addr);
-        self.sets[set].iter().position(|w| w.valid && w.tag == tag)
+        let base = self.geometry.set_index(addr) * self.assoc;
+        self.scan(base, self.geometry.tag(addr)).hit_way
     }
 
     /// Returns the resident line at (`set`, `way`), if any.
     pub fn line(&self, set: usize, way: WayIndex) -> Option<CacheLine> {
-        let w = &self.sets[set][way];
-        w.valid.then_some(CacheLine {
-            block_addr: w.block_addr,
-            dirty: w.dirty,
-            direct_mapped: w.direct_mapped,
+        let index = set * self.assoc + way;
+        self.valid.get(index).then_some(CacheLine {
+            block_addr: self.geometry.block_addr_from_parts(set, self.tags[index]),
+            dirty: self.flags[index] & FLAG_DIRTY != 0,
+            direct_mapped: self.flags[index] & FLAG_DM != 0,
         })
     }
 
@@ -173,32 +317,34 @@ impl SetAssocCache {
     /// On a miss the returned [`AccessResult::evicted`] carries the victim
     /// block so callers (e.g. the selective-DM victim list) can observe
     /// replacements.
+    #[inline(always)]
     pub fn access(&mut self, addr: Addr, kind: AccessKind, placement: Placement) -> AccessResult {
         self.clock += 1;
         let set = self.geometry.set_index(addr);
         let tag = self.geometry.tag(addr);
         let dm_way = self.geometry.direct_mapped_way(addr);
+        let base = set * self.assoc;
 
-        if let Some(way) = self.sets[set].iter().position(|w| w.valid && w.tag == tag) {
-            let entry = &mut self.sets[set][way];
-            entry.lru_stamp = self.clock;
+        let scan = self.scan(base, tag);
+        if let Some(way) = scan.hit_way {
+            let index = base + way;
+            self.lru_stamps[index] = self.clock;
             if kind == AccessKind::Write {
-                entry.dirty = true;
+                self.flags[index] |= FLAG_DIRTY;
             }
-            let in_dm = way == dm_way;
             self.stats.record_hit(kind);
             return AccessResult {
                 hit: true,
                 way,
-                in_direct_mapped_way: in_dm,
+                in_direct_mapped_way: way == dm_way,
                 evicted: None,
             };
         }
 
         self.stats.record_miss(kind);
-        let (way, evicted) = self.fill_at(set, tag, addr, dm_way, placement);
+        let (way, evicted) = self.fill_scanned(set, tag, dm_way, placement, scan.victim_way);
         if kind == AccessKind::Write {
-            self.sets[set][way].dirty = true;
+            self.flags[base + way] |= FLAG_DIRTY;
         }
         AccessResult {
             hit: false,
@@ -213,81 +359,69 @@ impl SetAssocCache {
     ///
     /// Returns the way filled and the evicted block, if any. If the block is
     /// already resident the call only refreshes its LRU state.
+    #[inline]
     pub fn fill(&mut self, addr: Addr, placement: Placement) -> (WayIndex, Option<CacheLine>) {
         self.clock += 1;
         let set = self.geometry.set_index(addr);
         let tag = self.geometry.tag(addr);
         let dm_way = self.geometry.direct_mapped_way(addr);
-        if let Some(way) = self.sets[set].iter().position(|w| w.valid && w.tag == tag) {
-            self.sets[set][way].lru_stamp = self.clock;
+        let base = set * self.assoc;
+        let scan = self.scan(base, tag);
+        if let Some(way) = scan.hit_way {
+            self.lru_stamps[base + way] = self.clock;
             return (way, None);
         }
-        self.fill_at(set, tag, addr, dm_way, placement)
+        self.fill_scanned(set, tag, dm_way, placement, scan.victim_way)
     }
 
     /// Invalidates `addr` if resident, returning the line that was removed.
     pub fn invalidate(&mut self, addr: Addr) -> Option<CacheLine> {
         let set = self.geometry.set_index(addr);
-        let tag = self.geometry.tag(addr);
-        let way = self.sets[set]
-            .iter()
-            .position(|w| w.valid && w.tag == tag)?;
+        let base = set * self.assoc;
+        let way = self.scan(base, self.geometry.tag(addr)).hit_way?;
         let line = self.line(set, way);
-        self.sets[set][way] = Way::empty();
+        let index = base + way;
+        self.valid.set(index, false);
+        self.flags[index] = 0;
+        self.tags[index] = 0;
+        self.lru_stamps[index] = 0;
         line
     }
 
     /// Number of valid blocks currently resident.
     pub fn resident_blocks(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.iter().filter(|w| w.valid).count())
-            .sum()
+        self.valid.count_ones()
     }
 
-    fn fill_at(
+    /// Fills `(set, tag)` after a miss whose set scan already chose the
+    /// set-associative victim (`scanned_victim`); direct-mapped placement
+    /// overrides it with the DM way.
+    fn fill_scanned(
         &mut self,
         set: usize,
         tag: u64,
-        addr: Addr,
         dm_way: WayIndex,
         placement: Placement,
+        scanned_victim: WayIndex,
     ) -> (WayIndex, Option<CacheLine>) {
         let victim_way = match placement {
             Placement::DirectMapped => dm_way,
-            Placement::SetAssociative => self.choose_victim(set),
+            Placement::SetAssociative => scanned_victim,
         };
-        let victim = &self.sets[set][victim_way];
-        let evicted = victim.valid.then_some(CacheLine {
-            block_addr: victim.block_addr,
-            dirty: victim.dirty,
-            direct_mapped: victim.direct_mapped,
+        let index = set * self.assoc + victim_way;
+        let evicted = self.valid.get(index).then(|| CacheLine {
+            block_addr: self.geometry.block_addr_from_parts(set, self.tags[index]),
+            dirty: self.flags[index] & FLAG_DIRTY != 0,
+            direct_mapped: self.flags[index] & FLAG_DM != 0,
         });
         if evicted.is_some() {
             self.stats.record_eviction();
         }
-        self.sets[set][victim_way] = Way {
-            valid: true,
-            tag,
-            block_addr: self.geometry.block_addr(addr),
-            dirty: false,
-            direct_mapped: victim_way == dm_way,
-            lru_stamp: self.clock,
-        };
+        self.valid.set(index, true);
+        self.flags[index] = if victim_way == dm_way { FLAG_DM } else { 0 };
+        self.tags[index] = tag;
+        self.lru_stamps[index] = self.clock;
         (victim_way, evicted)
-    }
-
-    fn choose_victim(&self, set: usize) -> WayIndex {
-        // Prefer an invalid way; otherwise evict the least recently used.
-        if let Some(way) = self.sets[set].iter().position(|w| !w.valid) {
-            return way;
-        }
-        self.sets[set]
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| w.lru_stamp)
-            .map(|(i, _)| i)
-            .unwrap_or(0)
     }
 }
 

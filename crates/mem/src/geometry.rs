@@ -87,6 +87,17 @@ pub struct CacheGeometry {
     num_sets: usize,
     block_offset_bits: u32,
     index_bits: u32,
+    // Precomputed shift/mask values so no per-access address decomposition
+    // re-derives them (all parameters are enforced powers of two at
+    // construction, so every operation below is a shift or a mask).
+    /// `!(block_bytes - 1)`: clears the offset bits.
+    block_mask: u64,
+    /// `num_sets - 1`: selects the index bits after the offset shift.
+    set_mask: u64,
+    /// `associativity - 1`: selects the DM-way bits after the tag shift.
+    way_mask: u64,
+    /// `block_offset_bits + index_bits`: the tag shift.
+    tag_shift: u32,
 }
 
 impl CacheGeometry {
@@ -139,13 +150,19 @@ impl CacheGeometry {
                 value: num_sets,
             });
         }
+        let block_offset_bits = block_bytes.trailing_zeros();
+        let index_bits = num_sets.trailing_zeros();
         Ok(Self {
             size_bytes,
             block_bytes,
             associativity,
             num_sets,
-            block_offset_bits: block_bytes.trailing_zeros(),
-            index_bits: num_sets.trailing_zeros(),
+            block_offset_bits,
+            index_bits,
+            block_mask: !((block_bytes as u64) - 1),
+            set_mask: (num_sets as u64) - 1,
+            way_mask: (associativity as u64) - 1,
+            tag_shift: block_offset_bits + index_bits,
         })
     }
 
@@ -191,18 +208,21 @@ impl CacheGeometry {
     }
 
     /// The block-aligned address of `addr` (offset bits cleared).
+    #[inline]
     pub fn block_addr(&self, addr: Addr) -> BlockAddr {
-        addr & !((self.block_bytes as u64) - 1)
+        addr & self.block_mask
     }
 
     /// The set index of `addr`.
+    #[inline]
     pub fn set_index(&self, addr: Addr) -> usize {
-        ((addr >> self.block_offset_bits) & ((self.num_sets as u64) - 1)) as usize
+        ((addr >> self.block_offset_bits) & self.set_mask) as usize
     }
 
     /// The tag of `addr` (everything above the index bits).
+    #[inline]
     pub fn tag(&self, addr: Addr) -> u64 {
-        addr >> (self.block_offset_bits + self.index_bits)
+        addr >> self.tag_shift
     }
 
     /// The direct-mapping way of `addr`: the way the address would occupy in
@@ -210,9 +230,18 @@ impl CacheGeometry {
     /// `log2(associativity)` address bits just above the set index
     /// (Section 2.1: "the address's index bits extended with log2 N bits
     /// borrowed from the tag").
+    #[inline]
     pub fn direct_mapped_way(&self, addr: Addr) -> WayIndex {
-        ((addr >> (self.block_offset_bits + self.index_bits)) & ((self.associativity as u64) - 1))
-            as WayIndex
+        ((addr >> self.tag_shift) & self.way_mask) as WayIndex
+    }
+
+    /// Reconstructs the block-aligned address of the block with `tag`
+    /// resident in `set` — the inverse of [`CacheGeometry::tag`] /
+    /// [`CacheGeometry::set_index`], used by the tag store so it never has
+    /// to keep full block addresses alongside the tags.
+    #[inline]
+    pub fn block_addr_from_parts(&self, set: usize, tag: u64) -> BlockAddr {
+        (tag << self.tag_shift) | ((set as u64) << self.block_offset_bits)
     }
 
     /// Number of blocks the cache can hold in total.
@@ -303,6 +332,16 @@ mod tests {
             CacheGeometry::new(100, 32, 4),
             Err(GeometryError::SizeNotDivisible { .. })
         ));
+    }
+
+    #[test]
+    fn block_addr_round_trips_through_parts() {
+        let geom = CacheGeometry::new(16 * 1024, 32, 4).expect("valid geometry");
+        for addr in [0u64, 0x1234_5678, 0xdead_beef, 0xffff_ffff_ffc0] {
+            let set = geom.set_index(addr);
+            let tag = geom.tag(addr);
+            assert_eq!(geom.block_addr_from_parts(set, tag), geom.block_addr(addr));
+        }
     }
 
     #[test]

@@ -48,6 +48,7 @@ impl CacheStats {
     }
 
     /// Records a hit of the given kind.
+    #[inline]
     pub fn record_hit(&mut self, kind: AccessKind) {
         match kind {
             AccessKind::Read => self.reads += 1,
@@ -56,6 +57,7 @@ impl CacheStats {
     }
 
     /// Records a miss of the given kind.
+    #[inline]
     pub fn record_miss(&mut self, kind: AccessKind) {
         match kind {
             AccessKind::Read => {
@@ -70,6 +72,7 @@ impl CacheStats {
     }
 
     /// Records an eviction.
+    #[inline]
     pub fn record_eviction(&mut self) {
         self.evictions += 1;
     }

@@ -70,11 +70,13 @@ impl SelDmPredictor {
         self.counters.len()
     }
 
+    #[inline]
     fn index(&self, pc: Addr) -> usize {
         ((pc >> 2) as usize) & (self.counters.len() - 1)
     }
 
     /// Predicts the mapping for the load at `pc`.
+    #[inline]
     pub fn predict(&self, pc: Addr) -> MappingPrediction {
         if self.counters[self.index(pc)].is_high() {
             MappingPrediction::SetAssociative
@@ -85,6 +87,7 @@ impl SelDmPredictor {
 
     /// Records that the load at `pc` hit in its direct-mapping way
     /// (decrements the counter toward direct mapping).
+    #[inline]
     pub fn record_direct_mapped_hit(&mut self, pc: Addr) {
         let idx = self.index(pc);
         self.counters[idx].decrement();
@@ -93,6 +96,7 @@ impl SelDmPredictor {
     /// Records that the load at `pc` hit through a set-associative
     /// (non-direct-mapping) way (increments the counter toward
     /// set-associative mapping).
+    #[inline]
     pub fn record_set_associative_hit(&mut self, pc: Addr) {
         let idx = self.index(pc);
         self.counters[idx].increment();

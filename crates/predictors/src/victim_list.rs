@@ -14,6 +14,9 @@ struct VictimEntry {
     block: BlockAddr,
     count: u32,
     last_use: u64,
+    /// Cached [`VictimList::filter_bit`] of `block`, so filter rebuilds
+    /// after a displacement never re-hash.
+    bit: u64,
 }
 
 /// A small, fully-associative list of recently evicted block addresses with
@@ -40,6 +43,17 @@ pub struct VictimList {
     clock: u64,
     allocations: u64,
     replacements: u64,
+    /// 64-bit membership filter over the *conflicting* entries: bit
+    /// `hash(block) % 64` is set for every block whose count exceeds the
+    /// threshold. [`VictimList::is_conflicting`] is consulted on every
+    /// d-cache access and almost always answers "no"; a clear filter bit
+    /// proves that without scanning the list. A set bit falls back to the
+    /// exact scan, so answers are identical to the unfiltered list.
+    conflict_filter: u64,
+    /// Same construction over *all* tracked entries: every eviction of a
+    /// block the list has never seen (the common case — most victims are
+    /// new) skips the exact find and goes straight to allocation.
+    presence_filter: u64,
 }
 
 impl VictimList {
@@ -59,6 +73,28 @@ impl VictimList {
             clock: 0,
             allocations: 0,
             replacements: 0,
+            conflict_filter: 0,
+            presence_filter: 0,
+        }
+    }
+
+    /// The filter bit of `block` (multiplicative hash: block addresses are
+    /// block-aligned, so the low bits carry no information).
+    #[inline]
+    fn filter_bit(block: BlockAddr) -> u64 {
+        1 << (block.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58)
+    }
+
+    /// Rebuilds both filters from the entries (after a displacement
+    /// removed a block, its bits may have to go).
+    fn rebuild_filters(&mut self) {
+        self.presence_filter = 0;
+        self.conflict_filter = 0;
+        for entry in &self.entries {
+            self.presence_filter |= entry.bit;
+            if entry.count > self.conflict_threshold {
+                self.conflict_filter |= entry.bit;
+            }
         }
     }
 
@@ -100,12 +136,27 @@ impl VictimList {
     /// set-associative position on the refill.
     pub fn record_eviction(&mut self, block: BlockAddr) -> bool {
         self.clock += 1;
-        if let Some(entry) = self.entries.iter_mut().find(|e| e.block == block) {
-            entry.count += 1;
-            entry.last_use = self.clock;
-            return entry.count > self.conflict_threshold;
+        let threshold = self.conflict_threshold;
+        let bit = Self::filter_bit(block);
+        if self.presence_filter & bit != 0 {
+            // Possibly tracked: the exact find decides.
+            if let Some(entry) = self.entries.iter_mut().find(|e| e.block == block) {
+                entry.count += 1;
+                entry.last_use = self.clock;
+                let conflicting = entry.count > threshold;
+                if conflicting {
+                    self.conflict_filter |= bit;
+                }
+                return conflicting;
+            }
         }
         self.allocations += 1;
+        let entry = VictimEntry {
+            block,
+            count: 1,
+            last_use: self.clock,
+            bit,
+        };
         if self.entries.len() == self.capacity {
             self.replacements += 1;
             // Replace the least recently touched entry (captures conflicts
@@ -117,25 +168,36 @@ impl VictimList {
                 .min_by_key(|(_, e)| e.last_use)
                 .map(|(i, _)| i)
             {
-                self.entries[pos] = VictimEntry {
-                    block,
-                    count: 1,
-                    last_use: self.clock,
-                };
+                let displaced_conflicting = self.entries[pos].count > threshold;
+                self.entries[pos] = entry;
+                self.presence_filter |= bit;
+                // Displacements leave stale bits behind (harmless: a stale
+                // bit only costs a wasted exact scan). Rebuild exactly when
+                // a conflicting block was displaced — is_conflicting answers
+                // depend on it staying tight — and periodically so the
+                // presence filter does not saturate under heavy thrashing.
+                if displaced_conflicting || self.replacements & 0xFF == 0 {
+                    self.rebuild_filters();
+                }
             }
         } else {
-            self.entries.push(VictimEntry {
-                block,
-                count: 1,
-                last_use: self.clock,
-            });
+            self.entries.push(entry);
+            self.presence_filter |= bit;
         }
-        1 > self.conflict_threshold
+        let conflicting = 1 > threshold;
+        if conflicting {
+            self.conflict_filter |= bit;
+        }
+        conflicting
     }
 
     /// True if `block` has been evicted more than the threshold number of
     /// times while tracked by the list.
+    #[inline]
     pub fn is_conflicting(&self, block: BlockAddr) -> bool {
+        if self.conflict_filter & Self::filter_bit(block) == 0 {
+            return false;
+        }
         self.entries
             .iter()
             .any(|e| e.block == block && e.count > self.conflict_threshold)

@@ -30,10 +30,12 @@ impl WayTable {
         }
     }
 
+    #[inline]
     fn index(&self, handle: u64) -> usize {
         (handle as usize) & (self.entries.len() - 1)
     }
 
+    #[inline]
     fn predict(&mut self, handle: u64) -> Option<WayIndex> {
         let prediction = self.entries[self.index(handle)];
         match prediction {
@@ -43,6 +45,7 @@ impl WayTable {
         prediction
     }
 
+    #[inline]
     fn update(&mut self, handle: u64, way: WayIndex) {
         let idx = self.index(handle);
         self.entries[idx] = Some(way);

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod generator;
 mod op;
 mod profile;
@@ -54,12 +55,13 @@ pub mod scenario;
 pub mod trace;
 mod workload;
 
+pub use batch::{fill_from_iter, IterBlockSource, OpBlockSource, OpBuffer, DEFAULT_OP_BLOCK};
 pub use generator::{TraceConfig, TraceGenerator};
 pub use op::{BranchClass, MicroOp, OpKind};
 pub use profile::{Benchmark, BenchmarkProfile};
 pub use scenario::{Scenario, ScenarioGenerator};
 pub use trace::{
-    capture_to_file, file_digest, TextTraceReader, TextTraceWriter, TraceError, TraceHandle,
+    capture_to_file, file_digest, Fnv1a, TextTraceReader, TextTraceWriter, TraceError, TraceHandle,
     TraceId, TraceReader, TraceReplay, TraceWriter, TRACE_MAGIC, TRACE_VERSION,
 };
 pub use workload::{WorkloadSpec, WorkloadStream};

@@ -838,24 +838,86 @@ impl TraceHandle {
     }
 }
 
+/// A deterministic, Rust-version-stable 64-bit FNV-1a hasher — the one
+/// content-identity hash of the workspace, shared by the trace digest and
+/// the experiment engine's on-disk result cache. (The standard library's
+/// default hasher is randomly keyed per process, which would make on-disk
+/// identities unstable.)
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::hash::Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    // The integer methods are overridden with explicit little-endian
+    // encodings (usize widened to u64): the std defaults feed native-endian,
+    // pointer-width-dependent bytes and are documented as unstable across
+    // releases, which would break on-disk identities derived through
+    // `#[derive(Hash)]`.
+
+    fn write_u8(&mut self, i: u8) {
+        self.write(&[i]);
+    }
+
+    fn write_u16(&mut self, i: u16) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u128(&mut self, i: u128) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
 /// FNV-1a (64-bit) digest over a file's bytes, streamed in 64 KiB chunks.
 ///
 /// # Errors
 ///
 /// Returns any I/O error from reading the file.
 pub fn file_digest(path: &Path) -> Result<u64, TraceError> {
+    use std::hash::Hasher as _;
     let mut file = File::open(path)?;
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut hash = Fnv1a::new();
     let mut buffer = [0u8; 64 * 1024];
     loop {
         let n = file.read(&mut buffer)?;
         if n == 0 {
-            return Ok(hash);
+            return Ok(hash.finish());
         }
-        for &byte in &buffer[..n] {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x100_0000_01b3);
-        }
+        hash.write(&buffer[..n]);
     }
 }
 

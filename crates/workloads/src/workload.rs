@@ -21,6 +21,7 @@
 //! assert_eq!(trace.len(), 500);
 //! ```
 
+use crate::batch::{fill_from_iter, OpBlockSource, OpBuffer};
 use crate::generator::{TraceConfig, TraceGenerator};
 use crate::op::MicroOp;
 use crate::profile::Benchmark;
@@ -163,6 +164,19 @@ impl Iterator for WorkloadStream {
             WorkloadStream::Generated(g) => g.size_hint(),
             WorkloadStream::Scenario(s) => s.size_hint(),
             WorkloadStream::Replay(r) => r.size_hint(),
+        }
+    }
+}
+
+impl OpBlockSource for WorkloadStream {
+    /// Refills `buf` resolving the source variant once per block rather
+    /// than once per op, so the processor's block loop runs monomorphic
+    /// against the concrete generator.
+    fn fill(&mut self, buf: &mut OpBuffer) -> usize {
+        match self {
+            WorkloadStream::Generated(g) => fill_from_iter(g.as_mut(), buf),
+            WorkloadStream::Scenario(s) => fill_from_iter(s, buf),
+            WorkloadStream::Replay(r) => fill_from_iter(r, buf),
         }
     }
 }

@@ -1,0 +1,147 @@
+//! Integration tests for the persistent on-disk matrix cache: the full
+//! run_all plan produces bit-identical results whether points are
+//! simulated fresh (no cache), simulated into a cold cache, or served from
+//! a warm cache — and a warm `run_all` executes zero simulations.
+
+use std::path::PathBuf;
+
+use wpsdm::experiments::engine::SimEngine;
+use wpsdm::experiments::matrix_cache::MatrixCache;
+use wpsdm::experiments::{
+    fig10, fig11, fig4, fig5, fig6, fig7, fig8, fig9, report, run_all_plan, table3, table4, table5,
+    RunOptions, SimMatrix,
+};
+
+/// A trace length small enough to sweep the full run_all plan three times.
+fn tiny() -> RunOptions {
+    RunOptions::quick().with_ops(2_000)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wpsdm-matrix-itest-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Renders every one of the 11 figure/table artefacts from a matrix as one
+/// JSON document — the repo's definition of "the outputs".
+fn render_all(matrix: &SimMatrix, options: &RunOptions) -> Vec<String> {
+    vec![
+        report::to_json(&table3::from_matrix(matrix, options)),
+        report::to_json(&table4::from_matrix(matrix, options)),
+        report::to_json(&fig4::from_matrix(matrix, options)),
+        report::to_json(&fig5::from_matrix(matrix, options)),
+        report::to_json(&fig6::from_matrix(matrix, options)),
+        report::to_json(&table5::from_matrix(matrix, options)),
+        report::to_json(&fig7::from_matrix(matrix, options)),
+        report::to_json(&fig8::from_matrix(matrix, options)),
+        report::to_json(&fig9::from_matrix(matrix, options)),
+        report::to_json(&fig10::from_matrix(matrix, options)),
+        report::to_json(&fig11::from_matrix(matrix, options)),
+    ]
+}
+
+#[test]
+fn warm_cache_serves_all_eleven_artefacts_bit_identically() {
+    let options = tiny();
+    let plan = run_all_plan(&options);
+    let unique = plan.unique_points().len();
+    let dir = temp_dir("warm");
+
+    // Reference: no cache involved at all.
+    let uncached_engine = SimEngine::default();
+    let uncached = uncached_engine.run(&plan);
+    assert_eq!(uncached.executed_points(), unique);
+    assert_eq!(uncached.cache_hits(), 0);
+
+    // Cold: everything simulates, results are stored.
+    let cached_engine = SimEngine::default().with_matrix_cache(MatrixCache::new(&dir));
+    let cold = cached_engine.run(&plan);
+    assert_eq!(cold.executed_points(), unique);
+    assert_eq!(cold.cache_hits(), 0);
+
+    // Warm: a second run_all-shaped sweep executes ZERO simulations.
+    let warm = cached_engine.run(&plan);
+    assert_eq!(
+        warm.executed_points(),
+        0,
+        "a warm matrix cache must serve every point without simulating"
+    );
+    assert_eq!(warm.cache_hits(), unique);
+
+    // Every point's result is bit-identical across all three matrices
+    // (PartialEq on SimResult compares the f64 energy totals exactly).
+    for point in plan.unique_points() {
+        let fresh = uncached.require_workload(&point.workload, &point.machine, &point.options);
+        let stored = cold.require_workload(&point.workload, &point.machine, &point.options);
+        let served = warm.require_workload(&point.workload, &point.machine, &point.options);
+        assert_eq!(fresh, stored, "{}: cold run diverged", point.workload);
+        assert_eq!(fresh, served, "{}: warm run diverged", point.workload);
+    }
+
+    // And all 11 rendered figure/table outputs are identical.
+    let from_fresh = render_all(&uncached, &options);
+    let from_warm = render_all(&warm, &options);
+    assert_eq!(from_fresh.len(), 11);
+    for (index, (fresh, warm)) in from_fresh.iter().zip(from_warm.iter()).enumerate() {
+        assert_eq!(fresh, warm, "artefact #{index} rendered differently");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_survives_thread_count_changes() {
+    let options = tiny();
+    let mut plan = wpsdm::experiments::engine::SimPlan::new();
+    plan.add_all_benchmarks(wpsdm::experiments::MachineConfig::baseline(), options);
+    let dir = temp_dir("threads");
+
+    let serial = SimEngine::serial().with_matrix_cache(MatrixCache::new(&dir));
+    let cold = serial.run(&plan);
+    assert_eq!(cold.cache_hits(), 0);
+
+    // A differently-parallel engine over the same directory hits every
+    // point: the digest depends only on the point, not the schedule.
+    let parallel = SimEngine::new(8).with_matrix_cache(MatrixCache::new(&dir));
+    let warm = parallel.run(&plan);
+    assert_eq!(warm.executed_points(), 0);
+    assert_eq!(warm.cache_hits(), plan.unique_points().len());
+    for point in plan.unique_points() {
+        assert_eq!(
+            cold.require_workload(&point.workload, &point.machine, &point.options),
+            warm.require_workload(&point.workload, &point.machine, &point.options),
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn changed_options_miss_the_cache() {
+    let options = tiny();
+    let dir = temp_dir("invalidate");
+    let engine = SimEngine::default().with_matrix_cache(MatrixCache::new(&dir));
+
+    let mut plan = wpsdm::experiments::engine::SimPlan::new();
+    plan.add(wpsdm::experiments::SimPoint::new(
+        wpsdm::workloads::Benchmark::Gcc,
+        wpsdm::experiments::MachineConfig::baseline(),
+        options,
+    ));
+    let first = engine.run(&plan);
+    assert_eq!(first.executed_points(), 1);
+
+    // A different seed is a different point: digest changes, cache misses.
+    let mut reseeded = wpsdm::experiments::engine::SimPlan::new();
+    reseeded.add(wpsdm::experiments::SimPoint::new(
+        wpsdm::workloads::Benchmark::Gcc,
+        wpsdm::experiments::MachineConfig::baseline(),
+        options.with_seed(options.seed + 1),
+    ));
+    let second = engine.run(&reseeded);
+    assert_eq!(second.executed_points(), 1);
+    assert_eq!(second.cache_hits(), 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -10,6 +10,172 @@ use wpsdm::mem::{AccessKind, CacheGeometry, Placement, SetAssocCache};
 use wpsdm::predictors::{MappingPrediction, SaturatingCounter, SelDmPredictor, VictimList};
 use wpsdm::workloads::{Benchmark, TraceConfig, TraceGenerator};
 
+/// The pre-flattening tag store: the nested-`Vec<Vec<Way>>` implementation
+/// the structure-of-arrays [`SetAssocCache`] replaced, kept verbatim as a
+/// behavioural reference. The property tests below drive both over
+/// arbitrary address streams and demand the same hit/way/eviction sequence
+/// access for access.
+mod reference {
+    use wpsdm::mem::{AccessKind, AccessResult, CacheGeometry, CacheLine, Placement, WayIndex};
+
+    #[derive(Debug, Clone, Copy)]
+    struct Way {
+        valid: bool,
+        tag: u64,
+        block_addr: u64,
+        dirty: bool,
+        direct_mapped: bool,
+        lru_stamp: u64,
+    }
+
+    impl Way {
+        fn empty() -> Self {
+            Self {
+                valid: false,
+                tag: 0,
+                block_addr: 0,
+                dirty: false,
+                direct_mapped: false,
+                lru_stamp: 0,
+            }
+        }
+    }
+
+    pub struct NestedVecCache {
+        geometry: CacheGeometry,
+        sets: Vec<Vec<Way>>,
+        clock: u64,
+    }
+
+    impl NestedVecCache {
+        pub fn new(geometry: CacheGeometry) -> Self {
+            let sets = vec![vec![Way::empty(); geometry.associativity()]; geometry.num_sets()];
+            Self {
+                geometry,
+                sets,
+                clock: 0,
+            }
+        }
+
+        pub fn probe(&self, addr: u64) -> Option<WayIndex> {
+            let set = self.geometry.set_index(addr);
+            let tag = self.geometry.tag(addr);
+            self.sets[set].iter().position(|w| w.valid && w.tag == tag)
+        }
+
+        pub fn resident_blocks(&self) -> usize {
+            self.sets
+                .iter()
+                .map(|s| s.iter().filter(|w| w.valid).count())
+                .sum()
+        }
+
+        pub fn access(
+            &mut self,
+            addr: u64,
+            kind: AccessKind,
+            placement: Placement,
+        ) -> AccessResult {
+            self.clock += 1;
+            let set = self.geometry.set_index(addr);
+            let tag = self.geometry.tag(addr);
+            let dm_way = self.geometry.direct_mapped_way(addr);
+            if let Some(way) = self.sets[set].iter().position(|w| w.valid && w.tag == tag) {
+                let entry = &mut self.sets[set][way];
+                entry.lru_stamp = self.clock;
+                if kind == AccessKind::Write {
+                    entry.dirty = true;
+                }
+                return AccessResult {
+                    hit: true,
+                    way,
+                    in_direct_mapped_way: way == dm_way,
+                    evicted: None,
+                };
+            }
+            let (way, evicted) = self.fill_at(set, tag, addr, dm_way, placement);
+            if kind == AccessKind::Write {
+                self.sets[set][way].dirty = true;
+            }
+            AccessResult {
+                hit: false,
+                way,
+                in_direct_mapped_way: way == dm_way,
+                evicted,
+            }
+        }
+
+        pub fn fill(&mut self, addr: u64, placement: Placement) -> (WayIndex, Option<CacheLine>) {
+            self.clock += 1;
+            let set = self.geometry.set_index(addr);
+            let tag = self.geometry.tag(addr);
+            let dm_way = self.geometry.direct_mapped_way(addr);
+            if let Some(way) = self.sets[set].iter().position(|w| w.valid && w.tag == tag) {
+                self.sets[set][way].lru_stamp = self.clock;
+                return (way, None);
+            }
+            self.fill_at(set, tag, addr, dm_way, placement)
+        }
+
+        pub fn invalidate(&mut self, addr: u64) -> Option<CacheLine> {
+            let set = self.geometry.set_index(addr);
+            let tag = self.geometry.tag(addr);
+            let way = self.sets[set]
+                .iter()
+                .position(|w| w.valid && w.tag == tag)?;
+            let w = &self.sets[set][way];
+            let line = CacheLine {
+                block_addr: w.block_addr,
+                dirty: w.dirty,
+                direct_mapped: w.direct_mapped,
+            };
+            self.sets[set][way] = Way::empty();
+            Some(line)
+        }
+
+        fn fill_at(
+            &mut self,
+            set: usize,
+            tag: u64,
+            addr: u64,
+            dm_way: WayIndex,
+            placement: Placement,
+        ) -> (WayIndex, Option<CacheLine>) {
+            let victim_way = match placement {
+                Placement::DirectMapped => dm_way,
+                Placement::SetAssociative => self.choose_victim(set),
+            };
+            let victim = &self.sets[set][victim_way];
+            let evicted = victim.valid.then_some(CacheLine {
+                block_addr: victim.block_addr,
+                dirty: victim.dirty,
+                direct_mapped: victim.direct_mapped,
+            });
+            self.sets[set][victim_way] = Way {
+                valid: true,
+                tag,
+                block_addr: self.geometry.block_addr(addr),
+                dirty: false,
+                direct_mapped: victim_way == dm_way,
+                lru_stamp: self.clock,
+            };
+            (victim_way, evicted)
+        }
+
+        fn choose_victim(&self, set: usize) -> WayIndex {
+            if let Some(way) = self.sets[set].iter().position(|w| !w.valid) {
+                return way;
+            }
+            self.sets[set]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.lru_stamp)
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        }
+    }
+}
+
 /// A strategy over valid L1-style geometries.
 fn geometry_strategy() -> impl Strategy<Value = CacheGeometry> {
     (0usize..=3, 0usize..=2, 0usize..=3).prop_map(|(size, block, assoc)| {
@@ -149,6 +315,69 @@ proptest! {
         let b: Vec<_> = TraceGenerator::new(config).collect();
         prop_assert_eq!(a.len(), ops);
         prop_assert_eq!(a, b);
+    }
+
+    /// The flat structure-of-arrays tag store is access-for-access
+    /// equivalent to the nested-Vec implementation it replaced: the same
+    /// hit/way/eviction sequence over arbitrary interleavings of reads,
+    /// writes, fills, and invalidates, under both placement modes.
+    #[test]
+    fn soa_cache_matches_nested_vec_reference(
+        geometry in geometry_strategy(),
+        ops in prop::collection::vec((0u64..0x8_0000, 0u8..4, any::<bool>()), 1..300),
+    ) {
+        let mut flat = SetAssocCache::new(geometry);
+        let mut reference = reference::NestedVecCache::new(geometry);
+        for (addr, action, direct) in ops {
+            let placement = if direct {
+                Placement::DirectMapped
+            } else {
+                Placement::SetAssociative
+            };
+            match action {
+                0 => {
+                    let a = flat.access(addr, AccessKind::Read, placement);
+                    let b = reference.access(addr, AccessKind::Read, placement);
+                    prop_assert_eq!(a, b);
+                }
+                1 => {
+                    let a = flat.access(addr, AccessKind::Write, placement);
+                    let b = reference.access(addr, AccessKind::Write, placement);
+                    prop_assert_eq!(a, b);
+                }
+                2 => {
+                    prop_assert_eq!(flat.fill(addr, placement), reference.fill(addr, placement));
+                }
+                _ => {
+                    prop_assert_eq!(flat.invalidate(addr), reference.invalidate(addr));
+                }
+            }
+            prop_assert_eq!(flat.probe(addr), reference.probe(addr));
+            prop_assert_eq!(flat.resident_blocks(), reference.resident_blocks());
+        }
+    }
+
+    /// Dense conflict streams (every address in one set) keep the two
+    /// implementations in lock-step through sustained LRU evictions.
+    #[test]
+    fn soa_cache_matches_reference_under_conflict_pressure(
+        assoc in 0usize..=3,
+        tags in prop::collection::vec(0u64..12, 1..200),
+        writes in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let geometry =
+            CacheGeometry::new(4 * 1024, 32, 1 << assoc).expect("valid geometry");
+        let set_stride = (geometry.num_sets() * geometry.block_bytes()) as u64;
+        let mut flat = SetAssocCache::new(geometry);
+        let mut reference = reference::NestedVecCache::new(geometry);
+        for (tag, write) in tags.iter().zip(writes.iter().cycle()) {
+            let addr = tag * set_stride;
+            let kind = if *write { AccessKind::Write } else { AccessKind::Read };
+            let a = flat.access(addr, kind, Placement::SetAssociative);
+            let b = reference.access(addr, kind, Placement::SetAssociative);
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(flat.resident_blocks(), reference.resident_blocks());
     }
 
     /// Controller accounting identity: every load lands in exactly one

@@ -1,6 +1,6 @@
 //! End-to-end throughput report: `BENCH_sim_throughput.json`.
 //!
-//! Measures the three numbers the performance trajectory of this repo is
+//! Measures the numbers the performance trajectory of this repo is
 //! tracked by (see `docs/PERFORMANCE.md`):
 //!
 //! 1. the single-thread d-cache access loop, in ops/sec — the inner loop
@@ -8,7 +8,11 @@
 //! 2. the full processor timing model, in ops/sec;
 //! 3. wall-clock for a `run_all`-shaped engine sweep, cold (every point
 //!    simulated) and warm (every point served from the on-disk matrix
-//!    cache).
+//!    cache);
+//! 4. the same cold sweep with gang scheduling on vs off (`sweep_gang`) —
+//!    the cost of regenerating every workload stream per point;
+//! 5. the SWAR tag-match primitive vs its retained scalar reference
+//!    (`tag_match`).
 //!
 //! Usage: `cargo run --release -p wp-bench --bin bench_report --
 //! [--quick] [--out PATH]`
@@ -143,6 +147,51 @@ fn processor_loop(ops: usize) -> (f64, f64) {
     (ops as f64 / seconds, seconds)
 }
 
+/// Measures one set-probe implementation over a synthetic 4-way tag array:
+/// every probe scans one set's lane under a valid mask, with the hit way
+/// varying probe to probe the way a live sweep's fused scan sees it —
+/// exactly the access pattern whose early-exit branches the SWAR path
+/// eliminates. Returns `(probes_per_sec, seconds)`, best of three.
+fn tag_match_loop(probes: usize, f: impl Fn(&[u64], u64, u64) -> Option<usize>) -> (f64, f64) {
+    const SETS: usize = 4096;
+    const ASSOC: usize = 4;
+    // Deterministic pseudo-random resident tags.
+    let mut state = 0x243f_6a88_85a3_08d3u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let tags: Vec<u64> = (0..SETS * ASSOC).map(|_| next() % 64).collect();
+    let probe_tags: Vec<u64> = (0..8192)
+        .map(|i| {
+            if i & 1 == 0 {
+                // A resident tag in an unpredictable way of some set.
+                tags[(next() as usize) % tags.len()]
+            } else {
+                // Likely absent.
+                64 + next() % 64
+            }
+        })
+        .collect();
+    let mut best_seconds = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let mut sink = 0usize;
+        for i in 0..probes {
+            let base = (i % SETS) * ASSOC;
+            let lane = &tags[base..base + ASSOC];
+            let probe = probe_tags[i % probe_tags.len()];
+            sink = sink.wrapping_add(f(lane, probe, 0b1111).map_or(0, |way| way + 1));
+        }
+        let seconds = start.elapsed().as_secs_f64();
+        std::hint::black_box(sink);
+        best_seconds = best_seconds.min(seconds);
+    }
+    (probes as f64 / best_seconds, best_seconds)
+}
+
 fn main() {
     let cli = match parse_args() {
         Ok(cli) => cli,
@@ -153,10 +202,10 @@ fn main() {
         }
     };
 
-    let (dcache_accesses, cpu_ops, sweep_ops) = if cli.quick {
-        (400_000usize, 120_000usize, 4_000usize)
+    let (dcache_accesses, cpu_ops, sweep_ops, tag_probes) = if cli.quick {
+        (400_000usize, 120_000usize, 4_000usize, 2_000_000usize)
     } else {
-        (4_000_000, 1_200_000, 20_000)
+        (4_000_000, 1_200_000, 20_000, 20_000_000)
     };
 
     eprintln!("bench_report: d-cache access loop ({dcache_accesses} accesses per policy)");
@@ -188,10 +237,31 @@ fn main() {
     let warm_hits = warm.cache_hits();
     let _ = std::fs::remove_dir_all(&cache_dir);
 
+    eprintln!("bench_report: gang-scheduled vs point-at-a-time cold sweep");
+    // Same methodology as every other section: an untimed warm-up, then
+    // best of three timed repetitions — interleaved pair-wise so neither
+    // mode systematically inherits a warmer host than the other.
+    let gang_matrix = SimEngine::default().run(&plan);
+    std::hint::black_box(&gang_matrix);
+    let mut gang_secs = f64::INFINITY;
+    let mut no_gang_secs = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        std::hint::black_box(SimEngine::default().without_gang().run(&plan));
+        no_gang_secs = no_gang_secs.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        std::hint::black_box(SimEngine::default().run(&plan));
+        gang_secs = gang_secs.min(start.elapsed().as_secs_f64());
+    }
+
+    eprintln!("bench_report: SWAR vs scalar tag match ({tag_probes} probes)");
+    let (swar_per_sec, swar_secs) = tag_match_loop(tag_probes, wp_mem::swar::first_hit);
+    let (scalar_per_sec, scalar_secs) = tag_match_loop(tag_probes, wp_mem::swar::first_hit_scalar);
+
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"wpsdm/bench_sim_throughput/v1\",\n",
+            "  \"schema\": \"wpsdm/bench_sim_throughput/v2\",\n",
             "  \"mode\": \"{mode}\",\n",
             "  \"dcache_access_loop\": {{\n",
             "    \"accesses\": {dacc},\n",
@@ -213,6 +283,24 @@ fn main() {
             "    \"warm_seconds\": {warms:.4},\n",
             "    \"warm_executed\": {warme},\n",
             "    \"warm_cache_hits\": {warmh}\n",
+            "  }},\n",
+            "  \"sweep_gang\": {{\n",
+            "    \"ops_per_point\": {sops},\n",
+            "    \"unique_points\": {uniq},\n",
+            "    \"gang_seconds\": {gangs:.4},\n",
+            "    \"no_gang_seconds\": {nogangs:.4},\n",
+            "    \"gang_speedup\": {gangx:.3},\n",
+            "    \"streams_materialized\": {streams},\n",
+            "    \"ops_generated\": {opsg},\n",
+            "    \"ops_consumed\": {opsc}\n",
+            "  }},\n",
+            "  \"tag_match\": {{\n",
+            "    \"probes\": {tprobes},\n",
+            "    \"swar_matches_per_sec\": {swarps:.0},\n",
+            "    \"swar_seconds\": {swars:.4},\n",
+            "    \"scalar_matches_per_sec\": {scalps:.0},\n",
+            "    \"scalar_seconds\": {scals:.4},\n",
+            "    \"swar_speedup\": {swarx:.3}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -232,6 +320,18 @@ fn main() {
         warms = warm_secs,
         warme = warm_executed,
         warmh = warm_hits,
+        gangs = gang_secs,
+        nogangs = no_gang_secs,
+        gangx = no_gang_secs / gang_secs,
+        streams = gang_matrix.streams_materialized(),
+        opsg = gang_matrix.ops_generated(),
+        opsc = gang_matrix.ops_consumed(),
+        tprobes = tag_probes,
+        swarps = swar_per_sec,
+        swars = swar_secs,
+        scalps = scalar_per_sec,
+        scals = scalar_secs,
+        swarx = swar_per_sec / scalar_per_sec,
     );
     if let Err(error) = std::fs::write(&cli.out, &json) {
         eprintln!("error: cannot write {}: {error}", cli.out.display());

@@ -18,8 +18,10 @@ use crate::access::{
     WaySource,
 };
 use crate::config::{ConfigError, L1Config};
-use crate::policy::DCachePolicy;
+use crate::policy::{DCachePolicy, DPolicyKernel};
 use crate::stats::DCacheStats;
+
+use std::marker::PhantomData;
 
 /// Address type re-used from the memory substrate.
 pub type Addr = wp_mem::Addr;
@@ -140,7 +142,15 @@ impl DWaySelect {
     /// position; every other policy uses conventional LRU placement.
     #[inline]
     pub fn placement(&self, block_addr: wp_mem::BlockAddr) -> Placement {
-        if !self.policy.uses_selective_dm() || self.victims.is_conflicting(block_addr) {
+        self.placement_policy(self.policy, block_addr)
+    }
+
+    /// [`DWaySelect::placement`] with the policy supplied by the caller —
+    /// the monomorphized kernels pass a compile-time constant here, so the
+    /// selective-DM test folds away.
+    #[inline(always)]
+    fn placement_policy(&self, policy: DCachePolicy, block_addr: wp_mem::BlockAddr) -> Placement {
+        if !policy.uses_selective_dm() || self.victims.is_conflicting(block_addr) {
             Placement::SetAssociative
         } else {
             Placement::DirectMapped
@@ -164,8 +174,24 @@ impl WaySelect for DWaySelect {
 
     #[inline]
     fn select(&mut self, ctx: &DLoadCtx) -> Selection {
+        self.select_policy(self.policy, ctx)
+    }
+
+    #[inline]
+    fn train(&mut self, ctx: &DLoadCtx, observed: Observation, cache: &SetAssocCache) -> Energy {
+        self.train_policy(self.policy, ctx, observed, cache)
+    }
+}
+
+impl DWaySelect {
+    /// [`WaySelect::select`] with the policy supplied by the caller instead
+    /// of read from `self`: the monomorphized kernels pass
+    /// [`crate::DPolicyKernel::POLICY`], a compile-time constant, so the
+    /// policy `match` folds to the one live arm.
+    #[inline(always)]
+    fn select_policy(&mut self, policy: DCachePolicy, ctx: &DLoadCtx) -> Selection {
         let table = self.table_energy;
-        match self.policy {
+        match policy {
             DCachePolicy::Parallel => Selection::parallel(),
             DCachePolicy::Sequential => Selection {
                 choice: WaySelection::Sequential,
@@ -193,7 +219,7 @@ impl WaySelect for DWaySelect {
                     };
                 }
                 // Predicted conflicting: fall back to the configured scheme.
-                match self.policy {
+                match policy {
                     DCachePolicy::SelDmParallel => Selection {
                         choice: WaySelection::Parallel,
                         source: WaySource::None,
@@ -214,10 +240,18 @@ impl WaySelect for DWaySelect {
         }
     }
 
-    #[inline]
-    fn train(&mut self, ctx: &DLoadCtx, observed: Observation, _cache: &SetAssocCache) -> Energy {
+    /// [`WaySelect::train`] with the policy supplied by the caller; see
+    /// [`DWaySelect::select_policy`].
+    #[inline(always)]
+    fn train_policy(
+        &mut self,
+        policy: DCachePolicy,
+        ctx: &DLoadCtx,
+        observed: Observation,
+        _cache: &SetAssocCache,
+    ) -> Energy {
         // Way-table training with the way the block actually occupies now.
-        match self.policy {
+        match policy {
             DCachePolicy::WayPredictPc => self.pc_way.update(ctx.pc, observed.way),
             DCachePolicy::WayPredictXor => self.xor_way.update(ctx.approx_addr, observed.way),
             DCachePolicy::SelDmWayPredict
@@ -229,7 +263,7 @@ impl WaySelect for DWaySelect {
         }
         // Train the selective-DM counter on read hits, whatever handled the
         // access (Section 2.2.2).
-        if self.policy.uses_selective_dm() && observed.hit {
+        if policy.uses_selective_dm() && observed.hit {
             if observed.in_direct_mapped_way {
                 self.seldm.record_direct_mapped_hit(ctx.pc);
             } else {
@@ -249,6 +283,25 @@ impl DWaySelect {
             source: WaySource::WayTable,
             energy,
         }
+    }
+}
+
+/// [`DWaySelect`] viewed through a compile-time policy: the [`WaySelect`]
+/// impl forwards to the `*_policy` methods with [`DPolicyKernel::POLICY`],
+/// so inside a monomorphized kernel every policy `match` folds to one arm.
+struct KernelSelect<'a, K: DPolicyKernel>(&'a mut DWaySelect, PhantomData<K>);
+
+impl<K: DPolicyKernel> WaySelect for KernelSelect<'_, K> {
+    type Ctx = DLoadCtx;
+
+    #[inline(always)]
+    fn select(&mut self, ctx: &DLoadCtx) -> Selection {
+        self.0.select_policy(K::POLICY, ctx)
+    }
+
+    #[inline(always)]
+    fn train(&mut self, ctx: &DLoadCtx, observed: Observation, cache: &SetAssocCache) -> Energy {
+        self.0.train_policy(K::POLICY, ctx, observed, cache)
     }
 }
 
@@ -317,8 +370,44 @@ impl DCacheController {
     /// the selective-DM victim list where applicable); the caller is
     /// responsible for adding the L2/memory latency to the returned L1
     /// latency.
+    ///
+    /// Dispatches once to the monomorphized kernel matching the controller's
+    /// policy; callers that hold the policy statically (the processor's
+    /// per-policy run loops) use [`DCacheController::load_kernel`] directly
+    /// and skip even this one dispatch.
     #[inline]
     pub fn load(&mut self, pc: Addr, addr: Addr, approx_addr: Addr) -> DAccessOutcome {
+        crate::with_dpolicy_kernel!(self.policy, K => self.load_impl::<K>(pc, addr, approx_addr))
+    }
+
+    /// [`DCacheController::load`] through the monomorphized kernel `K`:
+    /// straight-line code for exactly one policy, with every policy `match`
+    /// (way selection, training, fill placement) folded at compile time.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `K::POLICY` matches the controller's runtime
+    /// policy; in release builds a mismatched kernel silently accounts the
+    /// access under `K::POLICY`'s rules.
+    #[inline]
+    pub fn load_kernel<K: DPolicyKernel>(
+        &mut self,
+        pc: Addr,
+        addr: Addr,
+        approx_addr: Addr,
+    ) -> DAccessOutcome {
+        debug_assert_eq!(K::POLICY, self.policy);
+        self.load_impl::<K>(pc, addr, approx_addr)
+    }
+
+    /// The shared load body, generic over the compile-time policy.
+    #[inline(always)]
+    fn load_impl<K: DPolicyKernel>(
+        &mut self,
+        pc: Addr,
+        addr: Addr,
+        approx_addr: Addr,
+    ) -> DAccessOutcome {
         self.stats.loads += 1;
         let geometry = self.core.cache().geometry();
         let ctx = DLoadCtx {
@@ -327,9 +416,10 @@ impl DCacheController {
             dm_way: geometry.direct_mapped_way(addr),
         };
         let block_addr = geometry.block_addr(addr);
-        let placement = self.select.placement(block_addr);
+        let placement = self.select.placement_policy(K::POLICY, block_addr);
 
-        let access = self.core.read(&mut self.select, &ctx, addr, placement);
+        let mut select = KernelSelect::<K>(&mut self.select, PhantomData);
+        let access = self.core.read(&mut select, &ctx, addr, placement);
         if !access.result.hit {
             self.stats.load_misses += 1;
         }

@@ -59,5 +59,5 @@ pub use access::{
 pub use config::{ConfigError, L1Config};
 pub use dcache::{DAccessClass, DAccessOutcome, DCacheController, DLoadCtx, DWaySelect};
 pub use icache::{FetchCtx, FetchKind, IAccessClass, IAccessOutcome, ICacheController, IWaySelect};
-pub use policy::{DCachePolicy, ICachePolicy};
+pub use policy::{kernels, DCachePolicy, DPolicyKernel, ICachePolicy};
 pub use stats::{DCacheStats, ICacheStats};

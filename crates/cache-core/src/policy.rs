@@ -95,6 +95,100 @@ impl std::fmt::Display for DCachePolicy {
     }
 }
 
+/// A [`DCachePolicy`] lifted to the type level, so the per-access policy
+/// dispatch monomorphizes away.
+///
+/// The runtime policy enum is matched once per *access* on the generic
+/// path; a kernel carries the policy as an associated constant, so
+/// [`crate::DCacheController::load_kernel`] (and the processor's
+/// per-policy `run_blocks` instantiations built on it) compile to
+/// straight-line code for exactly one policy — the `match` folds at
+/// compile time. [`kernels`] provides one zero-sized kernel per policy.
+pub trait DPolicyKernel {
+    /// The policy this kernel is specialised for.
+    const POLICY: DCachePolicy;
+}
+
+/// One zero-sized [`DPolicyKernel`] per [`DCachePolicy`] variant.
+pub mod kernels {
+    use super::{DCachePolicy, DPolicyKernel};
+
+    macro_rules! kernel {
+        ($(#[$doc:meta] $name:ident => $policy:ident),* $(,)?) => {
+            $(
+                #[$doc]
+                #[derive(Debug, Clone, Copy, Default)]
+                pub struct $name;
+                impl DPolicyKernel for $name {
+                    const POLICY: DCachePolicy = DCachePolicy::$policy;
+                }
+            )*
+        };
+    }
+
+    kernel! {
+        /// Kernel for [`DCachePolicy::Parallel`].
+        Parallel => Parallel,
+        /// Kernel for [`DCachePolicy::Sequential`].
+        Sequential => Sequential,
+        /// Kernel for [`DCachePolicy::WayPredictPc`].
+        WayPredictPc => WayPredictPc,
+        /// Kernel for [`DCachePolicy::WayPredictXor`].
+        WayPredictXor => WayPredictXor,
+        /// Kernel for [`DCachePolicy::SelDmParallel`].
+        SelDmParallel => SelDmParallel,
+        /// Kernel for [`DCachePolicy::SelDmWayPredict`].
+        SelDmWayPredict => SelDmWayPredict,
+        /// Kernel for [`DCachePolicy::SelDmSequential`].
+        SelDmSequential => SelDmSequential,
+        /// Kernel for [`DCachePolicy::PerfectWayPredict`].
+        PerfectWayPredict => PerfectWayPredict,
+    }
+}
+
+/// Dispatches `$body` with `$kernel` bound to the [`DPolicyKernel`] type
+/// matching the runtime policy `$policy` — the single point where a
+/// runtime [`DCachePolicy`] is lifted to the type level.
+#[macro_export]
+macro_rules! with_dpolicy_kernel {
+    ($policy:expr, $kernel:ident => $body:expr) => {
+        match $policy {
+            $crate::DCachePolicy::Parallel => {
+                type $kernel = $crate::kernels::Parallel;
+                $body
+            }
+            $crate::DCachePolicy::Sequential => {
+                type $kernel = $crate::kernels::Sequential;
+                $body
+            }
+            $crate::DCachePolicy::WayPredictPc => {
+                type $kernel = $crate::kernels::WayPredictPc;
+                $body
+            }
+            $crate::DCachePolicy::WayPredictXor => {
+                type $kernel = $crate::kernels::WayPredictXor;
+                $body
+            }
+            $crate::DCachePolicy::SelDmParallel => {
+                type $kernel = $crate::kernels::SelDmParallel;
+                $body
+            }
+            $crate::DCachePolicy::SelDmWayPredict => {
+                type $kernel = $crate::kernels::SelDmWayPredict;
+                $body
+            }
+            $crate::DCachePolicy::SelDmSequential => {
+                type $kernel = $crate::kernels::SelDmSequential;
+                $body
+            }
+            $crate::DCachePolicy::PerfectWayPredict => {
+                type $kernel = $crate::kernels::PerfectWayPredict;
+                $body
+            }
+        }
+    };
+}
+
 /// How i-cache fetches are accessed (Section 2.3, Figure 10).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ICachePolicy {

@@ -21,6 +21,7 @@
 //! an extra cycle on every load.
 
 use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use serde::{Deserialize, Serialize};
 use wp_cache::{
@@ -122,6 +123,39 @@ pub struct Processor {
 /// the trace generator's limit and the ROB size).
 const MAX_DEP_WINDOW: usize = 64;
 
+/// A single-multiply hasher for the cycle-keyed bandwidth maps. The keys
+/// are dense, trusted cycle numbers, so SipHash's DoS resistance buys
+/// nothing — but its cost lands on every op (two map reservations each).
+/// A Fibonacci multiply spreads sequential keys across the table just as
+/// well. The map's *contents* are what they always were; only the bucket
+/// placement changes, which no lookup result depends on.
+#[derive(Debug, Default)]
+struct CycleHasher(u64);
+
+impl Hasher for CycleHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u64 keys are ever hashed; route stray byte writes through
+        // the same multiply for completeness.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A cycle-number → reservation-count map with the cheap hasher.
+type CycleMap = HashMap<u64, u32, BuildHasherDefault<CycleHasher>>;
+
 impl Processor {
     /// Assembles a processor from its parts.
     pub fn new(
@@ -200,12 +234,28 @@ impl Processor {
     /// entry point: the source refills a reusable [`OpBuffer`] and the
     /// scheduling loop walks plain slices, resolving the workload kind once
     /// per block instead of once per op.
+    ///
+    /// The d-cache policy is resolved *once per run*, not once per access:
+    /// this dispatches to a monomorphized instantiation of the scheduling
+    /// loop per [`DCachePolicy`], inside which every load goes through
+    /// [`DCacheController::load_kernel`] with the policy as a compile-time
+    /// constant.
     pub fn run_blocks(&mut self, source: &mut impl OpBlockSource) -> SimResult {
+        wp_cache::with_dpolicy_kernel!(self.dcache.policy(), K => {
+            self.run_blocks_kernel::<K>(source)
+        })
+    }
+
+    /// The scheduling loop, monomorphized for one d-cache policy.
+    fn run_blocks_kernel<K: wp_cache::DPolicyKernel>(
+        &mut self,
+        source: &mut impl OpBlockSource,
+    ) -> SimResult {
         let block_mask = !(self.dcache.config().block_bytes as u64 - 1);
 
         let mut activity = ActivityCounts::default();
-        let mut issue_used: HashMap<u64, u32> = HashMap::new();
-        let mut commit_used: HashMap<u64, u32> = HashMap::new();
+        let mut issue_used = CycleMap::default();
+        let mut commit_used = CycleMap::default();
         let mut completes: VecDeque<u64> = VecDeque::with_capacity(MAX_DEP_WINDOW);
         let mut rob: VecDeque<u64> = VecDeque::with_capacity(self.config.rob_entries);
         let mut lsq: VecDeque<u64> = VecDeque::with_capacity(self.config.lsq_entries);
@@ -286,7 +336,7 @@ impl Processor {
                     }
                     OpKind::Load { addr, approx_addr } => {
                         activity.loads += 1;
-                        let out = self.dcache.load(op.pc, addr, approx_addr);
+                        let out = self.dcache.load_kernel::<K>(op.pc, addr, approx_addr);
                         let mut lat = out.latency;
                         if out.is_miss() {
                             let (below, _) = self.hierarchy.access(addr, AccessKind::Read);
@@ -399,7 +449,7 @@ impl Processor {
 
 /// Finds the first cycle at or after `start` with a free slot (fewer than
 /// `width` reservations) and reserves it.
-fn reserve_slot(used: &mut HashMap<u64, u32>, start: u64, width: u32) -> u64 {
+fn reserve_slot(used: &mut CycleMap, start: u64, width: u32) -> u64 {
     let mut cycle = start;
     loop {
         let entry = used.entry(cycle).or_insert(0);
@@ -437,7 +487,7 @@ mod tests {
 
     #[test]
     fn reserve_slot_respects_bandwidth() {
-        let mut used = HashMap::new();
+        let mut used = CycleMap::default();
         assert_eq!(reserve_slot(&mut used, 10, 2), 10);
         assert_eq!(reserve_slot(&mut used, 10, 2), 10);
         assert_eq!(reserve_slot(&mut used, 10, 2), 11);

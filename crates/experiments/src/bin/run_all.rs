@@ -55,6 +55,15 @@ fn main() {
         matrix.executed_points(),
         matrix.cache_hits()
     );
+    eprintln!(
+        "run_all: {} gangs, {} streams materialized, \
+         {} ops generated for {} ops consumed ({:.2}x stream dedup)",
+        matrix.gangs(),
+        matrix.streams_materialized(),
+        matrix.ops_generated(),
+        matrix.ops_consumed(),
+        matrix.ops_consumed() as f64 / matrix.ops_generated().max(1) as f64,
+    );
     debug_assert_eq!(matrix.executed_points() + matrix.cache_hits(), unique);
 
     let results = RunAllResult {

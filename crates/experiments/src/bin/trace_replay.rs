@@ -25,7 +25,7 @@ use wp_experiments::runner::{CliOptions, MachineConfig, RunOptions};
 use wp_workloads::WorkloadSpec;
 
 const USAGE: &str = "usage: trace_replay --trace PATH [--ops N] [--threads N] [--json] \
-                     [--no-matrix-cache] [--matrix-cache-dir PATH]";
+                     [--no-gang] [--no-matrix-cache] [--matrix-cache-dir PATH]";
 
 /// The policies replayed against the recorded stream (the baseline first).
 const POLICIES: [DCachePolicy; 4] = [
@@ -40,6 +40,7 @@ struct Cli {
     ops: Option<usize>,
     threads: Option<usize>,
     json: bool,
+    no_gang: bool,
     no_matrix_cache: bool,
     matrix_cache_dir: Option<PathBuf>,
 }
@@ -49,10 +50,12 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
     let mut ops: Option<usize> = None;
     let mut threads: Option<usize> = None;
     let mut json = false;
+    let mut no_gang = false;
     let mut no_matrix_cache = false;
     let mut matrix_cache_dir: Option<PathBuf> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--no-gang" => no_gang = true,
             "--no-matrix-cache" => no_matrix_cache = true,
             "--matrix-cache-dir" => {
                 matrix_cache_dir = Some(PathBuf::from(
@@ -92,6 +95,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
         ops,
         threads,
         json,
+        no_gang,
         no_matrix_cache,
         matrix_cache_dir,
     })
@@ -161,11 +165,21 @@ fn main() {
         run: options,
         json: cli.json,
         threads: cli.threads,
+        no_gang: cli.no_gang,
         no_matrix_cache: cli.no_matrix_cache,
         matrix_cache_dir: cli.matrix_cache_dir.clone(),
     }
     .engine();
     let matrix = engine.run(&plan);
+    eprintln!(
+        "trace_replay: {} gangs, {} streams materialized, \
+         {} ops generated for {} ops consumed ({:.2}x stream dedup)",
+        matrix.gangs(),
+        matrix.streams_materialized(),
+        matrix.ops_generated(),
+        matrix.ops_consumed(),
+        matrix.ops_consumed() as f64 / matrix.ops_generated().max(1) as f64,
+    );
 
     let baseline_machine = MachineConfig::baseline().with_dpolicy(POLICIES[0]);
     let baseline = matrix.require_workload(&workload, &baseline_machine, &options);

@@ -19,10 +19,10 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use wp_cpu::SimResult;
-use wp_workloads::{Benchmark, WorkloadSpec};
+use wp_workloads::{Benchmark, SharedStream, StreamKey, WorkloadSpec, DEFAULT_STREAM_MEMORY_CAP};
 
 use crate::matrix_cache::MatrixCache;
-use crate::runner::{simulate_workload, MachineConfig, RunOptions};
+use crate::runner::{simulate_workload, simulate_workload_shared, MachineConfig, RunOptions};
 
 /// One simulation point: the full configuration that determines a
 /// [`SimResult`].
@@ -155,6 +155,10 @@ pub struct SimMatrix {
     results: HashMap<SimPoint, SimResult>,
     executed: usize,
     cache_hits: usize,
+    gangs: usize,
+    streams_materialized: usize,
+    ops_generated: u64,
+    ops_consumed: u64,
 }
 
 impl SimMatrix {
@@ -258,6 +262,34 @@ impl SimMatrix {
     pub fn cache_hits(&self) -> usize {
         self.cache_hits
     }
+
+    /// How many gangs (groups of executed points sharing one workload
+    /// stream) the engine scheduled into this matrix. Zero when gang
+    /// scheduling is disabled or nothing simulated.
+    pub fn gangs(&self) -> usize {
+        self.gangs
+    }
+
+    /// How many workload streams were materialized for gang-scheduled
+    /// execution — the stream-production counter: with gangs enabled this
+    /// equals the number of distinct [`StreamKey`]s simulated, never the
+    /// point count.
+    pub fn streams_materialized(&self) -> usize {
+        self.streams_materialized
+    }
+
+    /// Total micro-ops *produced* by workload sources for this matrix. With
+    /// gang scheduling each shared stream is produced once; without it,
+    /// every point produces its own.
+    pub fn ops_generated(&self) -> u64 {
+        self.ops_generated
+    }
+
+    /// Total micro-ops *consumed* by simulations into this matrix. The
+    /// ratio against [`SimMatrix::ops_generated`] is the gang dedup factor.
+    pub fn ops_consumed(&self) -> u64 {
+        self.ops_consumed
+    }
 }
 
 /// Executes [`SimPlan`]s into [`SimMatrix`]es, in parallel.
@@ -286,15 +318,19 @@ impl SimMatrix {
 pub struct SimEngine {
     threads: usize,
     cache: Option<MatrixCache>,
+    gang: bool,
+    stream_memory_cap: usize,
 }
 
 impl SimEngine {
     /// An engine running on `threads` worker threads (clamped to at least
-    /// one), with no persistent cache.
+    /// one), with no persistent cache and gang scheduling enabled.
     pub fn new(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
             cache: None,
+            gang: true,
+            stream_memory_cap: DEFAULT_STREAM_MEMORY_CAP,
         }
     }
 
@@ -321,6 +357,35 @@ impl SimEngine {
     /// The attached persistent cache, if any.
     pub fn matrix_cache(&self) -> Option<&MatrixCache> {
         self.cache.as_ref()
+    }
+
+    /// Enables or disables gang scheduling: grouping the points to simulate
+    /// by workload-stream identity ([`StreamKey`]), materializing each
+    /// stream once, and broadcasting it to every configuration in the
+    /// group. Results are bit-identical either way (asserted by
+    /// `tests/gang.rs` and CI); the flag exists for determinism auditing
+    /// and benchmarking, not correctness.
+    pub fn with_gang(mut self, gang: bool) -> Self {
+        self.gang = gang;
+        self
+    }
+
+    /// Disables gang scheduling: every point generates its own stream.
+    pub fn without_gang(self) -> Self {
+        self.with_gang(false)
+    }
+
+    /// True if gang scheduling is enabled.
+    pub fn gang_enabled(&self) -> bool {
+        self.gang
+    }
+
+    /// Caps the resident bytes of one materialized gang stream; longer
+    /// streams spill to the `WPTR` codec on disk (see
+    /// [`SharedStream::materialize_capped`]).
+    pub fn with_stream_memory_cap(mut self, cap_bytes: usize) -> Self {
+        self.stream_memory_cap = cap_bytes;
+        self
     }
 
     /// The configured worker-thread count.
@@ -355,9 +420,19 @@ impl SimEngine {
                 None => to_simulate.push(point),
             }
         }
-        let results = parallel_map(self.threads, &to_simulate, |point| {
-            simulate_workload(&point.workload, &point.machine, &point.options)
-        });
+        let results = if self.gang {
+            self.run_gangs(matrix, &to_simulate)
+        } else {
+            let results = parallel_map(self.threads, &to_simulate, |point| {
+                simulate_workload(&point.workload, &point.machine, &point.options)
+            });
+            // Without gangs every point generates its own stream, so
+            // production equals consumption.
+            let consumed: u64 = results.iter().map(|r| r.activity.instructions).sum();
+            matrix.ops_generated += consumed;
+            matrix.ops_consumed += consumed;
+            results
+        };
         matrix.executed += to_simulate.len();
         for (point, result) in to_simulate.into_iter().zip(results) {
             if let Some(cache) = &self.cache {
@@ -365,6 +440,55 @@ impl SimEngine {
             }
             matrix.results.insert(point, result);
         }
+    }
+
+    /// Gang-scheduled execution of `points`: group by [`StreamKey`],
+    /// materialize each distinct stream exactly once (in parallel), then
+    /// broadcast each stream to every machine configuration in its gang.
+    /// Returns the results in `points` order.
+    fn run_gangs(&self, matrix: &mut SimMatrix, points: &[SimPoint]) -> Vec<SimResult> {
+        if points.is_empty() {
+            return Vec::new();
+        }
+        // Group by stream identity, first-seen order.
+        let mut keys: Vec<StreamKey> = Vec::new();
+        let mut key_index: HashMap<StreamKey, usize> = HashMap::new();
+        let jobs: Vec<(usize, usize)> = points
+            .iter()
+            .enumerate()
+            .map(|(point_index, point)| {
+                let key = StreamKey::new(
+                    point.workload.clone(),
+                    point.options.ops,
+                    point.options.seed,
+                );
+                let stream_index = match key_index.get(&key) {
+                    Some(&index) => index,
+                    None => {
+                        let index = keys.len();
+                        keys.push(key.clone());
+                        key_index.insert(key, index);
+                        index
+                    }
+                };
+                (point_index, stream_index)
+            })
+            .collect();
+
+        let cap = self.stream_memory_cap;
+        let streams: Vec<SharedStream> = parallel_map(self.threads, &keys, |key| {
+            SharedStream::materialize_capped(key, cap)
+                .unwrap_or_else(|e| panic!("workload stream {key} failed to materialize: {e}"))
+        });
+        let results = parallel_map(self.threads, &jobs, |&(point_index, stream_index)| {
+            simulate_workload_shared(&streams[stream_index], &points[point_index].machine)
+        });
+
+        matrix.gangs += keys.len();
+        matrix.streams_materialized += streams.len();
+        matrix.ops_generated += streams.iter().map(|s| s.ops() as u64).sum::<u64>();
+        matrix.ops_consumed += results.iter().map(|r| r.activity.instructions).sum::<u64>();
+        results
     }
 }
 

@@ -175,63 +175,84 @@ fn encode(result: &SimResult, digest: u64) -> Vec<u8> {
     out
 }
 
+/// A checked little-endian field reader over a stored record. Every read
+/// is bounds-checked and reports exhaustion as `None`, so a truncated or
+/// corrupt record decodes to a cache miss — never a panic — even if the
+/// caller's length pre-check is ever weakened.
+struct Fields<'a> {
+    bytes: &'a [u8],
+}
+
+impl Fields<'_> {
+    fn u64(&mut self) -> Option<u64> {
+        let field = self.bytes.get(..8)?;
+        let value = u64::from_le_bytes(field.try_into().ok()?);
+        self.bytes = &self.bytes[8..];
+        Some(value)
+    }
+}
+
 fn decode(bytes: &[u8], digest: u64) -> Option<SimResult> {
-    if bytes.len() != RECORD_BYTES || &bytes[0..4] != MAGIC {
+    if bytes.len() != RECORD_BYTES || bytes.get(0..4)? != MAGIC {
         return None;
     }
-    let version = u32::from_le_bytes(bytes[4..8].try_into().ok()?);
-    let stored_digest = u64::from_le_bytes(bytes[8..16].try_into().ok()?);
+    let version = u32::from_le_bytes(bytes.get(4..8)?.try_into().ok()?);
+    let stored_digest = u64::from_le_bytes(bytes.get(8..16)?.try_into().ok()?);
     if version != CACHE_FORMAT_VERSION || stored_digest != digest {
         return None;
     }
-    let mut offset = 16;
-    let mut u = || {
-        let value = u64::from_le_bytes(bytes[offset..offset + 8].try_into().unwrap());
-        offset += 8;
-        value
+    let mut fields = Fields {
+        bytes: &bytes[16..],
     };
-    let cycles = u();
+    decode_fields(&mut fields)
+}
+
+/// Decodes the numeric fields through the checked reader; any exhausted
+/// read aborts the whole decode via `?` (the existing miss path).
+fn decode_fields(fields: &mut Fields<'_>) -> Option<SimResult> {
+    let mut u = || fields.u64();
+    let cycles = u()?;
     let activity = ActivityCounts {
-        cycles: u(),
-        instructions: u(),
-        int_ops: u(),
-        fp_ops: u(),
-        loads: u(),
-        stores: u(),
-        branches: u(),
-        l2_accesses: u(),
+        cycles: u()?,
+        instructions: u()?,
+        int_ops: u()?,
+        fp_ops: u()?,
+        loads: u()?,
+        stores: u()?,
+        branches: u()?,
+        l2_accesses: u()?,
     };
     let dcache = DCacheStats {
-        loads: u(),
-        load_misses: u(),
-        stores: u(),
-        store_misses: u(),
-        evictions: u(),
-        direct_mapped_accesses: u(),
-        parallel_accesses: u(),
-        way_predicted_accesses: u(),
-        sequential_accesses: u(),
-        mispredicted_accesses: u(),
-        way_predictions: u(),
-        way_predictions_correct: u(),
-        seldm_predicted_dm: u(),
-        seldm_predicted_dm_correct: u(),
-        conflicting_blocks_flagged: u(),
-        cache_energy: f64::from_bits(u()),
-        prediction_energy: f64::from_bits(u()),
+        loads: u()?,
+        load_misses: u()?,
+        stores: u()?,
+        store_misses: u()?,
+        evictions: u()?,
+        direct_mapped_accesses: u()?,
+        parallel_accesses: u()?,
+        way_predicted_accesses: u()?,
+        sequential_accesses: u()?,
+        mispredicted_accesses: u()?,
+        way_predictions: u()?,
+        way_predictions_correct: u()?,
+        seldm_predicted_dm: u()?,
+        seldm_predicted_dm_correct: u()?,
+        conflicting_blocks_flagged: u()?,
+        cache_energy: f64::from_bits(u()?),
+        prediction_energy: f64::from_bits(u()?),
     };
     let icache = ICacheStats {
-        fetches: u(),
-        fetch_misses: u(),
-        sawp_correct: u(),
-        btb_correct: u(),
-        no_prediction: u(),
-        mispredicted: u(),
-        cache_energy: f64::from_bits(u()),
-        prediction_energy: f64::from_bits(u()),
+        fetches: u()?,
+        fetch_misses: u()?,
+        sawp_correct: u()?,
+        btb_correct: u()?,
+        no_prediction: u()?,
+        mispredicted: u()?,
+        cache_energy: f64::from_bits(u()?),
+        prediction_energy: f64::from_bits(u()?),
     };
-    let memory_accesses = u();
-    let branch_accuracy = f64::from_bits(u());
+    let memory_accesses = u()?;
+    let branch_accuracy = f64::from_bits(u()?);
     Some(SimResult {
         cycles,
         activity,
@@ -287,6 +308,27 @@ mod tests {
         let loaded = cache.load(&point).expect("stored result must load");
         assert_eq!(loaded, result);
         let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn truncated_records_decode_to_a_miss_at_every_length() {
+        // Even with the whole-record length pre-check bypassed, the field
+        // reader must treat a record cut off at *any* byte as a miss — the
+        // decode-error path — never panic.
+        let point = point();
+        let result = simulate_workload(&point.workload, &point.machine, &point.options);
+        let digest = MatrixCache::digest(&point);
+        let full = encode(&result, digest);
+        assert_eq!(decode(&full, digest), Some(result));
+        for len in 0..full.len() {
+            assert_eq!(decode(&full[..len], digest), None, "truncated to {len}");
+        }
+        // A record with a valid header but exhausted fields exercises the
+        // checked reader directly.
+        let mut fields = Fields {
+            bytes: &full[16..full.len() - 1],
+        };
+        assert_eq!(decode_fields(&mut fields), None);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use core::fmt;
 use serde::{Deserialize, Serialize};
 use wp_cache::{DCachePolicy, ICachePolicy, L1Config};
 use wp_cpu::{CpuConfig, Processor, SimResult};
-use wp_workloads::{Benchmark, WorkloadSpec};
+use wp_workloads::{Benchmark, SharedStream, WorkloadSpec};
 
 use crate::engine::{SimEngine, SimMatrix, SimPlan};
 use crate::matrix_cache::MatrixCache;
@@ -157,6 +157,33 @@ pub fn simulate_workload(
     cpu.run(stream)
 }
 
+/// Builds and runs one simulation over an already-materialized shared
+/// workload stream — the gang-scheduled executor: the stream was produced
+/// once by [`wp_workloads::SharedStream::materialize`] and any number of
+/// machine configurations replay it through independent readers, so the
+/// op-generation cost is paid once per gang instead of once per point.
+/// Results are bit-identical to [`simulate_workload`] over the same
+/// `(workload, ops, seed)` triple.
+///
+/// # Panics
+///
+/// Panics if `machine` contains an invalid cache configuration or a spilled
+/// stream's temp file cannot be re-opened.
+pub fn simulate_workload_shared(stream: &SharedStream, machine: &MachineConfig) -> SimResult {
+    let mut cpu = Processor::with_l1(
+        machine.cpu,
+        machine.l1d,
+        machine.dpolicy,
+        machine.l1i,
+        machine.ipolicy,
+    )
+    .expect("experiment cache configurations must be valid");
+    let mut reader = stream
+        .reader()
+        .unwrap_or_else(|e| panic!("shared workload stream failed to re-open: {e}"));
+    cpu.run_blocks(&mut reader)
+}
+
 /// Builds and runs one simulation of a paper benchmark.
 ///
 /// # Panics
@@ -199,6 +226,12 @@ pub struct CliOptions {
     /// Root the matrix cache at this directory instead of
     /// [`MatrixCache::default_dir`] (`--matrix-cache-dir PATH`).
     pub matrix_cache_dir: Option<std::path::PathBuf>,
+    /// Disable gang scheduling (`--no-gang`): every simulated point
+    /// generates its own workload stream instead of sharing one
+    /// materialization per `(workload, ops, seed)` gang. Results are
+    /// bit-identical either way; the flag exists for determinism auditing
+    /// (CI diffs gang-on against gang-off output) and benchmarking.
+    pub no_gang: bool,
 }
 
 impl CliOptions {
@@ -221,10 +254,13 @@ impl CliOptions {
     /// simulating, so the flag exists for determinism auditing and CI,
     /// not correctness).
     pub fn engine(&self) -> SimEngine {
-        let engine = match self.threads {
+        let mut engine = match self.threads {
             Some(threads) => SimEngine::new(threads),
             None => SimEngine::default(),
         };
+        if self.no_gang {
+            engine = engine.without_gang();
+        }
         if self.no_matrix_cache {
             return engine;
         }
@@ -238,7 +274,7 @@ impl CliOptions {
 
 /// Usage text shared by the binaries.
 pub const USAGE: &str = "usage: <experiment> [--quick] [--ops N] [--seed N] [--threads N] \
-                         [--json] [--no-matrix-cache] [--matrix-cache-dir PATH]";
+                         [--json] [--no-gang] [--no-matrix-cache] [--matrix-cache-dir PATH]";
 
 /// Shared body of the single-artefact binaries: parse the command line,
 /// execute the artefact's plan on the engine, render from the matrix, and
@@ -298,10 +334,12 @@ impl std::error::Error for CliError {}
 /// Parses the command-line arguments shared by every experiment binary:
 /// `--quick` for the short configuration, `--ops N` and `--seed N` for the
 /// trace, `--threads N` for the engine's worker count, `--json` for
-/// machine-readable output, and `--no-matrix-cache` /
-/// `--matrix-cache-dir PATH` to control the persistent result cache (CI
-/// and trace_replay use `--no-matrix-cache` to force every point to
-/// simulate). Unknown flags are reported as errors rather than silently
+/// machine-readable output, `--no-gang` to disable gang-scheduled stream
+/// sharing, and `--no-matrix-cache` / `--matrix-cache-dir PATH` to control
+/// the persistent result cache (CI and trace_replay use
+/// `--no-matrix-cache` to force every point to simulate, and diff
+/// `--no-gang` output against the default to audit gang determinism).
+/// Unknown flags are reported as errors rather than silently
 /// ignored, and explicit `--ops`/`--seed` always override `--quick`
 /// regardless of flag order.
 pub fn options_from_args(args: impl Iterator<Item = String>) -> Result<CliOptions, CliError> {
@@ -323,6 +361,7 @@ pub fn options_from_args(args: impl Iterator<Item = String>) -> Result<CliOption
                 }
                 options.threads = Some(threads);
             }
+            "--no-gang" => options.no_gang = true,
             "--no-matrix-cache" => options.no_matrix_cache = true,
             "--matrix-cache-dir" => {
                 let dir = args
@@ -456,6 +495,16 @@ mod tests {
             parse(&["--matrix-cache-dir"]),
             Err(CliError::MissingValue("--matrix-cache-dir"))
         );
+    }
+
+    #[test]
+    fn gang_flag_parses_and_disables_gang_scheduling() {
+        let default = parse(&[]).expect("valid");
+        assert!(!default.no_gang);
+        assert!(default.engine().gang_enabled());
+        let off = parse(&["--no-gang"]).expect("valid");
+        assert!(off.no_gang);
+        assert!(!off.engine().gang_enabled());
     }
 
     #[test]

@@ -196,12 +196,14 @@ impl SetAssocCache {
         }
     }
 
-    /// One fused pass over `set`'s ways: the hot loop compares only the
-    /// contiguous tag slice against one valid-bit word, stopping at a
-    /// match; on a miss — where the whole set was necessarily visited — it
-    /// also reports the victim a set-associative fill would choose (first
-    /// invalid way, else the first way with the minimum LRU stamp), so the
-    /// fill path never re-scans the tags.
+    /// One fused pass over `set`'s ways: the hot loop compares the
+    /// contiguous tag lane against the probe tag with the branch-free SWAR
+    /// primitive ([`crate::swar::tag_match_mask`]), folds the set's
+    /// valid-bitset word in, and takes the lowest set bit as the hit way —
+    /// no per-way branching. On a miss — where the whole set was
+    /// necessarily visited — it also reports the victim a set-associative
+    /// fill would choose (first invalid way, else the first way with the
+    /// minimum LRU stamp), so the fill path never re-scans the tags.
     #[inline(always)]
     fn scan(&self, base: usize, tag: u64) -> SetScan {
         if self.assoc > 64 {
@@ -209,13 +211,11 @@ impl SetAssocCache {
         }
         let valid_mask = self.valid.range_mask(base, self.assoc);
         let tags = &self.tags[base..base + self.assoc];
-        for (way, &resident) in tags.iter().enumerate() {
-            if resident == tag && valid_mask & (1 << way) != 0 {
-                return SetScan {
-                    hit_way: Some(way),
-                    victim_way: 0,
-                };
-            }
+        if let Some(way) = crate::swar::first_hit(tags, tag, valid_mask) {
+            return SetScan {
+                hit_way: Some(way),
+                victim_way: 0,
+            };
         }
         let full = if self.assoc == 64 {
             u64::MAX

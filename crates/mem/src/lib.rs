@@ -37,6 +37,7 @@ mod cache;
 mod geometry;
 mod hierarchy;
 mod stats;
+pub mod swar;
 
 pub use cache::{AccessKind, AccessResult, CacheLine, Placement, SetAssocCache};
 pub use geometry::{CacheGeometry, GeometryError};

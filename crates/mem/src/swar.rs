@@ -1,0 +1,188 @@
+//! SWAR (SIMD-within-a-register) tag matching.
+//!
+//! The fused set scan in [`crate::SetAssocCache`] compares one probe tag
+//! against a set's contiguous structure-of-arrays tag lane. The scalar form
+//! of that comparison is a short loop with an early exit — a data-dependent
+//! branch per way that the host branch predictor gets wrong on every
+//! hit-way change. [`tag_match_mask`] replaces it with straight-line
+//! arithmetic: the tag lane is walked in u64-wide chunks of four lanes,
+//! each lane's equality is reduced to one bit with XOR / negate / shift
+//! (no compare-and-branch), and the bits are packed into a way mask. The
+//! caller ANDs the set's valid-bitset word in and takes `trailing_zeros`,
+//! so the whole probe/hit path runs without per-way branching and
+//! auto-vectorizes cleanly (four independent 64-bit lanes per iteration).
+//!
+//! [`tag_match_mask_scalar`] is the retained scalar reference: the
+//! property tests (`tests/properties.rs` and this module's tests) demand
+//! bit-identical masks from both over arbitrary lanes, and
+//! `bench_report`'s `tag_match` section tracks the throughput of each.
+
+/// One lane's equality as a single bit, branch-free: `x == 0` iff neither
+/// `x` nor `-x` has the sign bit set.
+#[inline(always)]
+fn eq_bit(lane: u64, tag: u64) -> u64 {
+    let x = lane ^ tag;
+    1 ^ ((x | x.wrapping_neg()) >> 63)
+}
+
+/// Compares every lane of `tags` against `tag` and returns a mask with bit
+/// `way` set iff `tags[way] == tag`, computed without per-way branching.
+///
+/// Lanes beyond bit 63 are not representable in the mask; callers pass one
+/// set's tag lane (`associativity` lanes), and the cache falls back to a
+/// scalar wide scan above 64 ways.
+///
+/// # Example
+///
+/// ```
+/// use wp_mem::swar::tag_match_mask;
+///
+/// let lane = [0x7, 0x3, 0x7, 0x9];
+/// assert_eq!(tag_match_mask(&lane, 0x7), 0b0101);
+/// assert_eq!(tag_match_mask(&lane, 0x1), 0);
+/// // Fold a valid mask in and take trailing_zeros for the hit way:
+/// let valid = 0b1110u64; // way 0 holds a stale tag
+/// assert_eq!((tag_match_mask(&lane, 0x7) & valid).trailing_zeros(), 2);
+/// ```
+#[inline(always)]
+pub fn tag_match_mask(tags: &[u64], tag: u64) -> u64 {
+    debug_assert!(tags.len() <= 64);
+    let mut mask = 0u64;
+    let mut way = 0u32;
+    let mut chunks = tags.chunks_exact(4);
+    for lanes in &mut chunks {
+        let packed = eq_bit(lanes[0], tag)
+            | (eq_bit(lanes[1], tag) << 1)
+            | (eq_bit(lanes[2], tag) << 2)
+            | (eq_bit(lanes[3], tag) << 3);
+        mask |= packed << way;
+        way += 4;
+    }
+    for &lane in chunks.remainder() {
+        mask |= eq_bit(lane, tag) << way;
+        way += 1;
+    }
+    mask
+}
+
+/// The scalar reference implementation of [`tag_match_mask`], retained so
+/// the property tests always have a straightforward mask builder to
+/// compare against.
+#[inline]
+pub fn tag_match_mask_scalar(tags: &[u64], tag: u64) -> u64 {
+    debug_assert!(tags.len() <= 64);
+    let mut mask = 0u64;
+    for (way, &lane) in tags.iter().enumerate() {
+        if lane == tag {
+            mask |= 1 << way;
+        }
+    }
+    mask
+}
+
+/// The hit way of one set probe, SWAR path: match the whole lane, fold
+/// the valid mask in, take the lowest set bit. This is exactly what the
+/// cache's fused scan computes on its hit path.
+#[inline(always)]
+pub fn first_hit(tags: &[u64], tag: u64, valid_mask: u64) -> Option<usize> {
+    let hits = tag_match_mask(tags, tag) & valid_mask;
+    if hits != 0 {
+        Some(hits.trailing_zeros() as usize)
+    } else {
+        None
+    }
+}
+
+/// The pre-SWAR scalar hit scan, retained verbatim for the property tests
+/// and the `tag_match` benchmark: walk the lane and early-exit at the
+/// first valid match — one data-dependent branch per way.
+#[inline]
+pub fn first_hit_scalar(tags: &[u64], tag: u64, valid_mask: u64) -> Option<usize> {
+    debug_assert!(tags.len() <= 64);
+    for (way, &lane) in tags.iter().enumerate() {
+        if lane == tag && valid_mask & (1 << way) != 0 {
+            return Some(way);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_lane_matches_nothing() {
+        assert_eq!(tag_match_mask(&[], 0), 0);
+        assert_eq!(tag_match_mask_scalar(&[], 0), 0);
+    }
+
+    #[test]
+    fn chunked_and_remainder_ways_are_positioned_correctly() {
+        // 7 lanes: one full chunk of 4 plus a remainder of 3.
+        let lane = [9, 1, 9, 2, 9, 3, 9];
+        assert_eq!(tag_match_mask(&lane, 9), 0b1010101);
+        assert_eq!(tag_match_mask(&lane, 3), 0b0100000);
+        assert_eq!(tag_match_mask(&lane, 7), 0);
+    }
+
+    #[test]
+    fn extreme_tag_values_compare_exactly() {
+        for tag in [0u64, 1, u64::MAX, u64::MAX - 1, 1 << 63] {
+            let lane = [tag, !tag, tag.wrapping_add(1), tag];
+            assert_eq!(
+                tag_match_mask(&lane, tag),
+                tag_match_mask_scalar(&lane, tag)
+            );
+            assert_eq!(tag_match_mask(&lane, tag) & 0b1001, 0b1001);
+        }
+    }
+
+    #[test]
+    fn swar_equals_scalar_over_dense_lanes() {
+        // Deterministic pseudo-random lanes of every length 0..=16 with a
+        // high duplicate rate, probing both present and absent tags.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for len in 0..=16usize {
+            for _ in 0..64 {
+                let lane: Vec<u64> = (0..len).map(|_| next() % 5).collect();
+                let tag = next() % 5;
+                assert_eq!(
+                    tag_match_mask(&lane, tag),
+                    tag_match_mask_scalar(&lane, tag),
+                    "lane {lane:?} tag {tag}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_64_lane_mask_uses_every_bit() {
+        let lane = vec![42u64; 64];
+        assert_eq!(tag_match_mask(&lane, 42), u64::MAX);
+        assert_eq!(tag_match_mask(&lane, 41), 0);
+    }
+
+    #[test]
+    fn first_hit_agrees_with_the_scalar_scan() {
+        let lane = [5u64, 7, 7, 5];
+        for valid in 0u64..16 {
+            for tag in 0u64..9 {
+                assert_eq!(
+                    first_hit(&lane, tag, valid),
+                    first_hit_scalar(&lane, tag, valid),
+                    "lane {lane:?} tag {tag} valid {valid:04b}"
+                );
+            }
+        }
+        assert_eq!(first_hit(&lane, 7, 0b1111), Some(1));
+        assert_eq!(first_hit(&lane, 7, 0b0100), Some(2));
+        assert_eq!(first_hit(&lane, 9, 0b1111), None);
+    }
+}

@@ -79,6 +79,13 @@ impl OpBuffer {
     pub fn is_full(&self) -> bool {
         self.ops.len() == self.capacity
     }
+
+    /// Appends a slice of ops in one copy, truncating at the capacity —
+    /// the bulk path shared-stream readers use instead of per-op pushes.
+    pub fn push_slice(&mut self, ops: &[MicroOp]) {
+        let room = self.capacity - self.ops.len();
+        self.ops.extend_from_slice(&ops[..ops.len().min(room)]);
+    }
 }
 
 impl Default for OpBuffer {

@@ -52,6 +52,7 @@ mod generator;
 mod op;
 mod profile;
 pub mod scenario;
+pub mod shared;
 pub mod trace;
 mod workload;
 
@@ -60,6 +61,7 @@ pub use generator::{TraceConfig, TraceGenerator};
 pub use op::{BranchClass, MicroOp, OpKind};
 pub use profile::{Benchmark, BenchmarkProfile};
 pub use scenario::{Scenario, ScenarioGenerator};
+pub use shared::{SharedStream, SharedStreamReader, StreamKey, DEFAULT_STREAM_MEMORY_CAP};
 pub use trace::{
     capture_to_file, file_digest, Fnv1a, TextTraceReader, TextTraceWriter, TraceError, TraceHandle,
     TraceId, TraceReader, TraceReplay, TraceWriter, TRACE_MAGIC, TRACE_VERSION,

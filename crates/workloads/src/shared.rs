@@ -1,0 +1,376 @@
+//! Shared workload streams for gang-scheduled sweeps.
+//!
+//! A parameter sweep evaluates many machine configurations over few
+//! workloads: every point whose `(workload, ops, seed)` triple matches
+//! consumes the *identical* micro-op stream, yet a naive sweep regenerates
+//! it per point, paying the full generator/scenario/trace-decode cost each
+//! time. [`StreamKey`] names that shared identity, and [`SharedStream`]
+//! materializes the stream for a key exactly once so any number of
+//! consumers ("the gang") can replay it from [`SharedStream::reader`] —
+//! each reader refills an [`OpBuffer`] block by block, so the consumer-side
+//! loop is the same as for a live generator.
+//!
+//! Materialized streams are bounded: up to the byte cap the ops live in
+//! one in-memory buffer (`ops × 40 B`; the default cap of
+//! [`DEFAULT_STREAM_MEMORY_CAP`] holds ~1.6 M ops), and beyond it the
+//! stream spills to a temporary file in the `WPTR` trace codec
+//! ([`crate::trace`]) — the round-trip is bit-exact, so spilled and
+//! in-memory replays produce the same op sequence. Spill files are deleted
+//! when the [`SharedStream`] drops.
+//!
+//! # Example
+//!
+//! ```
+//! use wp_workloads::{Benchmark, OpBlockSource, OpBuffer, SharedStream, StreamKey, WorkloadSpec};
+//!
+//! let key = StreamKey::new(WorkloadSpec::Benchmark(Benchmark::Gcc), 3_000, 42);
+//! let stream = SharedStream::materialize(&key).expect("generated workload");
+//! assert_eq!(stream.ops(), 3_000);
+//!
+//! // Two consumers replay the one materialization independently.
+//! for _ in 0..2 {
+//!     let mut reader = stream.reader().expect("in-memory stream");
+//!     let mut buf = OpBuffer::new();
+//!     let mut total = 0;
+//!     while reader.fill(&mut buf) > 0 {
+//!         total += buf.ops().len();
+//!     }
+//!     assert_eq!(total, 3_000);
+//! }
+//! ```
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::batch::{fill_from_iter, OpBlockSource, OpBuffer};
+use crate::op::MicroOp;
+use crate::trace::{TraceError, TraceReplay, TraceWriter};
+use crate::workload::WorkloadSpec;
+
+/// Default per-stream memory cap before a materialized stream spills to the
+/// `WPTR` codec: 64 MiB, ~1.6 M ops — comfortably above the sweep defaults
+/// while bounding a gang's resident footprint.
+pub const DEFAULT_STREAM_MEMORY_CAP: usize = 64 * 1024 * 1024;
+
+/// The identity of a workload *stream*: everything that determines the
+/// micro-op sequence and nothing that does not.
+///
+/// Two simulation points with equal keys consume bit-identical streams
+/// regardless of their machine configurations, so a sweep engine can group
+/// points by key and materialize each stream once.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StreamKey {
+    /// The workload generating the stream.
+    pub spec: WorkloadSpec,
+    /// Maximum ops produced.
+    pub ops: usize,
+    /// Generator seed (ignored by trace replays but kept in the key so it
+    /// never splits or merges identities the engine relies on).
+    pub seed: u64,
+}
+
+impl StreamKey {
+    /// Builds the key.
+    pub fn new(spec: WorkloadSpec, ops: usize, seed: u64) -> Self {
+        Self { spec, ops, seed }
+    }
+}
+
+impl std::fmt::Display for StreamKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{} ops/seed {}", self.spec, self.ops, self.seed)
+    }
+}
+
+/// Distinguishes concurrent spill files of one process.
+static SPILL_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+#[derive(Debug)]
+enum Storage {
+    /// The whole stream, resident.
+    Memory(Vec<MicroOp>),
+    /// The stream encoded in a `WPTR` file: an `owned` temp spill (deleted
+    /// on drop), or a borrowed pre-existing trace file (left alone).
+    Spilled { path: PathBuf, owned: bool },
+}
+
+/// One workload stream, produced once and replayable any number of times.
+#[derive(Debug)]
+pub struct SharedStream {
+    ops: usize,
+    storage: Storage,
+}
+
+impl SharedStream {
+    /// Materializes the stream for `key` under the default memory cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] if a trace-file workload cannot be opened,
+    /// or if spilling to the temp file fails.
+    pub fn materialize(key: &StreamKey) -> Result<Self, TraceError> {
+        Self::materialize_capped(key, DEFAULT_STREAM_MEMORY_CAP)
+    }
+
+    /// Materializes the stream for `key`, keeping at most `cap_bytes` of
+    /// ops in memory; longer streams spill to a `WPTR` temp file whose
+    /// decode reproduces the generated sequence bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// See [`SharedStream::materialize`].
+    pub fn materialize_capped(key: &StreamKey, cap_bytes: usize) -> Result<Self, TraceError> {
+        let cap_ops = (cap_bytes / std::mem::size_of::<MicroOp>()).max(1);
+        // A trace-file workload that will not fit in memory already *is* a
+        // `WPTR` file on disk: borrow it in place (the reader truncates at
+        // `ops`) instead of decoding and re-encoding a byte-identical temp
+        // copy.
+        if let WorkloadSpec::Trace(handle) = &key.spec {
+            let ops = key.ops.min(handle.records() as usize);
+            if ops > cap_ops {
+                return Ok(Self {
+                    ops,
+                    storage: Storage::Spilled {
+                        path: handle.path().to_path_buf(),
+                        owned: false,
+                    },
+                });
+            }
+        }
+        let mut stream = key.spec.stream(key.ops, key.seed)?;
+        let mut resident: Vec<MicroOp> = Vec::with_capacity(key.ops.min(cap_ops));
+        let overflow = loop {
+            match stream.next() {
+                Some(op) if resident.len() == cap_ops => break Some(op),
+                Some(op) => resident.push(op),
+                // The stream ended within the cap (exactly-at-cap included):
+                // it stays resident.
+                None => {
+                    return Ok(Self {
+                        ops: resident.len(),
+                        storage: Storage::Memory(resident),
+                    })
+                }
+            }
+        };
+        // Over the cap: spill everything — the already-collected prefix,
+        // the op that overflowed, and the live rest — through the codec.
+        let path = std::env::temp_dir().join(format!(
+            "wpsdm-stream-spill-{}-{}.wptr",
+            std::process::id(),
+            SPILL_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut writer = TraceWriter::create(&path, &key.spec.label())?;
+        for op in resident.drain(..).chain(overflow).chain(stream) {
+            writer.write_op(&op)?;
+        }
+        let ops = writer.records() as usize;
+        writer.finish()?;
+        Ok(Self {
+            ops,
+            storage: Storage::Spilled { path, owned: true },
+        })
+    }
+
+    /// Number of ops the stream holds (may be below the requested `ops` for
+    /// trace workloads shorter than the request).
+    pub fn ops(&self) -> usize {
+        self.ops
+    }
+
+    /// True if the stream lives in a file rather than memory.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.storage, Storage::Spilled { .. })
+    }
+
+    /// Opens an independent reader over the materialized stream. Readers
+    /// replay the identical op sequence the live generator produced, from
+    /// the start, truncated to [`SharedStream::ops`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] if a spill file cannot be re-opened;
+    /// in-memory streams never fail.
+    pub fn reader(&self) -> Result<SharedStreamReader<'_>, TraceError> {
+        Ok(match &self.storage {
+            Storage::Memory(ops) => SharedStreamReader::Memory { ops, pos: 0 },
+            Storage::Spilled { path, .. } => SharedStreamReader::Spilled {
+                replay: TraceReplay::open(path)?,
+                left: self.ops,
+            },
+        })
+    }
+}
+
+impl Drop for SharedStream {
+    fn drop(&mut self) {
+        if let Storage::Spilled { path, owned: true } = &self.storage {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// A block-producing cursor over a [`SharedStream`]; any number may be live
+/// at once.
+#[derive(Debug)]
+pub enum SharedStreamReader<'a> {
+    /// Serves blocks straight out of the resident op buffer.
+    Memory {
+        /// The whole materialized stream.
+        ops: &'a [MicroOp],
+        /// Next op to serve.
+        pos: usize,
+    },
+    /// Streams blocks out of the backing `WPTR` file, truncated to the
+    /// stream's op count (a borrowed trace file may hold more records than
+    /// the stream requested).
+    Spilled {
+        /// The decoding replay.
+        replay: TraceReplay,
+        /// Ops still to serve.
+        left: usize,
+    },
+}
+
+impl OpBlockSource for SharedStreamReader<'_> {
+    fn fill(&mut self, buf: &mut OpBuffer) -> usize {
+        match self {
+            SharedStreamReader::Memory { ops, pos } => {
+                buf.clear();
+                let take = buf.capacity().min(ops.len() - *pos);
+                buf.push_slice(&ops[*pos..*pos + take]);
+                *pos += take;
+                take
+            }
+            SharedStreamReader::Spilled { replay, left } => {
+                let produced = fill_from_iter(&mut replay.by_ref().take(*left), buf);
+                *left -= produced;
+                produced
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Benchmark;
+    use crate::scenario::Scenario;
+
+    fn drain(stream: &SharedStream) -> Vec<MicroOp> {
+        let mut reader = stream.reader().expect("reader opens");
+        let mut buf = OpBuffer::with_capacity(777);
+        let mut all = Vec::new();
+        while reader.fill(&mut buf) > 0 {
+            all.extend_from_slice(buf.ops());
+        }
+        all
+    }
+
+    #[test]
+    fn memory_stream_reproduces_the_live_sequence() {
+        let key = StreamKey::new(WorkloadSpec::Benchmark(Benchmark::Li), 5_000, 9);
+        let shared = SharedStream::materialize(&key).expect("generated");
+        assert!(!shared.is_spilled());
+        assert_eq!(shared.ops(), 5_000);
+        let direct: Vec<MicroOp> = key.spec.stream(key.ops, key.seed).expect("opens").collect();
+        assert_eq!(drain(&shared), direct);
+        // A second reader replays from the start, unaffected by the first.
+        assert_eq!(drain(&shared), direct);
+    }
+
+    #[test]
+    fn spilled_stream_reproduces_the_live_sequence() {
+        let key = StreamKey::new(WorkloadSpec::Scenario(Scenario::pointer_chase()), 4_000, 3);
+        // A 1-byte cap forces the spill path immediately.
+        let shared = SharedStream::materialize_capped(&key, 1).expect("spills");
+        assert!(shared.is_spilled());
+        assert_eq!(shared.ops(), 4_000);
+        let direct: Vec<MicroOp> = key.spec.stream(key.ops, key.seed).expect("opens").collect();
+        assert_eq!(drain(&shared), direct);
+        assert_eq!(drain(&shared), direct);
+    }
+
+    #[test]
+    fn spill_files_are_deleted_on_drop() {
+        let key = StreamKey::new(WorkloadSpec::Benchmark(Benchmark::Gcc), 500, 1);
+        let shared = SharedStream::materialize_capped(&key, 1).expect("spills");
+        let path = match &shared.storage {
+            Storage::Spilled { path, owned } => {
+                assert!(*owned, "a generated spill is owned");
+                path.clone()
+            }
+            Storage::Memory(_) => panic!("stream must spill under a 1-byte cap"),
+        };
+        assert!(path.exists());
+        drop(shared);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn stream_exactly_at_the_cap_stays_resident() {
+        let ops = 64usize;
+        let key = StreamKey::new(WorkloadSpec::Benchmark(Benchmark::Li), ops, 5);
+        let cap = ops * std::mem::size_of::<MicroOp>();
+        let shared = SharedStream::materialize_capped(&key, cap).expect("fits");
+        assert!(
+            !shared.is_spilled(),
+            "an exactly-at-cap stream must not spill"
+        );
+        assert_eq!(shared.ops(), ops);
+        // One op over the cap spills.
+        let over = StreamKey::new(WorkloadSpec::Benchmark(Benchmark::Li), ops + 1, 5);
+        let spilled = SharedStream::materialize_capped(&over, cap).expect("spills");
+        assert!(spilled.is_spilled());
+        assert_eq!(spilled.ops(), ops + 1);
+        let direct: Vec<MicroOp> = over
+            .spec
+            .stream(over.ops, over.seed)
+            .expect("opens")
+            .collect();
+        assert_eq!(drain(&spilled), direct);
+    }
+
+    #[test]
+    fn over_cap_trace_workloads_borrow_the_original_file() {
+        // Capture a trace, then materialize it under a tiny cap: the
+        // original file is used in place (not copied, not deleted) and the
+        // reader truncates at the requested ops.
+        let dir = std::env::temp_dir().join(format!("wpsdm-shared-trace-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("borrow.wptr");
+        let source = crate::generator::TraceGenerator::new(
+            crate::generator::TraceConfig::new(Benchmark::Gcc)
+                .with_ops(600)
+                .with_seed(2),
+        );
+        crate::trace::capture_to_file(source, &path, "borrow-test").expect("capture");
+        let spec = WorkloadSpec::from_trace_file(&path).expect("opens");
+
+        let key = StreamKey::new(spec.clone(), 400, 0);
+        let shared = SharedStream::materialize_capped(&key, 1).expect("borrows");
+        assert!(shared.is_spilled());
+        assert_eq!(shared.ops(), 400, "truncates at the requested ops");
+        let direct: Vec<MicroOp> = spec.stream(400, 0).expect("opens").collect();
+        assert_eq!(drain(&shared), direct);
+        drop(shared);
+        assert!(path.exists(), "a borrowed trace file must survive the drop");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stream_keys_hash_by_identity() {
+        use std::collections::HashSet;
+        let spec = WorkloadSpec::Benchmark(Benchmark::Gcc);
+        let mut set = HashSet::new();
+        assert!(set.insert(StreamKey::new(spec.clone(), 100, 1)));
+        assert!(!set.insert(StreamKey::new(spec.clone(), 100, 1)));
+        assert!(set.insert(StreamKey::new(spec.clone(), 200, 1)));
+        assert!(set.insert(StreamKey::new(spec, 100, 2)));
+        assert!(set.insert(StreamKey::new(
+            WorkloadSpec::Benchmark(Benchmark::Li),
+            100,
+            1
+        )));
+    }
+}

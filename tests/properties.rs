@@ -317,10 +317,51 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 
+    /// The SWAR tag-match primitive produces the identical way mask to the
+    /// retained scalar reference over arbitrary lanes — duplicate tags,
+    /// absent tags, extreme values, every lane length up to a full mask.
+    #[test]
+    fn swar_tag_match_equals_scalar_reference(
+        raw in prop::collection::vec((any::<u64>(), any::<bool>()), 0..64),
+        probe_raw in any::<u64>(),
+        probe_small in any::<bool>(),
+    ) {
+        // A mix of arbitrary lanes and a dense small-value band (high
+        // duplicate / match probability), plus extreme values.
+        let mut lane: Vec<u64> = raw
+            .iter()
+            .map(|&(v, small)| if small { v % 8 } else { v })
+            .collect();
+        if let Some(first) = lane.first_mut() {
+            *first = u64::MAX;
+        }
+        let probe = if probe_small { probe_raw % 8 } else { probe_raw };
+        prop_assert_eq!(
+            wpsdm::mem::swar::tag_match_mask(&lane, probe),
+            wpsdm::mem::swar::tag_match_mask_scalar(&lane, probe)
+        );
+        // The valid-mask-folding hit scan agrees with the retained
+        // early-exit scalar scan under every low-bit valid pattern.
+        let full = if lane.is_empty() { 0 } else { u64::MAX >> (64 - lane.len()) };
+        for valid in [0u64, full, probe_raw & full, !probe_raw & full] {
+            prop_assert_eq!(
+                wpsdm::mem::swar::first_hit(&lane, probe, valid),
+                wpsdm::mem::swar::first_hit_scalar(&lane, probe, valid)
+            );
+        }
+        // Probing a value present in the lane always sets that lane's bit.
+        for (way, &tag) in lane.iter().enumerate() {
+            prop_assert_ne!(wpsdm::mem::swar::tag_match_mask(&lane, tag) & (1u64 << way), 0);
+        }
+    }
+
     /// The flat structure-of-arrays tag store is access-for-access
     /// equivalent to the nested-Vec implementation it replaced: the same
     /// hit/way/eviction sequence over arbitrary interleavings of reads,
-    /// writes, fills, and invalidates, under both placement modes.
+    /// writes, fills, and invalidates, under both placement modes. Since
+    /// the fused scan now runs on the SWAR primitive, this also proves the
+    /// SWAR set-scan's hit way, victim choice, and valid/dirty interactions
+    /// across random geometries against the pre-SWAR scalar behaviour.
     #[test]
     fn soa_cache_matches_nested_vec_reference(
         geometry in geometry_strategy(),

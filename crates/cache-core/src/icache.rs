@@ -118,10 +118,12 @@ pub struct FetchCtx {
     pub kind: FetchKind,
 }
 
-/// Number of BTB entries (typical of the era's fetch engines).
-const BTB_ENTRIES: usize = 512;
-/// Depth of the return address stack.
-const RAS_DEPTH: usize = 16;
+/// Number of BTB entries (typical of the era's fetch engines). Public so
+/// reference implementations (the `wp-oracle` conformance simulator) build
+/// an identically sized fetch engine.
+pub const BTB_ENTRIES: usize = 512;
+/// Depth of the return address stack; public for the same reason.
+pub const RAS_DEPTH: usize = 16;
 
 /// The fetch-engine prediction stack: BTB, SAWP, and RAS with way fields,
 /// driven by an [`ICachePolicy`].

@@ -58,6 +58,9 @@ pub use access::{
 };
 pub use config::{ConfigError, L1Config};
 pub use dcache::{DAccessClass, DAccessOutcome, DCacheController, DLoadCtx, DWaySelect};
-pub use icache::{FetchCtx, FetchKind, IAccessClass, IAccessOutcome, ICacheController, IWaySelect};
+pub use icache::{
+    FetchCtx, FetchKind, IAccessClass, IAccessOutcome, ICacheController, IWaySelect, BTB_ENTRIES,
+    RAS_DEPTH,
+};
 pub use policy::{kernels, DCachePolicy, DPolicyKernel, ICachePolicy};
 pub use stats::{DCacheStats, ICacheStats};

@@ -168,6 +168,7 @@ fn main() {
         no_gang: cli.no_gang,
         no_matrix_cache: cli.no_matrix_cache,
         matrix_cache_dir: cli.matrix_cache_dir.clone(),
+        stream_cap: None,
     }
     .engine();
     let matrix = engine.run(&plan);

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use wp_cpu::SimResult;
-use wp_workloads::{Benchmark, SharedStream, StreamKey, WorkloadSpec, DEFAULT_STREAM_MEMORY_CAP};
+use wp_workloads::{Benchmark, SharedStream, StreamKey, WorkloadSpec};
 
 use crate::matrix_cache::MatrixCache;
 use crate::runner::{simulate_workload, simulate_workload_shared, MachineConfig, RunOptions};
@@ -324,13 +324,15 @@ pub struct SimEngine {
 
 impl SimEngine {
     /// An engine running on `threads` worker threads (clamped to at least
-    /// one), with no persistent cache and gang scheduling enabled.
+    /// one), with no persistent cache, gang scheduling enabled, and the
+    /// default spill cap ([`wp_workloads::stream_memory_cap`]: the
+    /// `WPSDM_STREAM_MEMORY_CAP` environment override if set).
     pub fn new(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
             cache: None,
             gang: true,
-            stream_memory_cap: DEFAULT_STREAM_MEMORY_CAP,
+            stream_memory_cap: wp_workloads::stream_memory_cap(),
         }
     }
 
@@ -386,6 +388,11 @@ impl SimEngine {
     pub fn with_stream_memory_cap(mut self, cap_bytes: usize) -> Self {
         self.stream_memory_cap = cap_bytes;
         self
+    }
+
+    /// The configured per-stream memory cap in bytes.
+    pub fn stream_memory_cap(&self) -> usize {
+        self.stream_memory_cap
     }
 
     /// The configured worker-thread count.

@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod compare;
+pub mod conformance;
 pub mod engine;
 pub mod fig10;
 pub mod fig11;

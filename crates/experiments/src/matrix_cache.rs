@@ -35,14 +35,24 @@ use crate::engine::SimPoint;
 /// Bump to invalidate every previously stored result (the digest of every
 /// point changes). Bump whenever the simulator's meaning of a result
 /// changes — not for pure performance work, which must be bit-identical.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+/// (2: records additionally store an independent verification digest of
+/// the point, so a filename-digest collision can no longer serve one
+/// point's result for another.)
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// Magic prefix of a stored result file.
 const MAGIC: &[u8; 4] = b"WPSM";
 
-/// Serialized size of one result: magic + version + digest + 36 numeric
-/// fields of 8 bytes each.
-const RECORD_BYTES: usize = 4 + 4 + 8 + 36 * 8;
+/// Salt distinguishing the stored *verification* digest from the filename
+/// digest: the two hash the same point through the same FNV-1a core but
+/// from different initial states, so a 64-bit collision in one is
+/// independent of a collision in the other (~2⁻¹²⁸ combined for distinct
+/// points, vs. the 2⁻⁶⁴ a single digest gives).
+const VERIFY_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Serialized size of one result: magic + version + digest + verification
+/// digest + 36 numeric fields of 8 bytes each.
+const RECORD_BYTES: usize = 4 + 4 + 8 + 8 + 36 * 8;
 
 /// The persistent result store the engine consults before simulating.
 #[derive(Debug, Clone)]
@@ -82,15 +92,35 @@ impl MatrixCache {
         hasher.finish()
     }
 
+    /// A second, independently salted digest of `point`, stored *inside*
+    /// the record and re-checked on load: the widened key check that keeps
+    /// a filename-digest collision between two distinct points from
+    /// serving one point's result for the other.
+    pub fn verify_digest(point: &SimPoint) -> u64 {
+        let mut hasher = Fnv1a::new();
+        VERIFY_SALT.hash(&mut hasher);
+        CACHE_FORMAT_VERSION.hash(&mut hasher);
+        point.hash(&mut hasher);
+        hasher.finish()
+    }
+
     fn path_for(&self, digest: u64) -> PathBuf {
         self.dir.join(format!("{digest:016x}.wpsim"))
     }
 
     /// Loads the stored result for `point`, if an intact one exists.
     pub fn load(&self, point: &SimPoint) -> Option<SimResult> {
-        let digest = Self::digest(point);
+        self.load_at(Self::digest(point), point)
+    }
+
+    /// [`MatrixCache::load`] with the filename digest supplied by the
+    /// caller. Hidden test seam: forcing two distinct points onto one
+    /// digest simulates a 64-bit collision, and the stored verification
+    /// digest must still keep their results apart.
+    #[doc(hidden)]
+    pub fn load_at(&self, digest: u64, point: &SimPoint) -> Option<SimResult> {
         let bytes = std::fs::read(self.path_for(digest)).ok()?;
-        decode(&bytes, digest)
+        decode(&bytes, digest, Self::verify_digest(point))
     }
 
     /// Stores `result` for `point`. Best-effort: I/O failures (read-only
@@ -98,15 +128,22 @@ impl MatrixCache {
     /// write goes through a per-process temporary file renamed into place,
     /// so concurrent processes never observe a torn record.
     pub fn store(&self, point: &SimPoint, result: &SimResult) {
-        let digest = Self::digest(point);
+        self.store_at(Self::digest(point), point, result);
+    }
+
+    /// [`MatrixCache::store`] with the filename digest supplied by the
+    /// caller; see [`MatrixCache::load_at`].
+    #[doc(hidden)]
+    pub fn store_at(&self, digest: u64, point: &SimPoint, result: &SimResult) {
         if std::fs::create_dir_all(&self.dir).is_err() {
             return;
         }
         let tmp = self
             .dir
             .join(format!("{digest:016x}.wpsim.tmp{}", std::process::id()));
-        let write = std::fs::File::create(&tmp)
-            .and_then(|mut file| file.write_all(&encode(result, digest)));
+        let write = std::fs::File::create(&tmp).and_then(|mut file| {
+            file.write_all(&encode(result, digest, Self::verify_digest(point)))
+        });
         if write.is_ok() {
             let _ = std::fs::rename(&tmp, self.path_for(digest));
         }
@@ -114,63 +151,20 @@ impl MatrixCache {
     }
 }
 
-fn encode(result: &SimResult, digest: u64) -> Vec<u8> {
+fn encode(result: &SimResult, digest: u64, verify: u64) -> Vec<u8> {
     let mut out = Vec::with_capacity(RECORD_BYTES);
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&CACHE_FORMAT_VERSION.to_le_bytes());
     out.extend_from_slice(&digest.to_le_bytes());
-    let mut u = |value: u64| out.extend_from_slice(&value.to_le_bytes());
-    u(result.cycles);
-    let a = &result.activity;
-    for value in [
-        a.cycles,
-        a.instructions,
-        a.int_ops,
-        a.fp_ops,
-        a.loads,
-        a.stores,
-        a.branches,
-        a.l2_accesses,
-    ] {
-        u(value);
+    out.extend_from_slice(&verify.to_le_bytes());
+    // The value stream is exactly [`SimResult::fields`] — the canonical
+    // field enumeration behind `exact_eq` — so the record format and the
+    // equality contract can never disagree on what a result *is*.
+    // `decode_fields` rebuilds the struct in the same declaration order;
+    // the round-trip test in this module pins the pairing.
+    for (_, bits) in result.fields() {
+        out.extend_from_slice(&bits.to_le_bytes());
     }
-    let d = &result.dcache;
-    for value in [
-        d.loads,
-        d.load_misses,
-        d.stores,
-        d.store_misses,
-        d.evictions,
-        d.direct_mapped_accesses,
-        d.parallel_accesses,
-        d.way_predicted_accesses,
-        d.sequential_accesses,
-        d.mispredicted_accesses,
-        d.way_predictions,
-        d.way_predictions_correct,
-        d.seldm_predicted_dm,
-        d.seldm_predicted_dm_correct,
-        d.conflicting_blocks_flagged,
-        d.cache_energy.to_bits(),
-        d.prediction_energy.to_bits(),
-    ] {
-        u(value);
-    }
-    let i = &result.icache;
-    for value in [
-        i.fetches,
-        i.fetch_misses,
-        i.sawp_correct,
-        i.btb_correct,
-        i.no_prediction,
-        i.mispredicted,
-        i.cache_energy.to_bits(),
-        i.prediction_energy.to_bits(),
-    ] {
-        u(value);
-    }
-    u(result.memory_accesses);
-    u(result.branch_accuracy.to_bits());
     debug_assert_eq!(out.len(), RECORD_BYTES);
     out
 }
@@ -192,17 +186,18 @@ impl Fields<'_> {
     }
 }
 
-fn decode(bytes: &[u8], digest: u64) -> Option<SimResult> {
+fn decode(bytes: &[u8], digest: u64, verify: u64) -> Option<SimResult> {
     if bytes.len() != RECORD_BYTES || bytes.get(0..4)? != MAGIC {
         return None;
     }
     let version = u32::from_le_bytes(bytes.get(4..8)?.try_into().ok()?);
     let stored_digest = u64::from_le_bytes(bytes.get(8..16)?.try_into().ok()?);
-    if version != CACHE_FORMAT_VERSION || stored_digest != digest {
+    let stored_verify = u64::from_le_bytes(bytes.get(16..24)?.try_into().ok()?);
+    if version != CACHE_FORMAT_VERSION || stored_digest != digest || stored_verify != verify {
         return None;
     }
     let mut fields = Fields {
-        bytes: &bytes[16..],
+        bytes: &bytes[24..],
     };
     decode_fields(&mut fields)
 }
@@ -318,17 +313,78 @@ mod tests {
         let point = point();
         let result = simulate_workload(&point.workload, &point.machine, &point.options);
         let digest = MatrixCache::digest(&point);
-        let full = encode(&result, digest);
-        assert_eq!(decode(&full, digest), Some(result));
+        let verify = MatrixCache::verify_digest(&point);
+        let full = encode(&result, digest, verify);
+        assert_eq!(decode(&full, digest, verify), Some(result));
         for len in 0..full.len() {
-            assert_eq!(decode(&full[..len], digest), None, "truncated to {len}");
+            assert_eq!(
+                decode(&full[..len], digest, verify),
+                None,
+                "truncated to {len}"
+            );
         }
         // A record with a valid header but exhausted fields exercises the
         // checked reader directly.
         let mut fields = Fields {
-            bytes: &full[16..full.len() - 1],
+            bytes: &full[24..full.len() - 1],
         };
         assert_eq!(decode_fields(&mut fields), None);
+    }
+
+    #[test]
+    fn forced_digest_collisions_do_not_cross_contaminate() {
+        // Two distinct points whose *filename* digests are forced equal:
+        // the verification digest stored inside the record must keep their
+        // results apart — point B reads a miss, never point A's result.
+        let cache = temp_cache("collision");
+        let a = point();
+        let b = SimPoint::new(
+            Benchmark::Li,
+            MachineConfig::baseline(),
+            RunOptions::quick().with_ops(3_000).with_seed(99),
+        );
+        assert_ne!(a, b);
+        assert_ne!(
+            MatrixCache::verify_digest(&a),
+            MatrixCache::verify_digest(&b),
+            "distinct points must have distinct verification digests"
+        );
+        let result_a = simulate_workload(&a.workload, &a.machine, &a.options);
+        let collided = 0xdead_beef_cafe_f00d;
+        cache.store_at(collided, &a, &result_a);
+        // The rightful owner loads through the forced digest...
+        assert_eq!(cache.load_at(collided, &a), Some(result_a));
+        // ...the colliding point must not.
+        assert_eq!(
+            cache.load_at(collided, &b),
+            None,
+            "a digest collision must decode as a miss for the other point"
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn verify_digest_is_independent_of_the_filename_digest() {
+        // The two digests must not be trivially related (e.g. equal, or a
+        // constant offset apart) — otherwise a collision in one implies a
+        // collision in the other and the widened check buys nothing.
+        let points: Vec<SimPoint> = (0..16)
+            .map(|i| {
+                SimPoint::new(
+                    Benchmark::Li,
+                    MachineConfig::baseline(),
+                    RunOptions::quick().with_ops(1_000 + i),
+                )
+            })
+            .collect();
+        let deltas: std::collections::HashSet<u64> = points
+            .iter()
+            .map(|p| MatrixCache::digest(p).wrapping_sub(MatrixCache::verify_digest(p)))
+            .collect();
+        assert!(
+            deltas.len() > 1,
+            "digest and verify_digest differ by a constant — not independent"
+        );
     }
 
     #[test]

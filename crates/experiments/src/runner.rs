@@ -232,6 +232,15 @@ pub struct CliOptions {
     /// bit-identical either way; the flag exists for determinism auditing
     /// (CI diffs gang-on against gang-off output) and benchmarking.
     pub no_gang: bool,
+    /// Cap the resident bytes of one materialized gang stream
+    /// (`--stream-cap BYTES`); longer streams spill to the `WPTR` codec on
+    /// disk. Results are bit-identical at any cap — this is a memory knob
+    /// and the tests' lever for exercising the spill path — so it lives
+    /// here rather than in [`RunOptions`], which is the simulation *dedup
+    /// key*: a field there would split identical results into distinct
+    /// matrix/cache entries. Defaults to the `WPSDM_STREAM_MEMORY_CAP`
+    /// environment override, else 64 MiB.
+    pub stream_cap: Option<usize>,
 }
 
 impl CliOptions {
@@ -261,6 +270,9 @@ impl CliOptions {
         if self.no_gang {
             engine = engine.without_gang();
         }
+        if let Some(cap) = self.stream_cap {
+            engine = engine.with_stream_memory_cap(cap);
+        }
         if self.no_matrix_cache {
             return engine;
         }
@@ -274,7 +286,8 @@ impl CliOptions {
 
 /// Usage text shared by the binaries.
 pub const USAGE: &str = "usage: <experiment> [--quick] [--ops N] [--seed N] [--threads N] \
-                         [--json] [--no-gang] [--no-matrix-cache] [--matrix-cache-dir PATH]";
+                         [--json] [--no-gang] [--stream-cap BYTES] [--no-matrix-cache] \
+                         [--matrix-cache-dir PATH]";
 
 /// Shared body of the single-artefact binaries: parse the command line,
 /// execute the artefact's plan on the engine, render from the matrix, and
@@ -362,6 +375,9 @@ pub fn options_from_args(args: impl Iterator<Item = String>) -> Result<CliOption
                 options.threads = Some(threads);
             }
             "--no-gang" => options.no_gang = true,
+            "--stream-cap" => {
+                options.stream_cap = Some(parse_value("--stream-cap", args.next())?);
+            }
             "--no-matrix-cache" => options.no_matrix_cache = true,
             "--matrix-cache-dir" => {
                 let dir = args
@@ -494,6 +510,23 @@ mod tests {
         assert_eq!(
             parse(&["--matrix-cache-dir"]),
             Err(CliError::MissingValue("--matrix-cache-dir"))
+        );
+    }
+
+    #[test]
+    fn stream_cap_flag_reaches_the_engine() {
+        let default = parse(&[]).expect("valid");
+        assert_eq!(default.stream_cap, None);
+        let capped = parse(&["--stream-cap", "1234"]).expect("valid");
+        assert_eq!(capped.stream_cap, Some(1234));
+        assert_eq!(capped.engine().stream_memory_cap(), 1234);
+        assert_eq!(
+            parse(&["--stream-cap"]),
+            Err(CliError::MissingValue("--stream-cap"))
+        );
+        assert_eq!(
+            parse(&["--stream-cap", "lots"]),
+            Err(CliError::InvalidValue("--stream-cap", "lots".to_string()))
         );
     }
 

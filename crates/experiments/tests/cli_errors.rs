@@ -1,0 +1,136 @@
+//! Command-line error paths of the experiment binaries, asserted against
+//! the *exact* messages: an unknown flag, a flag missing its value, and a
+//! bad integer must each print `error: <specific message>` plus the usage
+//! line to stderr and exit with status 2 — across all four binaries
+//! (`run_all`, `trace_capture`, `trace_replay`, `conformance`).
+
+use std::process::Command;
+
+/// Runs a binary with `args`; returns `(exit_code, stderr)`.
+fn run(binary: &str, args: &[&str]) -> (i32, String) {
+    let output = Command::new(binary)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {binary}: {e}"));
+    (
+        output.status.code().expect("binary exited with a code"),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+/// Asserts the binary rejects `args` with exactly `message` on the first
+/// stderr line, prints a usage line, and exits 2.
+fn assert_cli_error(binary: &str, args: &[&str], message: &str) {
+    let (code, stderr) = run(binary, args);
+    assert_eq!(code, 2, "{binary} {args:?} must exit 2; stderr: {stderr}");
+    let first = stderr.lines().next().unwrap_or_default();
+    assert_eq!(
+        first,
+        format!("error: {message}"),
+        "{binary} {args:?} printed the wrong error"
+    );
+    assert!(
+        stderr.contains("usage:"),
+        "{binary} {args:?} must print usage; stderr: {stderr}"
+    );
+}
+
+#[test]
+fn run_all_rejects_bad_command_lines_with_exact_messages() {
+    let bin = env!("CARGO_BIN_EXE_run_all");
+    assert_cli_error(bin, &["--frobnicate"], "unknown flag `--frobnicate`");
+    assert_cli_error(bin, &["--ops"], "flag `--ops` requires a value");
+    assert_cli_error(bin, &["--seed"], "flag `--seed` requires a value");
+    assert_cli_error(
+        bin,
+        &["--ops", "abc"],
+        "invalid value `abc` for flag `--ops`",
+    );
+    assert_cli_error(
+        bin,
+        &["--threads", "0"],
+        "invalid value `0` for flag `--threads`",
+    );
+    assert_cli_error(
+        bin,
+        &["--stream-cap", "lots"],
+        "invalid value `lots` for flag `--stream-cap`",
+    );
+    assert_cli_error(
+        bin,
+        &["--matrix-cache-dir"],
+        "flag `--matrix-cache-dir` requires a value",
+    );
+}
+
+#[test]
+fn trace_capture_rejects_bad_command_lines_with_exact_messages() {
+    let bin = env!("CARGO_BIN_EXE_trace_capture");
+    assert_cli_error(bin, &["--frobnicate"], "unknown flag `--frobnicate`");
+    assert_cli_error(bin, &["--workload"], "flag `--workload` requires a value");
+    assert_cli_error(bin, &["--out"], "flag `--out` requires a value");
+    assert_cli_error(
+        bin,
+        &["--workload", "gcc", "--out", "/tmp/x.wptr", "--ops", "abc"],
+        "invalid --ops `abc`",
+    );
+    assert_cli_error(
+        bin,
+        &["--workload", "gcc", "--out", "/tmp/x.wptr", "--seed", "1.5"],
+        "invalid --seed `1.5`",
+    );
+    assert_cli_error(
+        bin,
+        &["--out", "/tmp/x.wptr"],
+        "missing required flag `--workload`",
+    );
+    // Unknown workloads enumerate the valid names.
+    let (code, stderr) = run(bin, &["--workload", "nonesuch", "--out", "/tmp/x.wptr"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("error: unknown workload `nonesuch` (expected one of: "));
+    assert!(stderr.contains("gcc") && stderr.contains("pointer_chase"));
+}
+
+#[test]
+fn trace_replay_rejects_bad_command_lines_with_exact_messages() {
+    let bin = env!("CARGO_BIN_EXE_trace_replay");
+    assert_cli_error(bin, &["--frobnicate"], "unknown flag `--frobnicate`");
+    assert_cli_error(bin, &["--trace"], "flag `--trace` requires a value");
+    assert_cli_error(
+        bin,
+        &["--trace", "/tmp/x.wptr", "--ops", "abc"],
+        "invalid --ops `abc`",
+    );
+    assert_cli_error(
+        bin,
+        &["--trace", "/tmp/x.wptr", "--threads", "0"],
+        "invalid --threads `0`",
+    );
+    assert_cli_error(bin, &[], "missing required flag `--trace`");
+}
+
+#[test]
+fn conformance_rejects_bad_command_lines_with_exact_messages() {
+    let bin = env!("CARGO_BIN_EXE_conformance");
+    // Shared flags go through the same parser as the artefact binaries, so
+    // the messages are identical to run_all's.
+    assert_cli_error(bin, &["--frobnicate"], "unknown flag `--frobnicate`");
+    assert_cli_error(bin, &["--ops"], "flag `--ops` requires a value");
+    assert_cli_error(
+        bin,
+        &["--seed", "abc"],
+        "invalid value `abc` for flag `--seed`",
+    );
+    // Conformance-specific flags use the same error vocabulary.
+    assert_cli_error(bin, &["--random"], "flag `--random` requires a value");
+    assert_cli_error(
+        bin,
+        &["--random", "many"],
+        "invalid value `many` for flag `--random`",
+    );
+    assert_cli_error(
+        bin,
+        &["--golden-dir"],
+        "flag `--golden-dir` requires a value",
+    );
+}

@@ -1,0 +1,90 @@
+//! The oracle's Table 1 L2 + main-memory model, over the nested-`Vec` tag
+//! store.
+//!
+//! Mirrors [`wp_mem::MemoryHierarchy`] — same configuration type, same
+//! latency arithmetic — but the L2 residency decisions come from
+//! [`OracleCache`] instead of the optimized SoA store, so L1-miss traffic
+//! cross-checks the optimized L2 too.
+
+use wp_mem::{Addr, CacheGeometry, GeometryError, HierarchyConfig};
+
+use crate::cache::{AccessKind, OracleCache, OracleGeometry};
+
+/// The naive levels behind the L1 caches.
+#[derive(Debug, Clone)]
+pub struct OracleHierarchy {
+    config: HierarchyConfig,
+    l2: OracleCache,
+    memory_accesses: u64,
+}
+
+impl OracleHierarchy {
+    /// Builds the hierarchy from `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] if the L2 parameters are inconsistent
+    /// (the same validation the optimized hierarchy applies).
+    pub fn new(config: HierarchyConfig) -> Result<Self, GeometryError> {
+        let geometry = CacheGeometry::new(
+            config.l2_size_bytes,
+            config.l2_block_bytes,
+            config.l2_associativity,
+        )?;
+        Ok(Self {
+            config,
+            l2: OracleCache::new(OracleGeometry::from_mem(&geometry)),
+            memory_accesses: 0,
+        })
+    }
+
+    /// Number of accesses that reached main memory.
+    pub fn memory_accesses(&self) -> u64 {
+        self.memory_accesses
+    }
+
+    /// Latency of transferring one L1 block from main memory.
+    fn memory_transfer_latency(&self) -> u64 {
+        self.config.memory_latency
+            + self.config.memory_cycles_per_8_bytes
+                * (self.config.transfer_block_bytes as u64).div_ceil(8)
+    }
+
+    /// Services an L1 miss for `addr`, returning the cycles beyond the L1
+    /// access itself.
+    pub fn access(&mut self, addr: Addr, kind: AccessKind) -> u64 {
+        let result = self
+            .l2
+            .access(addr, kind, crate::cache::Placement::SetAssociative);
+        if result.hit {
+            self.config.l2_latency
+        } else {
+            self.memory_accesses += 1;
+            self.config.l2_latency + self.memory_transfer_latency()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_mem::MemoryHierarchy;
+
+    #[test]
+    fn matches_the_optimized_hierarchy() {
+        let config = HierarchyConfig::default();
+        let mut naive = OracleHierarchy::new(config).expect("valid");
+        let mut fast = MemoryHierarchy::new(config).expect("valid");
+        for i in 0..5_000u64 {
+            let addr = (i % 700) * 64 + (i % 13) * 0x1_0000;
+            let kind = if i % 5 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            let (fast_latency, _) = fast.access(addr, kind);
+            assert_eq!(naive.access(addr, kind), fast_latency, "access {i}");
+        }
+        assert_eq!(naive.memory_accesses(), fast.memory_accesses());
+    }
+}

@@ -1,0 +1,118 @@
+//! Per-access probe pricing: the Sections 2.1–2.3 / Table 3 rules,
+//! evaluated against the [`wp_energy::CacheEnergyModel`] on every access.
+//!
+//! The optimized [`wp_cache::AccessCore`] precomputes these costs into a
+//! lookup table once per controller; the oracle re-derives each one from
+//! the model at the moment it is charged. The model functions are pure, so
+//! the two must produce bit-identical energies — exactly what the
+//! conformance harness asserts.
+
+use wp_cache::access::WaySelection;
+use wp_cache::L1Config;
+use wp_energy::{CacheEnergyModel, Energy};
+use wp_mem::WayIndex;
+
+/// How a probe played out (the oracle's mirror of
+/// [`wp_cache::access::ProbeOutcome`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// All ways probed in parallel.
+    Parallel,
+    /// A single-way probe that was right (or a clean miss through it).
+    SingleWay,
+    /// A wrong single-way probe needing a corrective second probe.
+    Mispredicted,
+    /// A serialized tag-then-data access.
+    Sequential,
+}
+
+/// The resolved cost of one read probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OracleProbe {
+    /// What happened.
+    pub outcome: ProbeOutcome,
+    /// Data ways touched.
+    pub ways_probed: usize,
+    /// L1 latency in cycles.
+    pub latency: u64,
+    /// Energy dissipated in the cache arrays, refill write included.
+    pub energy: Energy,
+}
+
+/// Prices one read probe from first principles.
+pub fn resolve_probe(
+    energy: &CacheEnergyModel,
+    config: &L1Config,
+    choice: WaySelection,
+    hit: bool,
+    hit_way: WayIndex,
+) -> OracleProbe {
+    let (outcome, ways_probed, latency) = match choice {
+        WaySelection::Parallel => (
+            ProbeOutcome::Parallel,
+            config.associativity,
+            config.base_latency,
+        ),
+        WaySelection::Sequential => (
+            ProbeOutcome::Sequential,
+            usize::from(hit),
+            config.sequential_latency(),
+        ),
+        WaySelection::Oracle => (
+            ProbeOutcome::SingleWay,
+            usize::from(hit),
+            config.base_latency,
+        ),
+        WaySelection::Predicted(way) | WaySelection::DirectMapped(way) => {
+            if hit && hit_way != way {
+                (ProbeOutcome::Mispredicted, 2, config.mispredict_latency())
+            } else {
+                (ProbeOutcome::SingleWay, 1, config.base_latency)
+            }
+        }
+    };
+    let mut cost = match outcome {
+        ProbeOutcome::Parallel => energy.parallel_read_energy(),
+        _ => energy.n_way_read_energy(ways_probed),
+    };
+    if !hit {
+        // Refill write into the selected way; identical in every policy.
+        cost += energy.data_way_write_energy();
+    }
+    OracleProbe {
+        outcome,
+        ways_probed,
+        latency,
+        energy: cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pricing_matches_the_precomputed_access_core_costs() {
+        let config = L1Config::paper_dcache();
+        let model = CacheEnergyModel::new(config.geometry().expect("valid"));
+        // Parallel hit: all ways, base latency, parallel energy.
+        let p = resolve_probe(&model, &config, WaySelection::Parallel, true, 0);
+        assert_eq!(p.ways_probed, 4);
+        assert_eq!(p.latency, 1);
+        assert_eq!(p.energy.to_bits(), model.parallel_read_energy().to_bits());
+        // Sequential miss: zero ways probed, refill still charged.
+        let s = resolve_probe(&model, &config, WaySelection::Sequential, false, 0);
+        assert_eq!(s.ways_probed, 0);
+        assert_eq!(s.latency, 2);
+        assert_eq!(
+            s.energy.to_bits(),
+            (model.n_way_read_energy(0) + model.data_way_write_energy()).to_bits()
+        );
+        // Wrong predicted way on a hit: the corrective second probe.
+        let m = resolve_probe(&model, &config, WaySelection::Predicted(1), true, 2);
+        assert_eq!(m.outcome, ProbeOutcome::Mispredicted);
+        assert_eq!(m.ways_probed, 2);
+        assert_eq!(m.latency, 2);
+        assert_eq!(m.energy.to_bits(), model.n_way_read_energy(2).to_bits());
+    }
+}

@@ -1,0 +1,120 @@
+//! The oracle's victim list: the Section 2.2.2 conflict detector with no
+//! fast paths.
+//!
+//! The optimized [`wp_predictors::VictimList`] answers `is_conflicting`
+//! through 64-bit presence/conflict membership filters and only falls back
+//! to an exact scan on a filter hit. The oracle keeps the plain `Vec` and
+//! scans it on every question, so the filters are cross-checked by the
+//! conformance harness on every simulated load: any filter bug that changed
+//! an answer would surface as a `SimResult` mismatch.
+
+use wp_mem::BlockAddr;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    block: BlockAddr,
+    count: u32,
+    last_use: u64,
+}
+
+/// A small, fully-associative list of recently evicted block addresses with
+/// per-block eviction counts; exact scans only.
+#[derive(Debug, Clone)]
+pub struct OracleVictimList {
+    entries: Vec<Entry>,
+    capacity: usize,
+    conflict_threshold: u32,
+    clock: u64,
+}
+
+impl OracleVictimList {
+    /// A list holding `capacity` blocks; a block becomes conflicting once
+    /// its eviction count *exceeds* `conflict_threshold`.
+    pub fn new(capacity: usize, conflict_threshold: u32) -> Self {
+        assert!(capacity > 0, "victim list capacity must be non-zero");
+        Self {
+            entries: Vec::new(),
+            capacity,
+            conflict_threshold,
+            clock: 0,
+        }
+    }
+
+    /// Records that `block` was just evicted; returns `true` if the block
+    /// is now considered conflicting. Mirrors
+    /// [`wp_predictors::VictimList::record_eviction`]: a tracked block
+    /// bumps its count and recency; an untracked one allocates, displacing
+    /// the least-recently-touched entry (first index on ties) when full.
+    pub fn record_eviction(&mut self, block: BlockAddr) -> bool {
+        self.clock += 1;
+        if let Some(entry) = self.entries.iter_mut().find(|e| e.block == block) {
+            entry.count += 1;
+            entry.last_use = self.clock;
+            return entry.count > self.conflict_threshold;
+        }
+        let entry = Entry {
+            block,
+            count: 1,
+            last_use: self.clock,
+        };
+        if self.entries.len() == self.capacity {
+            let mut stalest = 0;
+            for i in 1..self.entries.len() {
+                if self.entries[i].last_use < self.entries[stalest].last_use {
+                    stalest = i;
+                }
+            }
+            self.entries[stalest] = entry;
+        } else {
+            self.entries.push(entry);
+        }
+        1 > self.conflict_threshold
+    }
+
+    /// True if `block` has been evicted more than the threshold number of
+    /// times while tracked.
+    pub fn is_conflicting(&self, block: BlockAddr) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.block == block && e.count > self.conflict_threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_predictors::VictimList;
+
+    #[test]
+    fn matches_the_filtered_list_on_a_thrashing_sequence() {
+        let mut naive = OracleVictimList::new(4, 2);
+        let mut fast = VictimList::new(4, 2);
+        // A sequence that exercises allocation, re-touch, displacement, and
+        // conflict flagging across more distinct blocks than the capacity.
+        let blocks: Vec<BlockAddr> = (0..64u64).map(|i| ((i * 7) % 9) * 0x1000).collect();
+        for &block in &blocks {
+            assert_eq!(
+                naive.record_eviction(block),
+                fast.record_eviction(block),
+                "record_eviction({block:#x})"
+            );
+            for probe in [0x0, 0x1000, 0x5000, 0x8000] {
+                assert_eq!(
+                    naive.is_conflicting(probe),
+                    fast.is_conflicting(probe),
+                    "is_conflicting({probe:#x})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_semantics() {
+        let mut list = OracleVictimList::new(4, 2);
+        assert!(!list.record_eviction(0x1000));
+        assert!(!list.record_eviction(0x1000));
+        assert!(list.record_eviction(0x1000));
+        assert!(list.is_conflicting(0x1000));
+        assert!(!list.is_conflicting(0x2000));
+    }
+}

@@ -56,12 +56,17 @@ pub mod shared;
 pub mod trace;
 mod workload;
 
-pub use batch::{fill_from_iter, IterBlockSource, OpBlockSource, OpBuffer, DEFAULT_OP_BLOCK};
+pub use batch::{
+    fill_from_iter, BlockSourceIter, IterBlockSource, OpBlockSource, OpBuffer, DEFAULT_OP_BLOCK,
+};
 pub use generator::{TraceConfig, TraceGenerator};
 pub use op::{BranchClass, MicroOp, OpKind};
 pub use profile::{Benchmark, BenchmarkProfile};
 pub use scenario::{Scenario, ScenarioGenerator};
-pub use shared::{SharedStream, SharedStreamReader, StreamKey, DEFAULT_STREAM_MEMORY_CAP};
+pub use shared::{
+    stream_memory_cap, SharedStream, SharedStreamReader, StreamKey, DEFAULT_STREAM_MEMORY_CAP,
+    STREAM_MEMORY_CAP_ENV,
+};
 pub use trace::{
     capture_to_file, file_digest, Fnv1a, TextTraceReader, TextTraceWriter, TraceError, TraceHandle,
     TraceId, TraceReader, TraceReplay, TraceWriter, TRACE_MAGIC, TRACE_VERSION,

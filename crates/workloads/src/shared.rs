@@ -52,6 +52,30 @@ use crate::workload::WorkloadSpec;
 /// while bounding a gang's resident footprint.
 pub const DEFAULT_STREAM_MEMORY_CAP: usize = 64 * 1024 * 1024;
 
+/// Environment variable overriding the spill cap (bytes). A tiny value
+/// forces every materialized stream down the spill path — how tests and CI
+/// exercise the on-disk replay without generating 64 MiB of ops.
+pub const STREAM_MEMORY_CAP_ENV: &str = "WPSDM_STREAM_MEMORY_CAP";
+
+/// The effective spill cap: [`STREAM_MEMORY_CAP_ENV`] if set, else
+/// [`DEFAULT_STREAM_MEMORY_CAP`]. Engines and [`SharedStream::materialize`]
+/// consult this, so an environment override reaches every materialization
+/// without a code change; `--stream-cap` on the experiment binaries
+/// overrides both.
+pub fn stream_memory_cap() -> usize {
+    cap_from_env_value(std::env::var_os(STREAM_MEMORY_CAP_ENV).as_deref())
+}
+
+/// Parses an override value; `None`, empty, or unparsable values fall back
+/// to the default (a misconfigured cap must degrade to correct behaviour,
+/// never to a panic — spilling is a memory knob, not a semantic one).
+fn cap_from_env_value(value: Option<&std::ffi::OsStr>) -> usize {
+    value
+        .and_then(|v| v.to_str())
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(DEFAULT_STREAM_MEMORY_CAP)
+}
+
 /// The identity of a workload *stream*: everything that determines the
 /// micro-op sequence and nothing that does not.
 ///
@@ -102,14 +126,16 @@ pub struct SharedStream {
 }
 
 impl SharedStream {
-    /// Materializes the stream for `key` under the default memory cap.
+    /// Materializes the stream for `key` under the default memory cap
+    /// ([`stream_memory_cap`]: the `WPSDM_STREAM_MEMORY_CAP` environment
+    /// override if set, else [`DEFAULT_STREAM_MEMORY_CAP`]).
     ///
     /// # Errors
     ///
     /// Returns a [`TraceError`] if a trace-file workload cannot be opened,
     /// or if spilling to the temp file fails.
     pub fn materialize(key: &StreamKey) -> Result<Self, TraceError> {
-        Self::materialize_capped(key, DEFAULT_STREAM_MEMORY_CAP)
+        Self::materialize_capped(key, stream_memory_cap())
     }
 
     /// Materializes the stream for `key`, keeping at most `cap_bytes` of
@@ -356,6 +382,44 @@ mod tests {
         drop(shared);
         assert!(path.exists(), "a borrowed trace file must survive the drop");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn byte_cap_boundaries_are_exact() {
+        // A stream of exactly `cap` bytes stays resident; one byte less
+        // spills; one byte more than the stream needs changes nothing.
+        let ops = 48usize;
+        let key = StreamKey::new(WorkloadSpec::Benchmark(Benchmark::Gcc), ops, 11);
+        let stream_bytes = ops * std::mem::size_of::<MicroOp>();
+        let direct: Vec<MicroOp> = key.spec.stream(key.ops, key.seed).expect("opens").collect();
+
+        let at_cap = SharedStream::materialize_capped(&key, stream_bytes).expect("fits");
+        assert!(!at_cap.is_spilled(), "exactly-at-cap must stay resident");
+        assert_eq!(drain(&at_cap), direct);
+
+        let below_cap = SharedStream::materialize_capped(&key, stream_bytes - 1).expect("spills");
+        assert!(below_cap.is_spilled(), "cap minus one byte must spill");
+        assert_eq!(drain(&below_cap), direct, "spilled replay is bit-exact");
+
+        let above_cap = SharedStream::materialize_capped(&key, stream_bytes + 1).expect("fits");
+        assert!(!above_cap.is_spilled(), "cap plus one byte must not spill");
+        assert_eq!(drain(&above_cap), direct);
+    }
+
+    #[test]
+    fn env_cap_parser_falls_back_on_garbage() {
+        use std::ffi::OsStr;
+        assert_eq!(super::cap_from_env_value(None), DEFAULT_STREAM_MEMORY_CAP);
+        assert_eq!(
+            super::cap_from_env_value(Some(OsStr::new(""))),
+            DEFAULT_STREAM_MEMORY_CAP
+        );
+        assert_eq!(
+            super::cap_from_env_value(Some(OsStr::new("not-a-number"))),
+            DEFAULT_STREAM_MEMORY_CAP
+        );
+        assert_eq!(super::cap_from_env_value(Some(OsStr::new("4096"))), 4096);
+        assert_eq!(super::cap_from_env_value(Some(OsStr::new(" 80 "))), 80);
     }
 
     #[test]

@@ -15,8 +15,10 @@
 //!   i-cache controllers,
 //! * [`cpu`] — the trace-driven out-of-order processor timing model,
 //! * [`workloads`] — synthetic SPEC CPU95-like benchmark traces,
+//! * [`oracle`] — the deliberately naive reference simulator the optimized
+//!   stack is differentially pinned to (see `docs/VALIDATION.md`),
 //! * [`experiments`] — runners that regenerate every table and figure of the
-//!   paper's evaluation.
+//!   paper's evaluation, plus the `conformance` differential harness.
 //!
 //! See the repository README for a tour and `examples/` for runnable entry
 //! points (`quickstart`, `dcache_policy_explorer`, `icache_waypred`,
@@ -45,5 +47,6 @@ pub use wp_cpu as cpu;
 pub use wp_energy as energy;
 pub use wp_experiments as experiments;
 pub use wp_mem as mem;
+pub use wp_oracle as oracle;
 pub use wp_predictors as predictors;
 pub use wp_workloads as workloads;

@@ -11,8 +11,11 @@
 //!    cache);
 //! 4. the same cold sweep with gang scheduling on vs off (`sweep_gang`) —
 //!    the cost of regenerating every workload stream per point;
-//! 5. the SWAR tag-match primitive vs its retained scalar reference
-//!    (`tag_match`).
+//! 5. the config-parallel lane kernels vs the scalar gang path
+//!    (`lane_kernels`): a fig10-shaped batch of machines sharing the
+//!    baseline d-side driven through one stream walk, at widths 2/4/8.
+//!    `vector_speedup` (the width-8 ratio) is asserted ≥ 1.0 — the lane
+//!    engine must never regress below running the same gang scalar.
 //!
 //! Usage: `cargo run --release -p wp-bench --bin bench_report --
 //! [--quick] [--out PATH]`
@@ -20,10 +23,13 @@
 use std::time::Instant;
 
 use wp_cache::{DCacheController, DCachePolicy, ICachePolicy, L1Config};
-use wp_cpu::Processor;
+use wp_cpu::{CpuConfig, Processor};
+use wp_experiments::runner::{simulate_workload_shared, simulate_workload_shared_lanes};
 use wp_experiments::MatrixCache;
 use wp_experiments::{run_all_plan, MachineConfig, RunOptions, SimEngine};
-use wp_workloads::{Benchmark, OpKind, TraceConfig, TraceGenerator};
+use wp_workloads::{
+    Benchmark, OpKind, SharedStream, StreamKey, TraceConfig, TraceGenerator, WorkloadSpec,
+};
 
 const USAGE: &str = "usage: bench_report [--quick] [--out PATH]";
 
@@ -147,49 +153,54 @@ fn processor_loop(ops: usize) -> (f64, f64) {
     (ops as f64 / seconds, seconds)
 }
 
-/// Measures one set-probe implementation over a synthetic 4-way tag array:
-/// every probe scans one set's lane under a valid mask, with the hit way
-/// varying probe to probe the way a live sweep's fused scan sees it —
-/// exactly the access pattern whose early-exit branches the SWAR path
-/// eliminates. Returns `(probes_per_sec, seconds)`, best of three.
-fn tag_match_loop(probes: usize, f: impl Fn(&[u64], u64, u64) -> Option<usize>) -> (f64, f64) {
-    const SETS: usize = 4096;
-    const ASSOC: usize = 4;
-    // Deterministic pseudo-random resident tags.
-    let mut state = 0x243f_6a88_85a3_08d3u64;
-    let mut next = move || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        state
-    };
-    let tags: Vec<u64> = (0..SETS * ASSOC).map(|_| next() % 64).collect();
-    let probe_tags: Vec<u64> = (0..8192)
-        .map(|i| {
-            if i & 1 == 0 {
-                // A resident tag in an unpredictable way of some set.
-                tags[(next() as usize) % tags.len()]
-            } else {
-                // Likely absent.
-                64 + next() % 64
-            }
-        })
-        .collect();
-    let mut best_seconds = f64::INFINITY;
+/// A fig10-shaped lane batch: eight machines sharing the baseline d-side
+/// (Parallel policy, paper geometry — the lane batch key) while everything
+/// the lane engine leaves free varies — i-cache policy and associativity,
+/// d-probe latency, prediction-table size, issue width.
+fn lane_machines() -> Vec<MachineConfig> {
+    let base = MachineConfig::baseline();
+    vec![
+        base,
+        base.with_ipolicy(ICachePolicy::WayPredict),
+        base.with_l1i(L1Config::paper_icache().with_associativity(2))
+            .with_ipolicy(ICachePolicy::WayPredict),
+        base.with_l1i(L1Config::paper_icache().with_associativity(1)),
+        base.with_l1i(L1Config::paper_icache().with_associativity(8))
+            .with_ipolicy(ICachePolicy::WayPredict),
+        base.with_l1d(L1Config::paper_dcache().with_base_latency(2)),
+        base.with_l1d(L1Config::paper_dcache().with_prediction_table_entries(256)),
+        MachineConfig {
+            cpu: CpuConfig {
+                issue_width: 4,
+                ..CpuConfig::default()
+            },
+            ..base
+        },
+    ]
+}
+
+/// Times one gang both ways over an already-materialized stream: the
+/// config-parallel lane engine (one walk for all machines) against the
+/// scalar gang path (one walk per machine). Returns
+/// `(lane_seconds, scalar_seconds)`, best of three, interleaved pair-wise
+/// so neither mode systematically inherits a warmer host.
+fn lane_vs_scalar(stream: &SharedStream, machines: &[MachineConfig]) -> (f64, f64) {
+    // Untimed warm-up of both paths.
+    std::hint::black_box(simulate_workload_shared_lanes(stream, machines));
+    std::hint::black_box(simulate_workload_shared(stream, &machines[0]));
+    let mut lane_secs = f64::INFINITY;
+    let mut scalar_secs = f64::INFINITY;
     for _ in 0..3 {
         let start = Instant::now();
-        let mut sink = 0usize;
-        for i in 0..probes {
-            let base = (i % SETS) * ASSOC;
-            let lane = &tags[base..base + ASSOC];
-            let probe = probe_tags[i % probe_tags.len()];
-            sink = sink.wrapping_add(f(lane, probe, 0b1111).map_or(0, |way| way + 1));
+        for machine in machines {
+            std::hint::black_box(simulate_workload_shared(stream, machine));
         }
-        let seconds = start.elapsed().as_secs_f64();
-        std::hint::black_box(sink);
-        best_seconds = best_seconds.min(seconds);
+        scalar_secs = scalar_secs.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        std::hint::black_box(simulate_workload_shared_lanes(stream, machines));
+        lane_secs = lane_secs.min(start.elapsed().as_secs_f64());
     }
-    (probes as f64 / best_seconds, best_seconds)
+    (lane_secs, scalar_secs)
 }
 
 fn main() {
@@ -202,10 +213,10 @@ fn main() {
         }
     };
 
-    let (dcache_accesses, cpu_ops, sweep_ops, tag_probes) = if cli.quick {
-        (400_000usize, 120_000usize, 4_000usize, 2_000_000usize)
+    let (dcache_accesses, cpu_ops, sweep_ops, lane_ops) = if cli.quick {
+        (400_000usize, 120_000usize, 4_000usize, 40_000usize)
     } else {
-        (4_000_000, 1_200_000, 20_000, 20_000_000)
+        (4_000_000, 1_200_000, 20_000, 200_000)
     };
 
     eprintln!("bench_report: d-cache access loop ({dcache_accesses} accesses per policy)");
@@ -254,14 +265,45 @@ fn main() {
         gang_secs = gang_secs.min(start.elapsed().as_secs_f64());
     }
 
-    eprintln!("bench_report: SWAR vs scalar tag match ({tag_probes} probes)");
-    let (swar_per_sec, swar_secs) = tag_match_loop(tag_probes, wp_mem::swar::first_hit);
-    let (scalar_per_sec, scalar_secs) = tag_match_loop(tag_probes, wp_mem::swar::first_hit_scalar);
+    eprintln!("bench_report: lane kernels vs scalar gang ({lane_ops} ops per machine)");
+    let lane_stream = SharedStream::materialize(&StreamKey::new(
+        WorkloadSpec::Benchmark(Benchmark::Gcc),
+        lane_ops,
+        7,
+    ))
+    .expect("benchmark streams always materialize");
+    let machines = lane_machines();
+    let mut width_speedups = [0.0f64; 3];
+    let mut lane_ops_per_sec = 0.0;
+    let mut scalar_ops_per_sec = 0.0;
+    for (slot, width) in [2usize, 4, 8].into_iter().enumerate() {
+        let (lane_secs, scalar_secs) = lane_vs_scalar(&lane_stream, &machines[..width]);
+        width_speedups[slot] = scalar_secs / lane_secs;
+        if width == machines.len() {
+            lane_ops_per_sec = (width * lane_ops) as f64 / lane_secs;
+            scalar_ops_per_sec = (width * lane_ops) as f64 / scalar_secs;
+        }
+    }
+    let vector_speedup = width_speedups[2];
+    eprintln!(
+        "bench_report: lane speedups: width 2 = {:.3}x, width 4 = {:.3}x, width 8 = {:.3}x",
+        width_speedups[0], width_speedups[1], width_speedups[2]
+    );
+    // The whole point of the lane engine: batching a gang must never be
+    // slower than replaying it scalar. A regression here fails the bench
+    // smoke rather than silently shipping a slower sweep.
+    assert!(
+        vector_speedup >= 1.0,
+        "lane kernels regressed below the scalar gang path: {vector_speedup:.3}x"
+    );
+    // How much of the run_all sweep the lane engine actually covers.
+    let gang_points = gang_matrix.lane_points() + gang_matrix.lane_scalar_fallback();
+    let batch_fill_ratio = gang_matrix.lane_points() as f64 / gang_points.max(1) as f64;
 
     let json = format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"wpsdm/bench_sim_throughput/v2\",\n",
+            "  \"schema\": \"wpsdm/bench_sim_throughput/v3\",\n",
             "  \"mode\": \"{mode}\",\n",
             "  \"dcache_access_loop\": {{\n",
             "    \"accesses\": {dacc},\n",
@@ -294,13 +336,16 @@ fn main() {
             "    \"ops_generated\": {opsg},\n",
             "    \"ops_consumed\": {opsc}\n",
             "  }},\n",
-            "  \"tag_match\": {{\n",
-            "    \"probes\": {tprobes},\n",
-            "    \"swar_matches_per_sec\": {swarps:.0},\n",
-            "    \"swar_seconds\": {swars:.4},\n",
-            "    \"scalar_matches_per_sec\": {scalps:.0},\n",
-            "    \"scalar_seconds\": {scals:.4},\n",
-            "    \"swar_speedup\": {swarx:.3}\n",
+            "  \"lane_kernels\": {{\n",
+            "    \"ops_per_machine\": {lops},\n",
+            "    \"machines\": {lmach},\n",
+            "    \"lane_ops_per_sec\": {lps:.0},\n",
+            "    \"scalar_ops_per_sec\": {sps:.0},\n",
+            "    \"width2_speedup\": {w2:.3},\n",
+            "    \"width4_speedup\": {w4:.3},\n",
+            "    \"width8_speedup\": {w8:.3},\n",
+            "    \"vector_speedup\": {vx:.3},\n",
+            "    \"sweep_batch_fill_ratio\": {fill:.3}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -326,12 +371,15 @@ fn main() {
         streams = gang_matrix.streams_materialized(),
         opsg = gang_matrix.ops_generated(),
         opsc = gang_matrix.ops_consumed(),
-        tprobes = tag_probes,
-        swarps = swar_per_sec,
-        swars = swar_secs,
-        scalps = scalar_per_sec,
-        scals = scalar_secs,
-        swarx = swar_per_sec / scalar_per_sec,
+        lops = lane_ops,
+        lmach = machines.len(),
+        lps = lane_ops_per_sec,
+        sps = scalar_ops_per_sec,
+        w2 = width_speedups[0],
+        w4 = width_speedups[1],
+        w8 = width_speedups[2],
+        vx = vector_speedup,
+        fill = batch_fill_ratio,
     );
     if let Err(error) = std::fs::write(&cli.out, &json) {
         eprintln!("error: cannot write {}: {error}", cli.out.display());

@@ -210,8 +210,12 @@ pub struct AccessCore {
 /// configuration so resolving a probe on the hot path is a pair of table
 /// lookups — no floating-point model evaluation (the analytic model takes
 /// square roots and logarithms) and no allocation per access.
+///
+/// The pricing rules themselves live here (not on [`AccessCore`]) so the
+/// lane-batched d-cache (`crate::lane`) can price per-lane probes against
+/// per-lane cost tables without owning a scalar core per lane.
 #[derive(Debug, Clone)]
-struct ProbeCosts {
+pub(crate) struct ProbeCosts {
     /// Energy of a conventional parallel read of all ways.
     parallel_read: Energy,
     /// Energy of a read probing exactly `i` data ways, indexed by `i`.
@@ -230,7 +234,7 @@ struct ProbeCosts {
 }
 
 impl ProbeCosts {
-    fn new(config: &L1Config, energy: &CacheEnergyModel) -> Self {
+    pub(crate) fn new(config: &L1Config, energy: &CacheEnergyModel) -> Self {
         Self {
             parallel_read: energy.parallel_read_energy(),
             n_way_read: [
@@ -244,6 +248,74 @@ impl ProbeCosts {
             sequential_latency: config.sequential_latency(),
             mispredict_latency: config.mispredict_latency(),
             associativity: config.associativity,
+        }
+    }
+
+    /// Prices a read probe: the shared ways-probed / latency / energy rules
+    /// of Sections 2.1–2.3 and Table 3, previously duplicated between the
+    /// two controllers. All costs come from the precomputed tables, so this
+    /// is allocation-free and model-evaluation-free.
+    #[inline(always)]
+    pub(crate) fn resolve(&self, choice: WaySelection, result: &AccessResult) -> Probe {
+        let (outcome, ways_probed, latency) = match choice {
+            WaySelection::Parallel => (
+                ProbeOutcome::Parallel,
+                self.associativity,
+                self.base_latency,
+            ),
+            WaySelection::Sequential => (
+                ProbeOutcome::Sequential,
+                usize::from(result.hit),
+                self.sequential_latency,
+            ),
+            WaySelection::Oracle => (
+                ProbeOutcome::SingleWay,
+                usize::from(result.hit),
+                self.base_latency,
+            ),
+            WaySelection::Predicted(way) | WaySelection::DirectMapped(way) => {
+                if result.hit && result.way != way {
+                    // The block lives in a different way: the single-way
+                    // probe was wrong and a corrective second probe is
+                    // needed.
+                    (ProbeOutcome::Mispredicted, 2, self.mispredict_latency)
+                } else {
+                    // Correct single-way probe, or a miss in which only the
+                    // selected way was touched before the tag array reported
+                    // the miss.
+                    (ProbeOutcome::SingleWay, 1, self.base_latency)
+                }
+            }
+        };
+        let mut energy = match outcome {
+            ProbeOutcome::Parallel => self.parallel_read,
+            _ => self.n_way_read[ways_probed],
+        };
+        if !result.hit {
+            // Refill write into the selected way; identical in every policy.
+            energy += self.refill_write;
+        }
+        Probe {
+            outcome,
+            ways_probed,
+            latency,
+            energy,
+        }
+    }
+
+    /// Prices a store: a tag probe plus a single data-way write (plus the
+    /// refill write on a miss), in every policy.
+    #[inline(always)]
+    pub(crate) fn price_write(&self, result: &AccessResult) -> Probe {
+        let mut energy = self.write;
+        if !result.hit {
+            energy += self.refill_write;
+        }
+        Probe {
+            outcome: ProbeOutcome::SingleWay,
+            ways_probed: 1,
+            latency: self.base_latency,
+            energy,
         }
     }
 }
@@ -293,7 +365,7 @@ impl AccessCore {
     ) -> CoreAccess {
         let selection = select.select(ctx);
         let result = self.cache.access(addr, AccessKind::Read, placement);
-        let probe = self.resolve(selection.choice, &result);
+        let probe = self.costs.resolve(selection.choice, &result);
         let observed = Observation {
             way: result.way,
             hit: result.hit,
@@ -314,73 +386,11 @@ impl AccessCore {
     #[inline]
     pub fn write(&mut self, addr: Addr, placement: Placement) -> CoreAccess {
         let result = self.cache.access(addr, AccessKind::Write, placement);
-        let mut energy = self.costs.write;
-        if !result.hit {
-            energy += self.costs.refill_write;
-        }
         CoreAccess {
             result,
-            probe: Probe {
-                outcome: ProbeOutcome::SingleWay,
-                ways_probed: 1,
-                latency: self.costs.base_latency,
-                energy,
-            },
+            probe: self.costs.price_write(&result),
             selection: Selection::parallel(),
             prediction_energy: 0.0,
-        }
-    }
-
-    /// Prices a read probe: the shared ways-probed / latency / energy rules
-    /// of Sections 2.1–2.3 and Table 3, previously duplicated between the
-    /// two controllers. All costs come from the precomputed [`ProbeCosts`]
-    /// tables, so this is allocation-free and model-evaluation-free.
-    #[inline(always)]
-    fn resolve(&self, choice: WaySelection, result: &AccessResult) -> Probe {
-        let costs = &self.costs;
-        let (outcome, ways_probed, latency) = match choice {
-            WaySelection::Parallel => (
-                ProbeOutcome::Parallel,
-                costs.associativity,
-                costs.base_latency,
-            ),
-            WaySelection::Sequential => (
-                ProbeOutcome::Sequential,
-                usize::from(result.hit),
-                costs.sequential_latency,
-            ),
-            WaySelection::Oracle => (
-                ProbeOutcome::SingleWay,
-                usize::from(result.hit),
-                costs.base_latency,
-            ),
-            WaySelection::Predicted(way) | WaySelection::DirectMapped(way) => {
-                if result.hit && result.way != way {
-                    // The block lives in a different way: the single-way
-                    // probe was wrong and a corrective second probe is
-                    // needed.
-                    (ProbeOutcome::Mispredicted, 2, costs.mispredict_latency)
-                } else {
-                    // Correct single-way probe, or a miss in which only the
-                    // selected way was touched before the tag array reported
-                    // the miss.
-                    (ProbeOutcome::SingleWay, 1, costs.base_latency)
-                }
-            }
-        };
-        let mut energy = match outcome {
-            ProbeOutcome::Parallel => costs.parallel_read,
-            _ => costs.n_way_read[ways_probed],
-        };
-        if !result.hit {
-            // Refill write into the selected way; identical in every policy.
-            energy += costs.refill_write;
-        }
-        Probe {
-            outcome,
-            ways_probed,
-            latency,
-            energy,
         }
     }
 }

@@ -14,8 +14,7 @@ use wp_predictors::{
 };
 
 use crate::access::{
-    AccessCore, CoreAccess, Observation, ProbeOutcome, Selection, WaySelect, WaySelection,
-    WaySource,
+    AccessCore, Observation, ProbeOutcome, Selection, WaySelect, WaySelection, WaySource,
 };
 use crate::config::{ConfigError, L1Config};
 use crate::policy::{DCachePolicy, DPolicyKernel};
@@ -64,6 +63,22 @@ pub struct DAccessOutcome {
     /// The way the block resides in after the access (the hit way, or the
     /// way filled on a miss).
     pub way: WayIndex,
+}
+
+impl Default for DAccessOutcome {
+    /// A free parallel miss of way 0. Exists so lane-batched callers can
+    /// size per-lane outcome buffers without an `Option` per slot; every
+    /// slot is overwritten before it is read.
+    fn default() -> Self {
+        Self {
+            hit: false,
+            latency: 0,
+            energy: 0.0,
+            class: DAccessClass::Parallel,
+            ways_probed: 0,
+            way: 0,
+        }
+    }
 }
 
 impl DAccessOutcome {
@@ -149,7 +164,11 @@ impl DWaySelect {
     /// the monomorphized kernels pass a compile-time constant here, so the
     /// selective-DM test folds away.
     #[inline(always)]
-    fn placement_policy(&self, policy: DCachePolicy, block_addr: wp_mem::BlockAddr) -> Placement {
+    pub(crate) fn placement_policy(
+        &self,
+        policy: DCachePolicy,
+        block_addr: wp_mem::BlockAddr,
+    ) -> Placement {
         if !policy.uses_selective_dm() || self.victims.is_conflicting(block_addr) {
             Placement::SetAssociative
         } else {
@@ -178,8 +197,8 @@ impl WaySelect for DWaySelect {
     }
 
     #[inline]
-    fn train(&mut self, ctx: &DLoadCtx, observed: Observation, cache: &SetAssocCache) -> Energy {
-        self.train_policy(self.policy, ctx, observed, cache)
+    fn train(&mut self, ctx: &DLoadCtx, observed: Observation, _cache: &SetAssocCache) -> Energy {
+        self.train_policy(self.policy, ctx, observed)
     }
 }
 
@@ -189,7 +208,7 @@ impl DWaySelect {
     /// [`crate::DPolicyKernel::POLICY`], a compile-time constant, so the
     /// policy `match` folds to the one live arm.
     #[inline(always)]
-    fn select_policy(&mut self, policy: DCachePolicy, ctx: &DLoadCtx) -> Selection {
+    pub(crate) fn select_policy(&mut self, policy: DCachePolicy, ctx: &DLoadCtx) -> Selection {
         let table = self.table_energy;
         match policy {
             DCachePolicy::Parallel => Selection::parallel(),
@@ -241,14 +260,16 @@ impl DWaySelect {
     }
 
     /// [`WaySelect::train`] with the policy supplied by the caller; see
-    /// [`DWaySelect::select_policy`].
+    /// [`DWaySelect::select_policy`]. The d-side stack never needs the tag
+    /// store for training (unlike the i-side RAS), so no cache reference is
+    /// taken — which is what lets the lane-batched path train per-lane
+    /// policies against one shared [`wp_mem::LaneTagStore`].
     #[inline(always)]
-    fn train_policy(
+    pub(crate) fn train_policy(
         &mut self,
         policy: DCachePolicy,
         ctx: &DLoadCtx,
         observed: Observation,
-        _cache: &SetAssocCache,
     ) -> Energy {
         // Way-table training with the way the block actually occupies now.
         match policy {
@@ -300,8 +321,8 @@ impl<K: DPolicyKernel> WaySelect for KernelSelect<'_, K> {
     }
 
     #[inline(always)]
-    fn train(&mut self, ctx: &DLoadCtx, observed: Observation, cache: &SetAssocCache) -> Energy {
-        self.0.train_policy(K::POLICY, ctx, observed, cache)
+    fn train(&mut self, ctx: &DLoadCtx, observed: Observation, _cache: &SetAssocCache) -> Energy {
+        self.0.train_policy(K::POLICY, ctx, observed)
     }
 }
 
@@ -423,11 +444,16 @@ impl DCacheController {
         if !access.result.hit {
             self.stats.load_misses += 1;
         }
-        self.note_eviction(&access);
-        self.record_selection(&access);
+        account_eviction(&mut self.stats, &mut self.select, access.result.evicted);
+        account_selection(
+            &mut self.stats,
+            access.probe.outcome,
+            &access.selection,
+            access.result.hit,
+        );
 
-        let class = classify(&access);
-        self.record_load_class(class);
+        let class = classify(access.probe.outcome, access.selection.choice);
+        account_load_class(&mut self.stats, class);
         self.stats.cache_energy += access.probe.energy;
         self.stats.prediction_energy += access.prediction_energy;
 
@@ -455,7 +481,7 @@ impl DCacheController {
         if !access.result.hit {
             self.stats.store_misses += 1;
         }
-        self.note_eviction(&access);
+        account_eviction(&mut self.stats, &mut self.select, access.result.evicted);
         self.stats.cache_energy += access.probe.energy;
 
         DAccessOutcome {
@@ -467,62 +493,75 @@ impl DCacheController {
             way: access.result.way,
         }
     }
+}
 
-    /// Records an eviction in the victim list and the statistics.
-    #[inline]
-    fn note_eviction(&mut self, access: &CoreAccess) {
-        if let Some(line) = access.result.evicted {
-            self.stats.evictions += 1;
-            let (flagged, energy) = self.select.note_eviction(line.block_addr);
-            self.stats.prediction_energy += energy;
-            if flagged {
-                self.stats.conflicting_blocks_flagged += 1;
-            }
+/// Records an eviction in the victim list and the statistics. Shared with
+/// the lane-batched path (`crate::lane`), which carries a [`DWaySelect`] and
+/// a [`DCacheStats`] per lane but no [`DCacheController`].
+#[inline]
+pub(crate) fn account_eviction(
+    stats: &mut DCacheStats,
+    select: &mut DWaySelect,
+    evicted: Option<wp_mem::CacheLine>,
+) {
+    if let Some(line) = evicted {
+        stats.evictions += 1;
+        let (flagged, energy) = select.note_eviction(line.block_addr);
+        stats.prediction_energy += energy;
+        if flagged {
+            stats.conflicting_blocks_flagged += 1;
         }
     }
+}
 
-    /// Predictor bookkeeping derived from the selection and its outcome.
-    #[inline]
-    fn record_selection(&mut self, access: &CoreAccess) {
-        let single_way_correct = access.probe.outcome == ProbeOutcome::SingleWay;
-        match access.selection.choice {
-            WaySelection::Predicted(_) if access.selection.source == WaySource::WayTable => {
-                self.stats.way_predictions += 1;
-                if single_way_correct && access.result.hit {
-                    self.stats.way_predictions_correct += 1;
-                }
+/// Predictor bookkeeping derived from the selection and its outcome; shared
+/// with the lane-batched path like [`account_eviction`].
+#[inline]
+pub(crate) fn account_selection(
+    stats: &mut DCacheStats,
+    outcome: ProbeOutcome,
+    selection: &Selection,
+    hit: bool,
+) {
+    let single_way_correct = outcome == ProbeOutcome::SingleWay;
+    match selection.choice {
+        WaySelection::Predicted(_) if selection.source == WaySource::WayTable => {
+            stats.way_predictions += 1;
+            if single_way_correct && hit {
+                stats.way_predictions_correct += 1;
             }
-            WaySelection::DirectMapped(_) => {
-                self.stats.seldm_predicted_dm += 1;
-                if single_way_correct {
-                    self.stats.seldm_predicted_dm_correct += 1;
-                }
-            }
-            _ => {}
         }
+        WaySelection::DirectMapped(_) => {
+            stats.seldm_predicted_dm += 1;
+            if single_way_correct {
+                stats.seldm_predicted_dm_correct += 1;
+            }
+        }
+        _ => {}
     }
+}
 
-    #[inline]
-    fn record_load_class(&mut self, class: DAccessClass) {
-        match class {
-            DAccessClass::DirectMapped => self.stats.direct_mapped_accesses += 1,
-            DAccessClass::Parallel => self.stats.parallel_accesses += 1,
-            DAccessClass::WayPredicted => self.stats.way_predicted_accesses += 1,
-            DAccessClass::Sequential => self.stats.sequential_accesses += 1,
-            DAccessClass::Mispredicted => self.stats.mispredicted_accesses += 1,
-            DAccessClass::Write => {}
-        }
+/// Figure 6 breakdown accounting; shared with the lane-batched path.
+#[inline]
+pub(crate) fn account_load_class(stats: &mut DCacheStats, class: DAccessClass) {
+    match class {
+        DAccessClass::DirectMapped => stats.direct_mapped_accesses += 1,
+        DAccessClass::Parallel => stats.parallel_accesses += 1,
+        DAccessClass::WayPredicted => stats.way_predicted_accesses += 1,
+        DAccessClass::Sequential => stats.sequential_accesses += 1,
+        DAccessClass::Mispredicted => stats.mispredicted_accesses += 1,
+        DAccessClass::Write => {}
     }
 }
 
 /// Maps a resolved probe onto the Figure 6 breakdown classes.
 #[inline]
-fn classify(access: &CoreAccess) -> DAccessClass {
-    match access.probe.outcome {
+pub(crate) fn classify(outcome: ProbeOutcome, choice: WaySelection) -> DAccessClass {
+    match outcome {
         ProbeOutcome::Parallel => DAccessClass::Parallel,
         ProbeOutcome::Sequential => DAccessClass::Sequential,
         ProbeOutcome::Mispredicted => DAccessClass::Mispredicted,
-        ProbeOutcome::SingleWay => match access.selection.choice {
+        ProbeOutcome::SingleWay => match choice {
             WaySelection::DirectMapped(_) => DAccessClass::DirectMapped,
             _ => DAccessClass::WayPredicted,
         },

@@ -1,0 +1,323 @@
+//! Config-parallel lane batching for the d-cache.
+//!
+//! [`LaneDCache`] runs up to [`wp_mem::MAX_LANES`] d-cache configurations
+//! that share a policy and a tag geometry through **one** access sequence:
+//! the address is decoded once, the tag probe runs across all lanes through
+//! the SoA [`wp_mem::LaneTagStore`], and only the per-configuration pieces —
+//! way selection, probe pricing, predictor training, statistics — iterate
+//! per lane. Configurations may differ in anything that does not change the
+//! tag-store shape: probe latencies, prediction-table and victim-list
+//! sizes.
+//!
+//! Every lane is bit-identical to a private [`crate::DCacheController`] fed
+//! the same access sequence. The per-lane operation order matches
+//! `DCacheController::load_kernel` exactly (placement → selection → tag
+//! probe → pricing → training → accounting); the only structural difference
+//! is the shared LRU clock inside the tag store, which is equivalence-proven
+//! in `wp_mem::lane` (one access per lane per call means every lane sees the
+//! same stamp *ordering* a private clock would produce).
+
+use wp_energy::CacheEnergyModel;
+use wp_mem::{AccessKind, AccessResult, CacheGeometry, LaneTagStore, Placement, MAX_LANES};
+
+use crate::access::{Addr, Observation, ProbeCosts, Selection};
+use crate::config::{ConfigError, L1Config};
+use crate::dcache::{
+    account_eviction, account_load_class, account_selection, classify, DAccessClass,
+    DAccessOutcome, DLoadCtx, DWaySelect,
+};
+use crate::policy::{DCachePolicy, DPolicyKernel};
+use crate::stats::DCacheStats;
+
+/// A batch of d-cache configurations simulated config-parallel over one
+/// shared access stream.
+///
+/// # Example
+///
+/// ```
+/// use wp_cache::{kernels, DCachePolicy, L1Config, LaneDCache};
+///
+/// # fn main() -> Result<(), wp_cache::ConfigError> {
+/// // Two configs differing only in probe latency batch into one store.
+/// let configs = [
+///     L1Config::paper_dcache(),
+///     L1Config::paper_dcache().with_base_latency(2),
+/// ];
+/// let mut lanes = LaneDCache::new(&configs, DCachePolicy::Parallel)?;
+/// let mut out = [Default::default(); 2];
+/// lanes.load_kernel::<kernels::Parallel>(0x400, 0x1000, 0x1000, &mut out);
+/// assert!(out[0].is_miss() && out[1].is_miss());
+/// lanes.load_kernel::<kernels::Parallel>(0x400, 0x1000, 0x1000, &mut out);
+/// assert!(out[0].is_hit() && out[1].is_hit());
+/// assert_eq!(out[0].latency, 1);
+/// assert_eq!(out[1].latency, 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LaneDCache {
+    geometry: CacheGeometry,
+    policy: DCachePolicy,
+    tags: LaneTagStore,
+    selects: Vec<DWaySelect>,
+    costs: Vec<ProbeCosts>,
+    stats: Vec<DCacheStats>,
+    // Per-access scratch, sized once so the hot path never allocates.
+    placements: Vec<Placement>,
+    selections: Vec<Selection>,
+    results: Vec<AccessResult>,
+}
+
+impl LaneDCache {
+    /// Builds a lane batch for `configs` under one shared `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any configuration is inconsistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty, wider than [`MAX_LANES`], or the
+    /// configurations disagree on tag-store geometry (size, block size, or
+    /// associativity) — the batcher in `wp-experiments` groups by geometry
+    /// before building batches, so a mismatch here is a caller bug.
+    pub fn new(configs: &[L1Config], policy: DCachePolicy) -> Result<Self, ConfigError> {
+        assert!(
+            !configs.is_empty() && configs.len() <= MAX_LANES,
+            "lane batch width {} out of range 1..={MAX_LANES}",
+            configs.len()
+        );
+        let geometry = configs[0].geometry()?;
+        let mut selects = Vec::with_capacity(configs.len());
+        let mut costs = Vec::with_capacity(configs.len());
+        for config in configs {
+            let lane_geometry = config.geometry()?;
+            assert!(
+                lane_geometry.num_sets() == geometry.num_sets()
+                    && lane_geometry.block_bytes() == geometry.block_bytes()
+                    && lane_geometry.associativity() == geometry.associativity(),
+                "lane batch requires identical d-cache geometry"
+            );
+            selects.push(DWaySelect::new(config, policy));
+            costs.push(ProbeCosts::new(
+                config,
+                &CacheEnergyModel::new(lane_geometry),
+            ));
+        }
+        let lanes = configs.len();
+        Ok(Self {
+            geometry,
+            policy,
+            tags: LaneTagStore::new(geometry, lanes),
+            selects,
+            costs,
+            stats: vec![DCacheStats::default(); lanes],
+            placements: vec![Placement::SetAssociative; lanes],
+            selections: vec![Selection::parallel(); lanes],
+            results: vec![AccessResult::default(); lanes],
+        })
+    }
+
+    /// Number of lanes in the batch.
+    pub fn lanes(&self) -> usize {
+        self.selects.len()
+    }
+
+    /// The shared access policy.
+    pub fn policy(&self) -> DCachePolicy {
+        self.policy
+    }
+
+    /// Accumulated statistics of one lane.
+    pub fn stats(&self, lane: usize) -> &DCacheStats {
+        &self.stats[lane]
+    }
+
+    /// Services the same load in every lane, writing one
+    /// [`DAccessOutcome`] per lane into `out`.
+    ///
+    /// Mirrors [`crate::DCacheController::load_kernel`]: straight-line code
+    /// for exactly one compile-time policy `K`, with the address decoded
+    /// once and the tag probe vectorized across lanes.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `K::POLICY` matches the batch's policy and that
+    /// `out` covers every lane.
+    #[inline]
+    pub fn load_kernel<K: DPolicyKernel>(
+        &mut self,
+        pc: Addr,
+        addr: Addr,
+        approx_addr: Addr,
+        out: &mut [DAccessOutcome],
+    ) {
+        debug_assert_eq!(K::POLICY, self.policy);
+        debug_assert_eq!(out.len(), self.lanes());
+        let ctx = DLoadCtx {
+            pc,
+            approx_addr,
+            dm_way: self.geometry.direct_mapped_way(addr),
+        };
+        let block_addr = self.geometry.block_addr(addr);
+        for (lane, select) in self.selects.iter_mut().enumerate() {
+            self.stats[lane].loads += 1;
+            self.placements[lane] = select.placement_policy(K::POLICY, block_addr);
+            self.selections[lane] = select.select_policy(K::POLICY, &ctx);
+        }
+        self.tags
+            .access(addr, AccessKind::Read, &self.placements, &mut self.results);
+        for (lane, slot) in out.iter_mut().enumerate() {
+            let result = self.results[lane];
+            let selection = self.selections[lane];
+            let probe = self.costs[lane].resolve(selection.choice, &result);
+            let observed = Observation {
+                way: result.way,
+                hit: result.hit,
+                in_direct_mapped_way: result.in_direct_mapped_way,
+            };
+            let train_energy = self.selects[lane].train_policy(K::POLICY, &ctx, observed);
+            let prediction_energy = selection.energy + train_energy;
+            let stats = &mut self.stats[lane];
+            if !result.hit {
+                stats.load_misses += 1;
+            }
+            account_eviction(stats, &mut self.selects[lane], result.evicted);
+            account_selection(stats, probe.outcome, &selection, result.hit);
+            let class = classify(probe.outcome, selection.choice);
+            account_load_class(stats, class);
+            stats.cache_energy += probe.energy;
+            stats.prediction_energy += prediction_energy;
+            *slot = DAccessOutcome {
+                hit: result.hit,
+                latency: probe.latency,
+                energy: probe.energy + prediction_energy,
+                class,
+                ways_probed: probe.ways_probed,
+                way: result.way,
+            };
+        }
+    }
+
+    /// Services the same store in every lane; see
+    /// [`crate::DCacheController::store`].
+    #[inline]
+    pub fn store(&mut self, _pc: Addr, addr: Addr, out: &mut [DAccessOutcome]) {
+        debug_assert_eq!(out.len(), self.lanes());
+        let block_addr = self.geometry.block_addr(addr);
+        for (lane, select) in self.selects.iter().enumerate() {
+            self.stats[lane].stores += 1;
+            self.placements[lane] = select.placement(block_addr);
+        }
+        self.tags
+            .access(addr, AccessKind::Write, &self.placements, &mut self.results);
+        for (lane, slot) in out.iter_mut().enumerate() {
+            let result = self.results[lane];
+            let probe = self.costs[lane].price_write(&result);
+            let stats = &mut self.stats[lane];
+            if !result.hit {
+                stats.store_misses += 1;
+            }
+            account_eviction(stats, &mut self.selects[lane], result.evicted);
+            stats.cache_energy += probe.energy;
+            *slot = DAccessOutcome {
+                hit: result.hit,
+                latency: probe.latency,
+                energy: probe.energy,
+                class: DAccessClass::Write,
+                ways_probed: probe.ways_probed,
+                way: result.way,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dcache::DCacheController;
+
+    /// A deterministic load/store script with enough set pressure to force
+    /// evictions, mispredictions, and selective-DM conflicts.
+    fn script(len: usize, salt: u64) -> Vec<(bool, Addr, Addr)> {
+        let mut state = 0x2545_f491_4f6c_dd1d ^ salt;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        (0..len)
+            .map(|_| {
+                let is_store = next() % 4 == 0;
+                let pc = 0x400 + (next() % 23) * 4;
+                // Tight set working set so ways thrash.
+                let addr = 0x1_0000 + (next() % 97) * 32 + (next() % 11) * (128 * 32);
+                (is_store, pc, addr)
+            })
+            .collect()
+    }
+
+    fn lane_configs() -> Vec<L1Config> {
+        vec![
+            L1Config::paper_dcache(),
+            L1Config::paper_dcache().with_base_latency(2),
+            L1Config::paper_dcache().with_prediction_table_entries(256),
+        ]
+    }
+
+    #[test]
+    fn every_lane_matches_a_private_controller_for_every_policy() {
+        for policy in DCachePolicy::all() {
+            let configs = lane_configs();
+            let mut lanes = LaneDCache::new(&configs, policy).expect("valid configs");
+            let mut scalars: Vec<_> = configs
+                .iter()
+                .map(|c| DCacheController::new(*c, policy).expect("valid config"))
+                .collect();
+            let mut out = vec![DAccessOutcome::default(); configs.len()];
+            for (i, (is_store, pc, addr)) in script(2000, 7).into_iter().enumerate() {
+                if is_store {
+                    lanes.store(pc, addr, &mut out);
+                } else {
+                    crate::with_dpolicy_kernel!(policy, K => {
+                        lanes.load_kernel::<K>(pc, addr, addr, &mut out)
+                    });
+                }
+                for (l, scalar) in scalars.iter_mut().enumerate() {
+                    let expect = if is_store {
+                        scalar.store(pc, addr)
+                    } else {
+                        scalar.load(pc, addr, addr)
+                    };
+                    assert_eq!(out[l], expect, "{policy:?} lane {l} diverged at access {i}");
+                }
+            }
+            for (l, scalar) in scalars.iter().enumerate() {
+                assert_eq!(
+                    lanes.stats(l),
+                    scalar.stats(),
+                    "{policy:?} lane {l} stats diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_geometry_is_rejected() {
+        let configs = [
+            L1Config::paper_dcache(),
+            L1Config::paper_dcache().with_associativity(2),
+        ];
+        let result = std::panic::catch_unwind(|| {
+            let _ = LaneDCache::new(&configs, DCachePolicy::Parallel);
+        });
+        assert!(result.is_err(), "geometry mismatch must panic");
+    }
+
+    #[test]
+    fn invalid_config_is_an_error() {
+        let configs = [L1Config::paper_dcache().with_base_latency(0)];
+        assert!(LaneDCache::new(&configs, DCachePolicy::Parallel).is_err());
+    }
+}

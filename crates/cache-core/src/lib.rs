@@ -49,6 +49,7 @@ pub mod access;
 mod config;
 mod dcache;
 mod icache;
+mod lane;
 mod policy;
 mod stats;
 
@@ -62,5 +63,6 @@ pub use icache::{
     FetchCtx, FetchKind, IAccessClass, IAccessOutcome, ICacheController, IWaySelect, BTB_ENTRIES,
     RAS_DEPTH,
 };
+pub use lane::LaneDCache;
 pub use policy::{kernels, DCachePolicy, DPolicyKernel, ICachePolicy};
 pub use stats::{DCacheStats, ICacheStats};

@@ -62,8 +62,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod lanes;
 mod pipeline;
 mod result;
 
+pub use lanes::{run_lane_batch, LaneMember};
 pub use pipeline::{CpuConfig, Processor};
 pub use result::SimResult;
+pub use wp_mem::MAX_LANES;

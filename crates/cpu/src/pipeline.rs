@@ -19,17 +19,24 @@
 //! captures the property the paper's performance results rest on — an
 //! out-of-order window absorbs an occasional extra cycle on a load, but not
 //! an extra cycle on every load.
+//!
+//! The per-op scheduling step lives in [`SchedState::step_op`], shared
+//! between the scalar path (one config per pass over the stream) and the
+//! config-parallel lane path ([`crate::lanes`], N configs per pass). The
+//! d-side access is abstracted behind the [`DSide`] trait so both paths run
+//! the *same* step code: the scalar side computes the outcome on demand
+//! through the monomorphized kernel, the lane side hands in the outcome the
+//! vectorized lane d-cache precomputed for the block.
 
-use std::collections::{HashMap, VecDeque};
-use std::hash::{BuildHasherDefault, Hasher};
+use std::marker::PhantomData;
 
 use serde::{Deserialize, Serialize};
 use wp_cache::{
-    ConfigError, DCacheController, DCachePolicy, FetchKind, ICacheController, ICachePolicy,
-    L1Config,
+    ConfigError, DAccessOutcome, DCacheController, DCachePolicy, FetchKind, ICacheController,
+    ICachePolicy, L1Config,
 };
 use wp_energy::ActivityCounts;
-use wp_mem::{AccessKind, MemoryHierarchy};
+use wp_mem::{AccessKind, Addr, MemoryHierarchy};
 use wp_predictors::{BranchOutcome, HybridBranchPredictor};
 use wp_workloads::{BranchClass, IterBlockSource, MicroOp, OpBlockSource, OpBuffer, OpKind};
 
@@ -120,41 +127,478 @@ pub struct Processor {
 }
 
 /// Maximum register-dependence distance honoured by the scheduler (matches
-/// the trace generator's limit and the ROB size).
+/// the trace generator's limit and the ROB size). Must be a power of two:
+/// the completion ring indexes with `& (MAX_DEP_WINDOW - 1)`.
 const MAX_DEP_WINDOW: usize = 64;
 
-/// A single-multiply hasher for the cycle-keyed bandwidth maps. The keys
-/// are dense, trusted cycle numbers, so SipHash's DoS resistance buys
-/// nothing — but its cost lands on every op (two map reservations each).
-/// A Fibonacci multiply spreads sequential keys across the table just as
-/// well. The map's *contents* are what they always were; only the bucket
-/// placement changes, which no lookup result depends on.
-#[derive(Debug, Default)]
-struct CycleHasher(u64);
+/// Per-cycle issue-slot reservations over a dense sliding window.
+///
+/// Every issue probe starts at `fetched_at + dispatch_latency` or later,
+/// and `fetched_at` never decreases, so slots behind the current fetch
+/// cycle can never be probed again: the window's base chases the fetch
+/// cycle and dead slots are retired off the front.
+///
+/// The slots live in a power-of-two ring indexed by `cycle & mask` under
+/// the invariant that every slot outside `[base, head)` holds zero:
+/// advancing the base zeroes exactly the cycles it retires, and a probe
+/// beyond `head` claims an untouched (hence free) slot without scanning.
+/// The ring replaces the `VecDeque` the scheduler used to carry, whose
+/// per-op pop/resize bookkeeping was the single largest line in the per-op
+/// profile (~12 of ~51 ns).
+#[derive(Debug)]
+struct IssueWindow {
+    counts: Box<[u8]>,
+    /// Lowest probe-able cycle; slots below are retired.
+    base: u64,
+    /// One past the highest reserved cycle; slots at or beyond hold zero.
+    head: u64,
+}
 
-impl Hasher for CycleHasher {
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        // Only u64 keys are ever hashed; route stray byte writes through
-        // the same multiply for completeness.
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+impl Default for IssueWindow {
+    /// A 256-cycle window — past a full memory round-trip, so growth is
+    /// exceptional.
+    fn default() -> Self {
+        Self {
+            counts: vec![0; 256].into_boxed_slice(),
+            base: 0,
+            head: 0,
         }
-    }
-
-    #[inline]
-    fn write_u64(&mut self, n: u64) {
-        self.0 = n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    }
-
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.0
     }
 }
 
-/// A cycle-number → reservation-count map with the cheap hasher.
-type CycleMap = HashMap<u64, u32, BuildHasherDefault<CycleHasher>>;
+impl IssueWindow {
+    /// Drops all slots below `floor`. Callers guarantee no future probe
+    /// starts below it.
+    #[inline]
+    fn advance_to(&mut self, floor: u64) {
+        if floor <= self.base {
+            return;
+        }
+        let mask = self.counts.len() as u64 - 1;
+        let clear_to = floor.min(self.head);
+        let mut cycle = self.base;
+        while cycle < clear_to {
+            self.counts[(cycle & mask) as usize] = 0;
+            cycle += 1;
+        }
+        self.base = floor;
+        self.head = self.head.max(floor);
+    }
+
+    /// Finds the first cycle at or after `start` with a free slot (fewer
+    /// than `width` reservations) and reserves it.
+    #[inline]
+    fn reserve(&mut self, start: u64, width: u8) -> u64 {
+        debug_assert!(start >= self.base);
+        let mut cycle = start;
+        loop {
+            if cycle - self.base >= self.counts.len() as u64 {
+                self.grow();
+            }
+            let slot = (cycle & (self.counts.len() as u64 - 1)) as usize;
+            if cycle >= self.head {
+                // Untouched slot: zero by invariant, take it outright.
+                debug_assert_eq!(self.counts[slot], 0);
+                self.counts[slot] = 1;
+                self.head = cycle + 1;
+                return cycle;
+            }
+            if self.counts[slot] < width {
+                self.counts[slot] += 1;
+                return cycle;
+            }
+            cycle += 1;
+        }
+    }
+
+    /// Doubles the ring when a probe lands beyond it (a ready time pushed
+    /// past the window by an extreme latency chain), re-placing the live
+    /// `[base, head)` span under the new mask.
+    #[cold]
+    fn grow(&mut self) {
+        let doubled = vec![0; self.counts.len() * 2].into_boxed_slice();
+        let old = std::mem::replace(&mut self.counts, doubled);
+        let old_mask = old.len() as u64 - 1;
+        let new_mask = self.counts.len() as u64 - 1;
+        let mut cycle = self.base;
+        while cycle < self.head {
+            self.counts[(cycle & new_mask) as usize] = old[(cycle & old_mask) as usize];
+            cycle += 1;
+        }
+    }
+}
+
+/// A fixed-capacity ring of in-flight commit cycles, modelling ROB and LSQ
+/// occupancy. The scheduler pops the oldest entry exactly when the
+/// structure is full and pushes one entry per op, so the ring never
+/// reallocates and the hot path is two array index operations.
+#[derive(Debug)]
+struct OccupancyRing {
+    slots: Box<[u64]>,
+    /// Index of the oldest in-flight entry.
+    head: usize,
+    filled: usize,
+}
+
+impl OccupancyRing {
+    fn new(capacity: usize) -> Self {
+        Self {
+            slots: vec![0; capacity.max(1)].into_boxed_slice(),
+            head: 0,
+            filled: 0,
+        }
+    }
+
+    /// If the structure is at capacity, consumes and returns the oldest
+    /// in-flight commit cycle — the op being scheduled must wait for that
+    /// retirement to free its entry.
+    #[inline]
+    fn pop_if_full(&mut self) -> Option<u64> {
+        if self.filled < self.slots.len() {
+            return None;
+        }
+        let oldest = self.slots[self.head];
+        self.head += 1;
+        if self.head == self.slots.len() {
+            self.head = 0;
+        }
+        self.filled -= 1;
+        Some(oldest)
+    }
+
+    /// Records an op's commit cycle.
+    #[inline]
+    fn push(&mut self, commit: u64) {
+        let mut tail = self.head + self.filled;
+        if tail >= self.slots.len() {
+            tail -= self.slots.len();
+        }
+        self.slots[tail] = commit;
+        self.filled += 1;
+    }
+}
+
+/// The slice of a d-access the scheduler consumes: the L1 service latency
+/// and whether the hierarchy must service a miss. Everything else in a
+/// [`DAccessOutcome`] — energy, access class, way accounting — is
+/// accumulated inside the d-cache itself, so the transit between the
+/// d-side and the scheduler stays 8 bytes (the lane path buffers one of
+/// these per memory op per distinct d-config).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct DServiced {
+    /// L1 latency in cycles (fits easily: probe latencies are small
+    /// configuration constants; miss penalties are added by the caller
+    /// from the hierarchy).
+    pub(crate) latency: u32,
+    /// True if the access missed in the L1 and the hierarchy must be
+    /// consulted.
+    pub(crate) miss: bool,
+}
+
+impl From<DAccessOutcome> for DServiced {
+    #[inline(always)]
+    fn from(out: DAccessOutcome) -> Self {
+        debug_assert!(out.latency <= u64::from(u32::MAX));
+        Self {
+            latency: out.latency as u32,
+            miss: !out.hit,
+        }
+    }
+}
+
+/// The d-side of one scheduling step: given a load or store, produce its
+/// L1 service terms (hit/miss, latency). [`SchedState::step_op`] is
+/// generic over this so the scalar path (compute through the monomorphized
+/// controller kernel) and the lane path (hand back the outcome the
+/// vectorized lane d-cache already computed for this op) share one step
+/// implementation — which is what keeps them bit-identical by
+/// construction.
+pub(crate) trait DSide {
+    /// The outcome of this op's load.
+    fn load(&mut self, pc: Addr, addr: Addr, approx_addr: Addr) -> DServiced;
+    /// The outcome of this op's store.
+    fn store(&mut self, pc: Addr, addr: Addr) -> DServiced;
+}
+
+/// Scalar d-side: every access goes through the controller with the policy
+/// monomorphized in.
+struct KernelDSide<'a, K> {
+    dcache: &'a mut DCacheController,
+    _kernel: PhantomData<K>,
+}
+
+impl<K: wp_cache::DPolicyKernel> DSide for KernelDSide<'_, K> {
+    #[inline(always)]
+    fn load(&mut self, pc: Addr, addr: Addr, approx_addr: Addr) -> DServiced {
+        self.dcache.load_kernel::<K>(pc, addr, approx_addr).into()
+    }
+
+    #[inline(always)]
+    fn store(&mut self, pc: Addr, addr: Addr) -> DServiced {
+        self.dcache.store(pc, addr).into()
+    }
+}
+
+/// Lane d-side: this lane's d-outcomes for the block were precomputed by
+/// the vectorized lane d-cache, compacted to memory ops in program order;
+/// each load/store hands back the next one. Driving consumption off the
+/// scheduler's own load/store dispatch keeps the per-lane pass free of a
+/// second `op.kind` decode.
+pub(crate) struct ReadyDSide<'a> {
+    /// The lane's outcome row, one entry per load/store in the block.
+    pub(crate) outcomes: &'a [DServiced],
+    /// Index of the next unconsumed outcome.
+    pub(crate) cursor: usize,
+}
+
+impl DSide for ReadyDSide<'_> {
+    #[inline(always)]
+    fn load(&mut self, _pc: Addr, _addr: Addr, _approx_addr: Addr) -> DServiced {
+        let out = self.outcomes[self.cursor];
+        self.cursor += 1;
+        out
+    }
+
+    #[inline(always)]
+    fn store(&mut self, _pc: Addr, _addr: Addr) -> DServiced {
+        let out = self.outcomes[self.cursor];
+        self.cursor += 1;
+        out
+    }
+}
+
+/// The mutable scheduling state of one simulated core: fetch steering,
+/// bandwidth reservations, the dependence/completion ring, and ROB/LSQ
+/// occupancy. One instance per config; the lane runner keeps an array of
+/// these and steps each through the same op.
+#[derive(Debug)]
+pub(crate) struct SchedState {
+    fetch_cycle: u64,
+    slots_left: usize,
+    cur_block: Option<u64>,
+    next_kind: FetchKind,
+    pending_resume: Option<u64>,
+    issue: IssueWindow,
+    /// Commit probes are globally non-decreasing (`commit_ready =
+    /// max(complete, prev_commit)` and reservations land at or after the
+    /// probe), so the whole commit bandwidth map collapses to the last
+    /// commit cycle and how many ops committed there.
+    prev_commit: u64,
+    commit_used: u32,
+    last_commit: u64,
+    /// Completion cycles of the last [`MAX_DEP_WINDOW`] ops, as a ring:
+    /// the op at dependence distance `dep` completed at
+    /// `completes[(pushed - dep) & (MAX_DEP_WINDOW - 1)]`.
+    completes: [u64; MAX_DEP_WINDOW],
+    pushed: usize,
+    rob: OccupancyRing,
+    lsq: OccupancyRing,
+    pub(crate) activity: ActivityCounts,
+}
+
+impl SchedState {
+    pub(crate) fn new(config: &CpuConfig) -> Self {
+        Self {
+            fetch_cycle: 0,
+            slots_left: 0,
+            cur_block: None,
+            next_kind: FetchKind::Redirect,
+            pending_resume: None,
+            issue: IssueWindow::default(),
+            prev_commit: 0,
+            commit_used: 0,
+            last_commit: 0,
+            completes: [0; MAX_DEP_WINDOW],
+            pushed: 0,
+            rob: OccupancyRing::new(config.rob_entries),
+            lsq: OccupancyRing::new(config.lsq_entries),
+            activity: ActivityCounts::default(),
+        }
+    }
+
+    /// Schedules one committed-path op: structural gating, fetch, issue,
+    /// execute (d-side through `dside`), branch steering, commit.
+    ///
+    /// `predicted_taken` is the branch predictor's direction for this op
+    /// (meaningful only for branches); the caller updates the predictor —
+    /// the update sequence depends only on the op stream, so lane batches
+    /// share one predictor across configs and update it once per op.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step_op<D: DSide>(
+        &mut self,
+        config: &CpuConfig,
+        block_mask: u64,
+        op: &MicroOp,
+        predicted_taken: bool,
+        dside: &mut D,
+        icache: &mut ICacheController,
+        hierarchy: &mut MemoryHierarchy,
+    ) {
+        // ---- structural gating: ROB and LSQ occupancy ----
+        if let Some(oldest) = self.rob.pop_if_full() {
+            if oldest > self.fetch_cycle {
+                self.fetch_cycle = oldest;
+                self.cur_block = None;
+            }
+        }
+        let is_mem = op.kind.is_mem();
+        if is_mem {
+            if let Some(oldest) = self.lsq.pop_if_full() {
+                if oldest > self.fetch_cycle {
+                    self.fetch_cycle = oldest;
+                    self.cur_block = None;
+                }
+            }
+        }
+
+        // ---- fetch ----
+        let block = op.pc & block_mask;
+        if self.cur_block != Some(block) {
+            self.fetch_cycle += 1;
+            if let Some(resume) = self.pending_resume.take() {
+                self.fetch_cycle = self.fetch_cycle.max(resume);
+            }
+            let outcome = icache.fetch(op.pc, self.next_kind);
+            let mut stall = outcome.latency.saturating_sub(1);
+            if outcome.is_miss() {
+                let (below, _) = hierarchy.access(op.pc, AccessKind::Read);
+                stall += below;
+                self.activity.l2_accesses += 1;
+            }
+            self.fetch_cycle += stall;
+            self.slots_left = config.fetch_width;
+            self.cur_block = Some(block);
+            self.next_kind = FetchKind::Sequential { prev_pc: op.pc };
+        } else if self.slots_left == 0 {
+            self.fetch_cycle += 1;
+            self.slots_left = config.fetch_width;
+        }
+        self.slots_left -= 1;
+        let fetched_at = self.fetch_cycle;
+
+        // ---- ready / issue ----
+        // No probe from this or any later op can start below
+        // `fetched_at + dispatch_latency` (fetch never goes backwards), so
+        // the issue window can discard everything behind it first.
+        let mut ready = fetched_at + config.dispatch_latency;
+        self.issue.advance_to(ready);
+        let visible = self.pushed.min(MAX_DEP_WINDOW);
+        for dep in op.src_deps {
+            let dep = dep as usize;
+            if dep > 0 && dep <= visible {
+                ready = ready.max(self.completes[(self.pushed - dep) & (MAX_DEP_WINDOW - 1)]);
+            }
+        }
+        let issue = self.issue.reserve(ready, config.issue_width as u8);
+
+        // ---- execute ----
+        let latency = match op.kind {
+            OpKind::IntAlu => {
+                self.activity.int_ops += 1;
+                config.int_latency
+            }
+            OpKind::FpAlu => {
+                self.activity.fp_ops += 1;
+                config.fp_latency
+            }
+            OpKind::Load { addr, approx_addr } => {
+                self.activity.loads += 1;
+                let out = dside.load(op.pc, addr, approx_addr);
+                let mut lat = u64::from(out.latency);
+                if out.miss {
+                    let (below, _) = hierarchy.access(addr, AccessKind::Read);
+                    lat += below;
+                    self.activity.l2_accesses += 1;
+                }
+                lat
+            }
+            OpKind::Store { addr } => {
+                self.activity.stores += 1;
+                let out = dside.store(op.pc, addr);
+                if out.miss {
+                    // The store's refill proceeds off the critical path,
+                    // but it still consumes L2 bandwidth/energy.
+                    let _ = hierarchy.access(addr, AccessKind::Write);
+                    self.activity.l2_accesses += 1;
+                }
+                u64::from(out.latency)
+            }
+            OpKind::Branch { .. } => {
+                self.activity.branches += 1;
+                config.int_latency
+            }
+        };
+        let complete = issue + latency;
+        self.completes[self.pushed & (MAX_DEP_WINDOW - 1)] = complete;
+        self.pushed += 1;
+
+        // ---- branch resolution and next-fetch steering ----
+        if let OpKind::Branch {
+            taken,
+            target,
+            class,
+        } = op.kind
+        {
+            let direction_mispredicted = match class {
+                BranchClass::Conditional => predicted_taken != taken,
+                // Calls, returns and jumps are unconditionally taken.
+                BranchClass::Call | BranchClass::Return | BranchClass::Jump => false,
+            };
+            if direction_mispredicted {
+                // Fetch of the correct path waits for the branch to
+                // resolve in the pipeline.
+                self.pending_resume = Some(complete + 1 + config.mispredict_extra_penalty);
+                self.cur_block = None;
+                self.next_kind = FetchKind::Redirect;
+            } else if taken {
+                self.cur_block = None;
+                self.next_kind = match class {
+                    BranchClass::Call => FetchKind::Call {
+                        branch_pc: op.pc,
+                        return_pc: op.pc + 4,
+                    },
+                    BranchClass::Return => FetchKind::Return,
+                    _ => FetchKind::TakenBranch { branch_pc: op.pc },
+                };
+                // A predicted-taken branch whose target is not in the BTB
+                // costs a short fetch bubble while decode produces it.
+                if class != BranchClass::Return && icache.predicted_target(op.pc) != Some(target) {
+                    self.pending_resume = Some(fetched_at + 1 + config.btb_miss_penalty);
+                }
+            } else {
+                self.next_kind = FetchKind::NotTakenBranch { prev_pc: op.pc };
+            }
+        }
+
+        // ---- commit ----
+        let commit_ready = complete.max(self.prev_commit);
+        let commit = if commit_ready > self.prev_commit {
+            self.commit_used = 1;
+            commit_ready
+        } else if self.commit_used < config.commit_width as u32 {
+            self.commit_used += 1;
+            self.prev_commit
+        } else {
+            self.commit_used = 1;
+            self.prev_commit + 1
+        };
+        self.prev_commit = commit;
+        self.last_commit = self.last_commit.max(commit);
+        self.rob.push(commit);
+        if is_mem {
+            self.lsq.push(commit);
+        }
+        self.activity.instructions += 1;
+    }
+
+    /// Finalizes the run: total cycles is the last commit (1 for an empty
+    /// trace) and the accumulated activity is handed out.
+    pub(crate) fn finish(mut self) -> ActivityCounts {
+        self.activity.cycles = self.last_commit.max(1);
+        self.activity
+    }
+}
 
 impl Processor {
     /// Assembles a processor from its parts.
@@ -252,212 +696,41 @@ impl Processor {
         source: &mut impl OpBlockSource,
     ) -> SimResult {
         let block_mask = !(self.dcache.config().block_bytes as u64 - 1);
-
-        let mut activity = ActivityCounts::default();
-        let mut issue_used = CycleMap::default();
-        let mut commit_used = CycleMap::default();
-        let mut completes: VecDeque<u64> = VecDeque::with_capacity(MAX_DEP_WINDOW);
-        let mut rob: VecDeque<u64> = VecDeque::with_capacity(self.config.rob_entries);
-        let mut lsq: VecDeque<u64> = VecDeque::with_capacity(self.config.lsq_entries);
-
-        let mut fetch_cycle: u64 = 0;
-        let mut slots_left: usize = 0;
-        let mut cur_block: Option<u64> = None;
-        let mut next_kind = FetchKind::Redirect;
-        let mut pending_resume: Option<u64> = None;
-        let mut prev_commit: u64 = 0;
-        let mut last_commit: u64 = 0;
-        let mut ops_since_cleanup: usize = 0;
+        let mut sched = SchedState::new(&self.config);
+        let mut dside = KernelDSide::<K> {
+            dcache: &mut self.dcache,
+            _kernel: PhantomData,
+        };
 
         let mut buf = OpBuffer::new();
         while source.fill(&mut buf) > 0 {
-            for &op in buf.ops() {
-                // ---- structural gating: ROB and LSQ occupancy ----
-                if rob.len() == self.config.rob_entries {
-                    let oldest = rob.pop_front().unwrap_or(0);
-                    if oldest > fetch_cycle {
-                        fetch_cycle = oldest;
-                        cur_block = None;
-                    }
-                }
-                let is_mem = op.kind.is_mem();
-                if is_mem && lsq.len() == self.config.lsq_entries {
-                    let oldest = lsq.pop_front().unwrap_or(0);
-                    if oldest > fetch_cycle {
-                        fetch_cycle = oldest;
-                        cur_block = None;
-                    }
-                }
-
-                // ---- fetch ----
-                let block = op.pc & block_mask;
-                if cur_block != Some(block) {
-                    fetch_cycle += 1;
-                    if let Some(resume) = pending_resume.take() {
-                        fetch_cycle = fetch_cycle.max(resume);
-                    }
-                    let outcome = self.icache.fetch(op.pc, next_kind);
-                    let mut stall = outcome.latency.saturating_sub(1);
-                    if outcome.is_miss() {
-                        let (below, _) = self.hierarchy.access(op.pc, AccessKind::Read);
-                        stall += below;
-                        activity.l2_accesses += 1;
-                    }
-                    fetch_cycle += stall;
-                    slots_left = self.config.fetch_width;
-                    cur_block = Some(block);
-                    next_kind = FetchKind::Sequential { prev_pc: op.pc };
-                } else if slots_left == 0 {
-                    fetch_cycle += 1;
-                    slots_left = self.config.fetch_width;
-                }
-                slots_left -= 1;
-                let fetched_at = fetch_cycle;
-
-                // ---- ready / issue ----
-                let mut ready = fetched_at + self.config.dispatch_latency;
-                for dep in op.src_deps {
-                    let dep = dep as usize;
-                    if dep > 0 && dep <= completes.len() {
-                        ready = ready.max(completes[completes.len() - dep]);
-                    }
-                }
-                let issue = reserve_slot(&mut issue_used, ready, self.config.issue_width as u32);
-
-                // ---- execute ----
-                let latency = match op.kind {
-                    OpKind::IntAlu => {
-                        activity.int_ops += 1;
-                        self.config.int_latency
-                    }
-                    OpKind::FpAlu => {
-                        activity.fp_ops += 1;
-                        self.config.fp_latency
-                    }
-                    OpKind::Load { addr, approx_addr } => {
-                        activity.loads += 1;
-                        let out = self.dcache.load_kernel::<K>(op.pc, addr, approx_addr);
-                        let mut lat = out.latency;
-                        if out.is_miss() {
-                            let (below, _) = self.hierarchy.access(addr, AccessKind::Read);
-                            lat += below;
-                            activity.l2_accesses += 1;
-                        }
-                        lat
-                    }
-                    OpKind::Store { addr } => {
-                        activity.stores += 1;
-                        let out = self.dcache.store(op.pc, addr);
-                        if out.is_miss() {
-                            // The store's refill proceeds off the critical path,
-                            // but it still consumes L2 bandwidth/energy.
-                            let _ = self.hierarchy.access(addr, AccessKind::Write);
-                            activity.l2_accesses += 1;
-                        }
-                        out.latency
-                    }
-                    OpKind::Branch { .. } => {
-                        activity.branches += 1;
-                        self.config.int_latency
-                    }
+            for op in buf.ops() {
+                let predicted_taken = if let OpKind::Branch { taken, .. } = op.kind {
+                    self.branch_predictor
+                        .update(op.pc, BranchOutcome::from_taken(taken))
+                        .is_taken()
+                } else {
+                    false
                 };
-                let complete = issue + latency;
-                completes.push_back(complete);
-                if completes.len() > MAX_DEP_WINDOW {
-                    completes.pop_front();
-                }
-
-                // ---- branch resolution and next-fetch steering ----
-                if let OpKind::Branch {
-                    taken,
-                    target,
-                    class,
-                } = op.kind
-                {
-                    let predicted = self
-                        .branch_predictor
-                        .update(op.pc, BranchOutcome::from_taken(taken));
-                    let direction_mispredicted = match class {
-                        BranchClass::Conditional => predicted.is_taken() != taken,
-                        // Calls, returns and jumps are unconditionally taken.
-                        BranchClass::Call | BranchClass::Return | BranchClass::Jump => false,
-                    };
-                    if direction_mispredicted {
-                        // Fetch of the correct path waits for the branch to
-                        // resolve in the pipeline.
-                        pending_resume = Some(complete + 1 + self.config.mispredict_extra_penalty);
-                        cur_block = None;
-                        next_kind = FetchKind::Redirect;
-                    } else if taken {
-                        cur_block = None;
-                        next_kind = match class {
-                            BranchClass::Call => FetchKind::Call {
-                                branch_pc: op.pc,
-                                return_pc: op.pc + 4,
-                            },
-                            BranchClass::Return => FetchKind::Return,
-                            _ => FetchKind::TakenBranch { branch_pc: op.pc },
-                        };
-                        // A predicted-taken branch whose target is not in the BTB
-                        // costs a short fetch bubble while decode produces it.
-                        if class != BranchClass::Return
-                            && self.icache.predicted_target(op.pc) != Some(target)
-                        {
-                            pending_resume = Some(fetched_at + 1 + self.config.btb_miss_penalty);
-                        }
-                    } else {
-                        next_kind = FetchKind::NotTakenBranch { prev_pc: op.pc };
-                    }
-                }
-
-                // ---- commit ----
-                let commit_ready = complete.max(prev_commit);
-                let commit = reserve_slot(
-                    &mut commit_used,
-                    commit_ready,
-                    self.config.commit_width as u32,
+                sched.step_op(
+                    &self.config,
+                    block_mask,
+                    op,
+                    predicted_taken,
+                    &mut dside,
+                    &mut self.icache,
+                    &mut self.hierarchy,
                 );
-                prev_commit = commit;
-                last_commit = last_commit.max(commit);
-                rob.push_back(commit);
-                if is_mem {
-                    lsq.push_back(commit);
-                }
-                activity.instructions += 1;
-
-                // ---- keep the bandwidth maps bounded ----
-                ops_since_cleanup += 1;
-                if ops_since_cleanup >= 1 << 16 {
-                    ops_since_cleanup = 0;
-                    let floor = fetched_at.saturating_sub(4 * self.config.rob_entries as u64);
-                    issue_used.retain(|&c, _| c >= floor);
-                    commit_used.retain(|&c, _| c >= floor);
-                }
             }
         }
 
-        activity.cycles = last_commit.max(1);
         SimResult::collect(
-            activity,
+            sched.finish(),
             &self.dcache,
             &self.icache,
             &self.hierarchy,
             &self.branch_predictor,
         )
-    }
-}
-
-/// Finds the first cycle at or after `start` with a free slot (fewer than
-/// `width` reservations) and reserves it.
-fn reserve_slot(used: &mut CycleMap, start: u64, width: u32) -> u64 {
-    let mut cycle = start;
-    loop {
-        let entry = used.entry(cycle).or_insert(0);
-        if *entry < width {
-            *entry += 1;
-            return cycle;
-        }
-        cycle += 1;
     }
 }
 
@@ -486,12 +759,31 @@ mod tests {
     }
 
     #[test]
-    fn reserve_slot_respects_bandwidth() {
-        let mut used = CycleMap::default();
-        assert_eq!(reserve_slot(&mut used, 10, 2), 10);
-        assert_eq!(reserve_slot(&mut used, 10, 2), 10);
-        assert_eq!(reserve_slot(&mut used, 10, 2), 11);
-        assert_eq!(reserve_slot(&mut used, 5, 2), 5);
+    fn issue_window_respects_bandwidth() {
+        let mut win = IssueWindow::default();
+        assert_eq!(win.reserve(10, 2), 10);
+        assert_eq!(win.reserve(10, 2), 10);
+        assert_eq!(win.reserve(10, 2), 11);
+        // Probes behind earlier reservations still find earlier free slots
+        // until the base advances past them.
+        assert_eq!(win.reserve(5, 2), 5);
+        win.advance_to(11);
+        assert_eq!(win.base, 11);
+        // Cycle 11 already carries one of its two slots; the second still
+        // fits, the third spills to 12.
+        assert_eq!(win.reserve(11, 2), 11);
+        assert_eq!(win.reserve(11, 2), 12);
+    }
+
+    #[test]
+    fn issue_window_advance_over_an_empty_window_jumps() {
+        let mut win = IssueWindow::default();
+        win.advance_to(1_000_000);
+        assert_eq!(win.base, 1_000_000);
+        // The jump is O(1): nothing was reserved, so no slot needed
+        // clearing — the window simply re-bases past the gap.
+        assert_eq!(win.head, 1_000_000);
+        assert_eq!(win.reserve(1_000_000, 1), 1_000_000);
     }
 
     #[test]

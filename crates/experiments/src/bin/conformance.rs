@@ -17,7 +17,7 @@
 //! Exits non-zero on any mismatch or drift. See `docs/VALIDATION.md`.
 //!
 //! Usage: `cargo run --release -p wp-experiments --bin conformance --
-//! [--quick] [--ops N] [--seed N] [--threads N] [--no-gang]
+//! [--quick] [--ops N] [--seed N] [--threads N] [--no-gang] [--no-lanes]
 //! [--stream-cap BYTES] [--random N] [--bless] [--golden-dir PATH]
 //! [--skip-sweep]`
 
@@ -32,8 +32,8 @@ use wp_experiments::runner::{options_from_args, CliError, MachineConfig, RunOpti
 use wp_workloads::WorkloadSpec;
 
 const USAGE: &str = "usage: conformance [--quick] [--ops N] [--seed N] [--threads N] \
-                     [--no-gang] [--stream-cap BYTES] [--random N] [--bless] \
-                     [--golden-dir PATH] [--skip-sweep]";
+                     [--no-gang] [--no-lanes] [--stream-cap BYTES] [--random N] \
+                     [--bless] [--golden-dir PATH] [--skip-sweep]";
 
 struct Cli {
     run: RunOptions,
@@ -89,6 +89,9 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
     let mut engine = SimEngine::new(threads);
     if options.no_gang {
         engine = engine.without_gang();
+    }
+    if options.no_lanes {
+        engine = engine.without_lanes();
     }
     if let Some(cap) = options.stream_cap {
         engine = engine.with_stream_memory_cap(cap);

@@ -64,6 +64,14 @@ fn main() {
         matrix.ops_consumed(),
         matrix.ops_consumed() as f64 / matrix.ops_generated().max(1) as f64,
     );
+    eprintln!(
+        "run_all: {} lane batches covering {} points (width histogram {:?}), \
+         {} scalar fallbacks",
+        matrix.lane_batches(),
+        matrix.lane_points(),
+        &matrix.lane_width_histogram()[2..],
+        matrix.lane_scalar_fallback(),
+    );
     debug_assert_eq!(matrix.executed_points() + matrix.cache_hits(), unique);
 
     let results = RunAllResult {

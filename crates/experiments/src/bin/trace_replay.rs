@@ -25,7 +25,7 @@ use wp_experiments::runner::{CliOptions, MachineConfig, RunOptions};
 use wp_workloads::WorkloadSpec;
 
 const USAGE: &str = "usage: trace_replay --trace PATH [--ops N] [--threads N] [--json] \
-                     [--no-gang] [--no-matrix-cache] [--matrix-cache-dir PATH]";
+                     [--no-gang] [--no-lanes] [--no-matrix-cache] [--matrix-cache-dir PATH]";
 
 /// The policies replayed against the recorded stream (the baseline first).
 const POLICIES: [DCachePolicy; 4] = [
@@ -41,6 +41,7 @@ struct Cli {
     threads: Option<usize>,
     json: bool,
     no_gang: bool,
+    no_lanes: bool,
     no_matrix_cache: bool,
     matrix_cache_dir: Option<PathBuf>,
 }
@@ -51,11 +52,13 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
     let mut threads: Option<usize> = None;
     let mut json = false;
     let mut no_gang = false;
+    let mut no_lanes = false;
     let mut no_matrix_cache = false;
     let mut matrix_cache_dir: Option<PathBuf> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--no-gang" => no_gang = true,
+            "--no-lanes" => no_lanes = true,
             "--no-matrix-cache" => no_matrix_cache = true,
             "--matrix-cache-dir" => {
                 matrix_cache_dir = Some(PathBuf::from(
@@ -96,6 +99,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
         threads,
         json,
         no_gang,
+        no_lanes,
         no_matrix_cache,
         matrix_cache_dir,
     })
@@ -166,6 +170,7 @@ fn main() {
         json: cli.json,
         threads: cli.threads,
         no_gang: cli.no_gang,
+        no_lanes: cli.no_lanes,
         no_matrix_cache: cli.no_matrix_cache,
         matrix_cache_dir: cli.matrix_cache_dir.clone(),
         stream_cap: None,
@@ -174,12 +179,16 @@ fn main() {
     let matrix = engine.run(&plan);
     eprintln!(
         "trace_replay: {} gangs, {} streams materialized, \
-         {} ops generated for {} ops consumed ({:.2}x stream dedup)",
+         {} ops generated for {} ops consumed ({:.2}x stream dedup); \
+         {} lane batches covering {} points, {} scalar fallbacks",
         matrix.gangs(),
         matrix.streams_materialized(),
         matrix.ops_generated(),
         matrix.ops_consumed(),
         matrix.ops_consumed() as f64 / matrix.ops_generated().max(1) as f64,
+        matrix.lane_batches(),
+        matrix.lane_points(),
+        matrix.lane_scalar_fallback(),
     );
 
     let baseline_machine = MachineConfig::baseline().with_dpolicy(POLICIES[0]);

@@ -18,11 +18,14 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use wp_cpu::SimResult;
+use wp_cpu::{SimResult, MAX_LANES};
 use wp_workloads::{Benchmark, SharedStream, StreamKey, WorkloadSpec};
 
 use crate::matrix_cache::MatrixCache;
-use crate::runner::{simulate_workload, simulate_workload_shared, MachineConfig, RunOptions};
+use crate::runner::{
+    simulate_workload, simulate_workload_shared, simulate_workload_shared_lanes, MachineConfig,
+    RunOptions,
+};
 
 /// One simulation point: the full configuration that determines a
 /// [`SimResult`].
@@ -159,6 +162,9 @@ pub struct SimMatrix {
     streams_materialized: usize,
     ops_generated: u64,
     ops_consumed: u64,
+    lane_batches: usize,
+    lane_scalar_fallback: usize,
+    lane_width_histogram: [usize; MAX_LANES + 1],
 }
 
 impl SimMatrix {
@@ -290,6 +296,41 @@ impl SimMatrix {
     pub fn ops_consumed(&self) -> u64 {
         self.ops_consumed
     }
+
+    /// How many config-parallel lane batches (width ≥ 2) the engine ran
+    /// into this matrix. Zero when lane kernels are disabled (or gang
+    /// scheduling is, which lane batching rides on).
+    pub fn lane_batches(&self) -> usize {
+        self.lane_batches
+    }
+
+    /// How many executed points fell back to the scalar executor while lane
+    /// kernels were enabled — points whose `(d-policy, d-geometry)` batch
+    /// key matched no other gang member, plus width-1 chunk remainders.
+    /// Together with the lane-batched points this partitions the executed
+    /// set: `lane_points() + lane_scalar_fallback()` equals the number of
+    /// gang-scheduled executed points (asserted by `tests/lanes.rs`).
+    pub fn lane_scalar_fallback(&self) -> usize {
+        self.lane_scalar_fallback
+    }
+
+    /// Lane-batch width histogram: entry `w` counts the batches that ran at
+    /// width `w` (entries 0 and 1 are always zero — width-1 groups fall
+    /// back to the scalar executor and count in
+    /// [`SimMatrix::lane_scalar_fallback`]).
+    pub fn lane_width_histogram(&self) -> &[usize; MAX_LANES + 1] {
+        &self.lane_width_histogram
+    }
+
+    /// How many executed points were simulated inside a lane batch — the
+    /// width-weighted sum of [`SimMatrix::lane_width_histogram`].
+    pub fn lane_points(&self) -> usize {
+        self.lane_width_histogram
+            .iter()
+            .enumerate()
+            .map(|(width, count)| width * count)
+            .sum()
+    }
 }
 
 /// Executes [`SimPlan`]s into [`SimMatrix`]es, in parallel.
@@ -319,6 +360,7 @@ pub struct SimEngine {
     threads: usize,
     cache: Option<MatrixCache>,
     gang: bool,
+    lanes: bool,
     stream_memory_cap: usize,
 }
 
@@ -332,6 +374,7 @@ impl SimEngine {
             threads: threads.max(1),
             cache: None,
             gang: true,
+            lanes: true,
             stream_memory_cap: wp_workloads::stream_memory_cap(),
         }
     }
@@ -380,6 +423,29 @@ impl SimEngine {
     /// True if gang scheduling is enabled.
     pub fn gang_enabled(&self) -> bool {
         self.gang
+    }
+
+    /// Enables or disables config-parallel lane kernels: within each gang,
+    /// points sharing a `(d-policy, d-geometry)` batch key are driven
+    /// through one stream walk ([`wp_cpu::run_lane_batch`]) instead of one
+    /// walk per point; the rest fall back to the scalar executor. Results
+    /// are bit-identical either way (asserted by `tests/lanes.rs`, the
+    /// conformance harness, and CI). Lane batching rides on gang
+    /// scheduling — with gangs disabled the flag has no effect.
+    pub fn with_lanes(mut self, lanes: bool) -> Self {
+        self.lanes = lanes;
+        self
+    }
+
+    /// Disables config-parallel lane kernels: every gang member replays
+    /// its stream through the scalar executor.
+    pub fn without_lanes(self) -> Self {
+        self.with_lanes(false)
+    }
+
+    /// True if config-parallel lane kernels are enabled.
+    pub fn lanes_enabled(&self) -> bool {
+        self.lanes
     }
 
     /// Caps the resident bytes of one materialized gang stream; longer
@@ -487,15 +553,113 @@ impl SimEngine {
             SharedStream::materialize_capped(key, cap)
                 .unwrap_or_else(|e| panic!("workload stream {key} failed to materialize: {e}"))
         });
-        let results = parallel_map(self.threads, &jobs, |&(point_index, stream_index)| {
-            simulate_workload_shared(&streams[stream_index], &points[point_index].machine)
-        });
+
+        // Split each gang into work units: lane batches of up to MAX_LANES
+        // points sharing a (d-policy, d-geometry) batch key, and scalar
+        // fallbacks for the rest. With lanes disabled every point is its
+        // own scalar unit. The partition is computed deterministically here
+        // (first-seen order) before any parallel execution, so the counters
+        // and the results are independent of worker scheduling.
+        let units = self.lane_partition(points, &jobs, keys.len());
+        for unit in &units {
+            match unit {
+                WorkUnit::Lane(batch, _) => {
+                    matrix.lane_batches += 1;
+                    matrix.lane_width_histogram[batch.len()] += 1;
+                }
+                WorkUnit::Scalar(..) if self.lanes => matrix.lane_scalar_fallback += 1,
+                WorkUnit::Scalar(..) => {}
+            }
+        }
+        let unit_results: Vec<Vec<(usize, SimResult)>> =
+            parallel_map(self.threads, &units, |unit| match unit {
+                WorkUnit::Scalar(point_index, stream_index) => vec![(
+                    *point_index,
+                    simulate_workload_shared(
+                        &streams[*stream_index],
+                        &points[*point_index].machine,
+                    ),
+                )],
+                WorkUnit::Lane(batch, stream_index) => {
+                    let machines: Vec<MachineConfig> =
+                        batch.iter().map(|&pi| points[pi].machine).collect();
+                    simulate_workload_shared_lanes(&streams[*stream_index], &machines)
+                        .into_iter()
+                        .zip(batch.iter().copied())
+                        .map(|(result, point_index)| (point_index, result))
+                        .collect()
+                }
+            });
+        let mut slots: Vec<Option<SimResult>> = vec![None; points.len()];
+        for (point_index, result) in unit_results.into_iter().flatten() {
+            slots[point_index] = Some(result);
+        }
+        let results: Vec<SimResult> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every point simulated exactly once"))
+            .collect();
 
         matrix.gangs += keys.len();
         matrix.streams_materialized += streams.len();
         matrix.ops_generated += streams.iter().map(|s| s.ops() as u64).sum::<u64>();
         matrix.ops_consumed += results.iter().map(|r| r.activity.instructions).sum::<u64>();
         results
+    }
+
+    /// Partitions gang-scheduled points into [`WorkUnit`]s: within each
+    /// gang, points sharing a `(d-policy, d-geometry)` batch key are
+    /// chunked into lane batches of up to [`MAX_LANES`]; width-1 groups and
+    /// chunk remainders fall back to scalar units. Every point lands in
+    /// exactly one unit. With lanes disabled, every point is a scalar unit.
+    fn lane_partition(
+        &self,
+        points: &[SimPoint],
+        jobs: &[(usize, usize)],
+        stream_count: usize,
+    ) -> Vec<WorkUnit> {
+        if !self.lanes {
+            return jobs
+                .iter()
+                .map(|&(point_index, stream_index)| WorkUnit::Scalar(point_index, stream_index))
+                .collect();
+        }
+        // Gang members in point order, per stream.
+        let mut per_stream: Vec<Vec<usize>> = vec![Vec::new(); stream_count];
+        for &(point_index, stream_index) in jobs {
+            per_stream[stream_index].push(point_index);
+        }
+        let mut units = Vec::new();
+        for (stream_index, members) in per_stream.iter().enumerate() {
+            // Group the gang by lane batch key, first-seen order. Everything
+            // outside the key — latencies, table sizes, the whole i-side,
+            // the core — is free to vary within a batch.
+            let mut groups: Vec<Vec<usize>> = Vec::new();
+            let mut group_index: HashMap<LaneBatchKey, usize> = HashMap::new();
+            for &point_index in members {
+                let machine = &points[point_index].machine;
+                let key = LaneBatchKey {
+                    dpolicy: machine.dpolicy,
+                    size_bytes: machine.l1d.size_bytes,
+                    block_bytes: machine.l1d.block_bytes,
+                    associativity: machine.l1d.associativity,
+                };
+                let index = *group_index.entry(key).or_insert_with(|| {
+                    groups.push(Vec::new());
+                    groups.len() - 1
+                });
+                groups[index].push(point_index);
+            }
+            for group in groups {
+                for chunk in group.chunks(MAX_LANES) {
+                    if chunk.len() >= 2 {
+                        units.push(WorkUnit::Lane(chunk.to_vec(), stream_index));
+                    } else {
+                        units.push(WorkUnit::Scalar(chunk[0], stream_index));
+                    }
+                }
+            }
+        }
+        units
     }
 }
 
@@ -504,6 +668,30 @@ impl Default for SimEngine {
     fn default() -> Self {
         Self::new(available_threads())
     }
+}
+
+/// One schedulable unit of gang-scheduled work: either a single point
+/// through the scalar executor, or a lane batch of 2..=[`MAX_LANES`] points
+/// through one shared stream walk. Both carry the stream index of the gang
+/// they belong to.
+#[derive(Debug)]
+enum WorkUnit {
+    /// `(point index, stream index)`.
+    Scalar(usize, usize),
+    /// `(point indices in batch order, stream index)`.
+    Lane(Vec<usize>, usize),
+}
+
+/// What gang members must agree on to share a lane batch: the d-cache
+/// policy (the kernels are monomorphized per policy) and the d-cache tag
+/// geometry (the SoA tag store lays lanes out across one shared set/way
+/// grid). See [`wp_cpu::LaneMember`] for what is free to vary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct LaneBatchKey {
+    dpolicy: wp_cache::DCachePolicy,
+    size_bytes: usize,
+    block_bytes: usize,
+    associativity: usize,
 }
 
 /// The machine's available parallelism (1 if it cannot be determined).

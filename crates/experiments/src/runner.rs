@@ -10,7 +10,7 @@ use core::fmt;
 
 use serde::{Deserialize, Serialize};
 use wp_cache::{DCachePolicy, ICachePolicy, L1Config};
-use wp_cpu::{CpuConfig, Processor, SimResult};
+use wp_cpu::{run_lane_batch, CpuConfig, LaneMember, Processor, SimResult};
 use wp_workloads::{Benchmark, SharedStream, WorkloadSpec};
 
 use crate::engine::{SimEngine, SimMatrix, SimPlan};
@@ -184,6 +184,46 @@ pub fn simulate_workload_shared(stream: &SharedStream, machine: &MachineConfig) 
     cpu.run_blocks(&mut reader)
 }
 
+/// Runs a whole lane batch — up to [`wp_cpu::MAX_LANES`] machine
+/// configurations sharing a d-cache policy and tag geometry — over **one**
+/// walk of an already-materialized shared stream, returning one result per
+/// machine in input order. Each result is bit-identical to
+/// [`simulate_workload_shared`] of the same machine (the conformance
+/// harness and `tests/lanes.rs` hold the engine to this); the engine's gang
+/// scheduler calls this for the batchable subsets of a gang and falls back
+/// to the scalar executor for the rest.
+///
+/// # Panics
+///
+/// Panics if `machines` is empty, disagrees on d-cache policy or geometry
+/// (the engine groups by the batch key before calling), contains an invalid
+/// cache configuration, or a spilled stream's temp file cannot be
+/// re-opened.
+pub fn simulate_workload_shared_lanes(
+    stream: &SharedStream,
+    machines: &[MachineConfig],
+) -> Vec<SimResult> {
+    let dpolicy = machines
+        .first()
+        .expect("lane batches are never empty")
+        .dpolicy;
+    debug_assert!(machines.iter().all(|m| m.dpolicy == dpolicy));
+    let members: Vec<LaneMember> = machines
+        .iter()
+        .map(|m| LaneMember {
+            cpu: m.cpu,
+            l1d: m.l1d,
+            l1i: m.l1i,
+            ipolicy: m.ipolicy,
+        })
+        .collect();
+    let mut reader = stream
+        .reader()
+        .unwrap_or_else(|e| panic!("shared workload stream failed to re-open: {e}"));
+    run_lane_batch(dpolicy, &members, &mut reader)
+        .expect("experiment cache configurations must be valid")
+}
+
 /// Builds and runs one simulation of a paper benchmark.
 ///
 /// # Panics
@@ -232,6 +272,13 @@ pub struct CliOptions {
     /// bit-identical either way; the flag exists for determinism auditing
     /// (CI diffs gang-on against gang-off output) and benchmarking.
     pub no_gang: bool,
+    /// Disable config-parallel lane kernels (`--no-lanes`): every gang
+    /// member replays its stream through the scalar executor instead of
+    /// batching geometry-sharing members through one
+    /// [`simulate_workload_shared_lanes`] walk. Results are bit-identical
+    /// either way; like `--no-gang` the flag exists for determinism
+    /// auditing and benchmarking.
+    pub no_lanes: bool,
     /// Cap the resident bytes of one materialized gang stream
     /// (`--stream-cap BYTES`); longer streams spill to the `WPTR` codec on
     /// disk. Results are bit-identical at any cap — this is a memory knob
@@ -270,6 +317,9 @@ impl CliOptions {
         if self.no_gang {
             engine = engine.without_gang();
         }
+        if self.no_lanes {
+            engine = engine.without_lanes();
+        }
         if let Some(cap) = self.stream_cap {
             engine = engine.with_stream_memory_cap(cap);
         }
@@ -286,8 +336,8 @@ impl CliOptions {
 
 /// Usage text shared by the binaries.
 pub const USAGE: &str = "usage: <experiment> [--quick] [--ops N] [--seed N] [--threads N] \
-                         [--json] [--no-gang] [--stream-cap BYTES] [--no-matrix-cache] \
-                         [--matrix-cache-dir PATH]";
+                         [--json] [--no-gang] [--no-lanes] [--stream-cap BYTES] \
+                         [--no-matrix-cache] [--matrix-cache-dir PATH]";
 
 /// Shared body of the single-artefact binaries: parse the command line,
 /// execute the artefact's plan on the engine, render from the matrix, and
@@ -348,7 +398,8 @@ impl std::error::Error for CliError {}
 /// `--quick` for the short configuration, `--ops N` and `--seed N` for the
 /// trace, `--threads N` for the engine's worker count, `--json` for
 /// machine-readable output, `--no-gang` to disable gang-scheduled stream
-/// sharing, and `--no-matrix-cache` / `--matrix-cache-dir PATH` to control
+/// sharing, `--no-lanes` to disable config-parallel lane kernels within
+/// gangs, and `--no-matrix-cache` / `--matrix-cache-dir PATH` to control
 /// the persistent result cache (CI and trace_replay use
 /// `--no-matrix-cache` to force every point to simulate, and diff
 /// `--no-gang` output against the default to audit gang determinism).
@@ -375,6 +426,7 @@ pub fn options_from_args(args: impl Iterator<Item = String>) -> Result<CliOption
                 options.threads = Some(threads);
             }
             "--no-gang" => options.no_gang = true,
+            "--no-lanes" => options.no_lanes = true,
             "--stream-cap" => {
                 options.stream_cap = Some(parse_value("--stream-cap", args.next())?);
             }
@@ -538,6 +590,16 @@ mod tests {
         let off = parse(&["--no-gang"]).expect("valid");
         assert!(off.no_gang);
         assert!(!off.engine().gang_enabled());
+    }
+
+    #[test]
+    fn lanes_flag_parses_and_disables_lane_batching() {
+        let default = parse(&[]).expect("valid");
+        assert!(!default.no_lanes);
+        assert!(default.engine().lanes_enabled());
+        let off = parse(&["--no-lanes"]).expect("valid");
+        assert!(off.no_lanes);
+        assert!(!off.engine().lanes_enabled());
     }
 
     #[test]

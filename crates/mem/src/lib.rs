@@ -36,12 +36,14 @@
 mod cache;
 mod geometry;
 mod hierarchy;
+pub mod lane;
 mod stats;
 pub mod swar;
 
 pub use cache::{AccessKind, AccessResult, CacheLine, Placement, SetAssocCache};
 pub use geometry::{CacheGeometry, GeometryError};
 pub use hierarchy::{HierarchyConfig, HierarchyOutcome, MemoryHierarchy};
+pub use lane::{LaneTagStore, MAX_LANES};
 pub use stats::CacheStats;
 
 /// A byte address as seen by the processor.

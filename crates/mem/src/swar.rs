@@ -1,21 +1,27 @@
-//! SWAR (SIMD-within-a-register) tag matching.
+//! SWAR (SIMD-within-a-register) tag matching — reference module.
 //!
-//! The fused set scan in [`crate::SetAssocCache`] compares one probe tag
-//! against a set's contiguous structure-of-arrays tag lane. The scalar form
-//! of that comparison is a short loop with an early exit — a data-dependent
-//! branch per way that the host branch predictor gets wrong on every
-//! hit-way change. [`tag_match_mask`] replaces it with straight-line
-//! arithmetic: the tag lane is walked in u64-wide chunks of four lanes,
-//! each lane's equality is reduced to one bit with XOR / negate / shift
-//! (no compare-and-branch), and the bits are packed into a way mask. The
-//! caller ANDs the set's valid-bitset word in and takes `trailing_zeros`,
-//! so the whole probe/hit path runs without per-way branching and
-//! auto-vectorizes cleanly (four independent 64-bit lanes per iteration).
+//! [`tag_match_mask`] reduces each lane's equality against a probe tag to
+//! one bit with XOR / negate / shift (no compare-and-branch) and packs the
+//! bits into a way mask, walking the lane in u64-wide chunks of four.
 //!
-//! [`tag_match_mask_scalar`] is the retained scalar reference: the
-//! property tests (`tests/properties.rs` and this module's tests) demand
-//! bit-identical masks from both over arbitrary lanes, and
-//! `bench_report`'s `tag_match` section tracks the throughput of each.
+//! This module used to sit on the hot path: the fused set scan in
+//! [`crate::SetAssocCache`] probed a set's contiguous tag lane through
+//! [`first_hit`]. That turned out to be a measured regression — at L1
+//! associativities (2–8 ways) the scalar early-exit scan wins because most
+//! probes hit early while the branch-free mask always pays for the whole
+//! lane (`bench_report` put SWAR at 0.797× scalar), so the per-probe
+//! default is scalar again and the *way*-axis SWAR path is retired.
+//!
+//! The primitives stay, for two reasons. First, as documented reference
+//! code: the property tests (`tests/properties.rs` and this module's
+//! tests) still demand bit-identical masks from [`tag_match_mask`] and
+//! [`tag_match_mask_scalar`] over arbitrary lanes. Second, the underlying
+//! idea — compare one splatted value against a contiguous u64 lane without
+//! branching — is exactly what pays off when the lane axis is
+//! *configurations* instead of ways: `LaneTagStore` lays the same (set,
+//! way) slot of N gang-scheduled configs out contiguously and probes all N
+//! with one pass, where every lane genuinely needs an answer and no early
+//! exit is possible. See `docs/PERFORMANCE.md` ("Config-parallel lanes").
 
 /// One lane's equality as a single bit, branch-free: `x == 0` iff neither
 /// `x` nor `-x` has the sign bit set.
@@ -81,8 +87,10 @@ pub fn tag_match_mask_scalar(tags: &[u64], tag: u64) -> u64 {
 }
 
 /// The hit way of one set probe, SWAR path: match the whole lane, fold
-/// the valid mask in, take the lowest set bit. This is exactly what the
-/// cache's fused scan computes on its hit path.
+/// the valid mask in, take the lowest set bit. This is what the cache's
+/// fused scan computed on its hit path while the SWAR experiment was the
+/// per-probe default; kept as the benchmark/property-test counterpart of
+/// [`first_hit_scalar`].
 #[inline(always)]
 pub fn first_hit(tags: &[u64], tag: u64, valid_mask: u64) -> Option<usize> {
     let hits = tag_match_mask(tags, tag) & valid_mask;
@@ -93,9 +101,9 @@ pub fn first_hit(tags: &[u64], tag: u64, valid_mask: u64) -> Option<usize> {
     }
 }
 
-/// The pre-SWAR scalar hit scan, retained verbatim for the property tests
-/// and the `tag_match` benchmark: walk the lane and early-exit at the
-/// first valid match — one data-dependent branch per way.
+/// The scalar hit scan — the shape the cache's fused scan uses as its
+/// per-probe default: walk the lane and early-exit at the first valid
+/// match, one data-dependent branch per way.
 #[inline]
 pub fn first_hit_scalar(tags: &[u64], tag: u64, valid_mask: u64) -> Option<usize> {
     debug_assert!(tags.len() <= 64);

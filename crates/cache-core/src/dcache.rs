@@ -438,6 +438,7 @@ impl DCacheController {
         };
         let block_addr = geometry.block_addr(addr);
         let placement = self.select.placement_policy(K::POLICY, block_addr);
+        account_placement(&mut self.stats, K::POLICY, placement);
 
         let mut select = KernelSelect::<K>(&mut self.select, PhantomData);
         let access = self.core.read(&mut select, &ctx, addr, placement);
@@ -447,6 +448,7 @@ impl DCacheController {
         account_eviction(&mut self.stats, &mut self.select, access.result.evicted);
         account_selection(
             &mut self.stats,
+            K::POLICY,
             access.probe.outcome,
             &access.selection,
             access.result.hit,
@@ -506,6 +508,9 @@ pub(crate) fn account_eviction(
 ) {
     if let Some(line) = evicted {
         stats.evictions += 1;
+        if line.dirty {
+            stats.dirty_evictions += 1;
+        }
         let (flagged, energy) = select.note_eviction(line.block_addr);
         stats.prediction_energy += energy;
         if flagged {
@@ -514,16 +519,37 @@ pub(crate) fn account_eviction(
     }
 }
 
+/// Victim-list coverage accounting at fill-placement time: under a
+/// selective-DM policy, a set-associative placement means the victim list
+/// flagged the block as conflicting. Shared with the lane-batched path.
+#[inline]
+pub(crate) fn account_placement(
+    stats: &mut DCacheStats,
+    policy: DCachePolicy,
+    placement: Placement,
+) {
+    if policy.uses_selective_dm() && placement == Placement::SetAssociative {
+        stats.victim_list_hits += 1;
+    }
+}
+
 /// Predictor bookkeeping derived from the selection and its outcome; shared
 /// with the lane-batched path like [`account_eviction`].
 #[inline]
 pub(crate) fn account_selection(
     stats: &mut DCacheStats,
+    policy: DCachePolicy,
     outcome: ProbeOutcome,
     selection: &Selection,
     hit: bool,
 ) {
     let single_way_correct = outcome == ProbeOutcome::SingleWay;
+    if single_way_correct && hit {
+        stats.single_way_load_hits += 1;
+    }
+    if policy.uses_selective_dm() && !matches!(selection.choice, WaySelection::DirectMapped(_)) {
+        stats.seldm_predicted_sa += 1;
+    }
     match selection.choice {
         WaySelection::Predicted(_) if selection.source == WaySource::WayTable => {
             stats.way_predictions += 1;

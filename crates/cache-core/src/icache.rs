@@ -324,7 +324,12 @@ impl ICacheController {
         let class = classify(&access);
         match class {
             IAccessClass::SawpCorrect => self.stats.sawp_correct += 1,
-            IAccessClass::BtbCorrect => self.stats.btb_correct += 1,
+            IAccessClass::BtbCorrect => {
+                self.stats.btb_correct += 1;
+                if access.selection.source == WaySource::Ras {
+                    self.stats.ras_correct += 1;
+                }
+            }
             IAccessClass::NoPrediction => self.stats.no_prediction += 1,
             IAccessClass::Mispredicted => self.stats.mispredicted += 1,
         }
@@ -428,6 +433,8 @@ mod tests {
         let ret = c.fetch(return_pc, FetchKind::Return);
         assert_eq!(ret.class, IAccessClass::BtbCorrect);
         assert_eq!(ret.ways_probed, 1);
+        assert_eq!(c.stats().ras_correct, 1, "RAS subset counter");
+        assert_eq!(c.stats().btb_correct, 1);
     }
 
     #[test]

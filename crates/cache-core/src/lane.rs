@@ -23,8 +23,8 @@ use wp_mem::{AccessKind, AccessResult, CacheGeometry, LaneTagStore, Placement, M
 use crate::access::{Addr, Observation, ProbeCosts, Selection};
 use crate::config::{ConfigError, L1Config};
 use crate::dcache::{
-    account_eviction, account_load_class, account_selection, classify, DAccessClass,
-    DAccessOutcome, DLoadCtx, DWaySelect,
+    account_eviction, account_load_class, account_placement, account_selection, classify,
+    DAccessClass, DAccessOutcome, DLoadCtx, DWaySelect,
 };
 use crate::policy::{DCachePolicy, DPolicyKernel};
 use crate::stats::DCacheStats;
@@ -163,6 +163,7 @@ impl LaneDCache {
         for (lane, select) in self.selects.iter_mut().enumerate() {
             self.stats[lane].loads += 1;
             self.placements[lane] = select.placement_policy(K::POLICY, block_addr);
+            account_placement(&mut self.stats[lane], K::POLICY, self.placements[lane]);
             self.selections[lane] = select.select_policy(K::POLICY, &ctx);
         }
         self.tags
@@ -183,7 +184,7 @@ impl LaneDCache {
                 stats.load_misses += 1;
             }
             account_eviction(stats, &mut self.selects[lane], result.evicted);
-            account_selection(stats, probe.outcome, &selection, result.hit);
+            account_selection(stats, K::POLICY, probe.outcome, &selection, result.hit);
             let class = classify(probe.outcome, selection.choice);
             account_load_class(stats, class);
             stats.cache_energy += probe.energy;

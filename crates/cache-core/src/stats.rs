@@ -46,6 +46,22 @@ pub struct DCacheStats {
     /// Blocks the victim list flagged as conflicting.
     pub conflicting_blocks_flagged: u64,
 
+    // ---- outcome-class coverage counters ----
+    /// Loads that probed a single way and *hit* there on the first probe
+    /// (the first-hit subset of the way-predicted / direct-mapped classes;
+    /// misses-while-predicted are excluded).
+    pub single_way_load_hits: u64,
+    /// Loads under a selective-DM policy whose per-PC counter predicted the
+    /// conflicting (set-associative) side and fell back to the configured
+    /// probe scheme.
+    pub seldm_predicted_sa: u64,
+    /// Loads under a selective-DM policy whose *block* was on the victim
+    /// list at placement time (per-block conflict signal, as opposed to the
+    /// per-PC `seldm_predicted_sa`).
+    pub victim_list_hits: u64,
+    /// Evictions that wrote back a dirty block.
+    pub dirty_evictions: u64,
+
     // ---- energy ----
     /// Energy dissipated in the cache arrays (tag + data + refills), in
     /// model units.
@@ -121,6 +137,9 @@ pub struct ICacheStats {
     /// Fetches whose way was correctly predicted by the branch-predictor
     /// structures (BTB or RAS).
     pub btb_correct: u64,
+    /// The subset of [`ICacheStats::btb_correct`] supplied by the return
+    /// address stack (coverage counter; not part of the Figure 10 classes).
+    pub ras_correct: u64,
     /// Fetches with no prediction available (BTB miss, misprediction
     /// restart): conventional parallel access.
     pub no_prediction: u64,
@@ -236,6 +255,7 @@ mod tests {
             mispredicted: 5,
             cache_energy: 10.0,
             prediction_energy: 0.5,
+            ..ICacheStats::default()
         };
         assert!((s.way_prediction_accuracy() - 90.0 / 95.0).abs() < 1e-12);
         assert!((s.single_way_fraction() - 0.9).abs() < 1e-12);

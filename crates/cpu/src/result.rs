@@ -118,7 +118,7 @@ impl SimResult {
     /// canonical field enumeration serializers (the experiment matrix
     /// cache) iterate, so a new field added here reaches them without a
     /// second hand-maintained list.
-    pub fn fields(&self) -> [(&'static str, u64); 36] {
+    pub fn fields(&self) -> [(&'static str, u64); 41] {
         let a = &self.activity;
         let d = &self.dcache;
         let i = &self.icache;
@@ -153,12 +153,17 @@ impl SimResult {
                 "dcache.conflicting_blocks_flagged",
                 d.conflicting_blocks_flagged,
             ),
+            ("dcache.single_way_load_hits", d.single_way_load_hits),
+            ("dcache.seldm_predicted_sa", d.seldm_predicted_sa),
+            ("dcache.victim_list_hits", d.victim_list_hits),
+            ("dcache.dirty_evictions", d.dirty_evictions),
             ("dcache.cache_energy", d.cache_energy.to_bits()),
             ("dcache.prediction_energy", d.prediction_energy.to_bits()),
             ("icache.fetches", i.fetches),
             ("icache.fetch_misses", i.fetch_misses),
             ("icache.sawp_correct", i.sawp_correct),
             ("icache.btb_correct", i.btb_correct),
+            ("icache.ras_correct", i.ras_correct),
             ("icache.no_prediction", i.no_prediction),
             ("icache.mispredicted", i.mispredicted),
             ("icache.cache_energy", i.cache_energy.to_bits()),

@@ -10,7 +10,10 @@
 //!    through both backends under several policies;
 //! 3. **random** — `--random N` seeded random (configuration, workload)
 //!    pairs drawn by [`wp_experiments::conformance::random_points`];
-//! 4. **golden** — `tests/golden/*.json` compared byte-for-byte against a
+//! 4. **profile** — with `--profile FILE`, the coverage-harness plan of an
+//!    adversarial workload profile (its scenarios × config axes × all
+//!    d-cache policies), optimized engine vs. oracle;
+//! 5. **golden** — `tests/golden/*.json` compared byte-for-byte against a
 //!    fresh render at the pinned golden options (`--bless` regenerates the
 //!    files instead of checking them).
 //!
@@ -19,7 +22,7 @@
 //! Usage: `cargo run --release -p wp-experiments --bin conformance --
 //! [--quick] [--ops N] [--seed N] [--threads N] [--no-gang] [--no-lanes]
 //! [--stream-cap BYTES] [--random N] [--bless] [--golden-dir PATH]
-//! [--skip-sweep]`
+//! [--skip-sweep] [--profile FILE]`
 
 use std::path::PathBuf;
 
@@ -33,7 +36,7 @@ use wp_workloads::WorkloadSpec;
 
 const USAGE: &str = "usage: conformance [--quick] [--ops N] [--seed N] [--threads N] \
                      [--no-gang] [--no-lanes] [--stream-cap BYTES] [--random N] \
-                     [--bless] [--golden-dir PATH] [--skip-sweep]";
+                     [--bless] [--golden-dir PATH] [--skip-sweep] [--profile FILE]";
 
 struct Cli {
     run: RunOptions,
@@ -45,6 +48,7 @@ struct Cli {
     bless: bool,
     golden_dir: PathBuf,
     skip_sweep: bool,
+    profile: Option<wp_workloads::ProfileSpec>,
 }
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
@@ -85,6 +89,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
         }
     }
     let options = options_from_args(shared.into_iter()).map_err(|e| e.to_string())?;
+    let profile = options.load_profile().map_err(|e| e.to_string())?;
     let threads = options.threads.unwrap_or_else(available_threads);
     let mut engine = SimEngine::new(threads);
     if options.no_gang {
@@ -104,6 +109,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
         bless,
         golden_dir: golden_dir.unwrap_or_else(conformance::default_golden_dir),
         skip_sweep,
+        profile,
     })
 }
 
@@ -207,7 +213,21 @@ fn main() {
         failures += tally("random", &check_plan_with(&cli.engine, &plan));
     }
 
-    // ---- 4. golden artefact snapshots ----
+    // ---- 4. adversarial profile (the coverage-harness plan) ----
+    if let Some(profile) = &cli.profile {
+        eprintln!(
+            "conformance: checking profile `{}` (tier {}) over the coverage plan \
+             (ops {}, seed {})",
+            profile.name,
+            profile.tier.name(),
+            cli.run.ops,
+            cli.run.seed
+        );
+        let plan = wp_experiments::coverage::profile_plan(profile, &cli.run);
+        failures += tally("profile", &check_plan_with(&cli.engine, &plan));
+    }
+
+    // ---- 5. golden artefact snapshots ----
     if cli.bless {
         match conformance::bless_goldens(&cli.golden_dir, cli.threads) {
             Ok(()) => println!(

@@ -6,10 +6,13 @@
 //! (every d-cache figure reuses the same baseline, Figures 7/8 share the
 //! selective-DM machines, …) and executes each unique point exactly once,
 //! in parallel. With `--json` the eleven results are emitted as one JSON
-//! document instead of text tables.
+//! document instead of text tables. With `--profile FILE` the coverage
+//! matrix of an adversarial workload profile (see `docs/WORKLOADS.md`) is
+//! merged into the same deduped sweep and reported after the paper
+//! artefacts.
 //!
 //! Usage: `cargo run --release -p wp-experiments --bin run_all
-//! [--quick] [--ops N] [--seed N] [--threads N] [--json]
+//! [--quick] [--ops N] [--seed N] [--threads N] [--json] [--profile FILE]
 //! [--no-matrix-cache] [--matrix-cache-dir PATH]`
 //!
 //! Results are memoized on disk (see `wp_experiments::matrix_cache`), so a
@@ -17,10 +20,12 @@
 //! `--no-matrix-cache` to force everything to simulate.
 
 use serde::Serialize;
+use wp_experiments::coverage::{self, CoverageReport};
 use wp_experiments::runner::CliOptions;
 use wp_experiments::{fig10, fig11, fig4, fig5, fig6, fig7, fig8, fig9, table3, table4, table5};
 
-/// Every artefact of the paper's evaluation, in presentation order.
+/// Every artefact of the paper's evaluation, in presentation order, plus
+/// the optional `--profile` coverage matrix.
 #[derive(Serialize)]
 struct RunAllResult {
     table3: table3::Table3Result,
@@ -34,14 +39,22 @@ struct RunAllResult {
     fig9: fig9::Fig9Result,
     fig10: fig10::Fig10Result,
     fig11: fig11::Fig11Result,
+    coverage: Option<CoverageReport>,
 }
 
 fn main() {
     let cli = CliOptions::from_env_or_exit();
     let options = cli.run;
     let engine = cli.engine();
+    // Fail fast on a bad profile file, before any simulation runs.
+    let profile = cli.profile_or_exit();
 
-    let plan = wp_experiments::run_all_plan(&options);
+    let mut plan = wp_experiments::run_all_plan(&options);
+    if let Some(profile) = &profile {
+        // One deduped sweep: the profile's coverage points ride the same
+        // engine run as the paper artefacts.
+        plan.merge(coverage::profile_plan(profile, &options));
+    }
     let requested = plan.len();
     let unique = plan.unique_points().len();
     eprintln!(
@@ -86,6 +99,9 @@ fn main() {
         fig9: fig9::from_matrix(&matrix, &options),
         fig10: fig10::from_matrix(&matrix, &options),
         fig11: fig11::from_matrix(&matrix, &options),
+        coverage: profile
+            .as_ref()
+            .map(|p| coverage::profile_report(p, &matrix, &options)),
     };
 
     if cli.json {
@@ -103,4 +119,7 @@ fn main() {
     println!("{}\n", results.fig9.to_table());
     println!("{}\n", results.fig10.to_table());
     println!("{}\n", results.fig11.to_table());
+    if let Some(coverage) = &results.coverage {
+        println!("{}\n", coverage.to_table());
+    }
 }

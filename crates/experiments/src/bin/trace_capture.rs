@@ -1,26 +1,40 @@
 //! Captures a built-in workload's reference stream to a trace file.
 //!
 //! Any generated workload — one of the paper's eleven benchmarks or a
-//! stress scenario (`pointer_chase`, `strided_stream`, `phase_mix`) — is
-//! run through its generator once and every micro-op is recorded in the
-//! `WPTR` binary format (or, with `--text`, the human-readable twin). The
-//! resulting file replays bit-identically through `trace_replay` or a
+//! stress scenario (`pointer_chase`, `strided_stream`, `phase_mix`,
+//! `way_alias_thrash`, `phase_flip`, `conflict_chase`) — is run through
+//! its generator once and every micro-op is recorded in the `WPTR` binary
+//! format (or, with `--text`, the human-readable twin). The resulting
+//! file replays bit-identically through `trace_replay` or a
 //! [`wp_workloads::TraceReplay`].
 //!
+//! With `--profile FILE` (mutually exclusive with `--workload`) every
+//! scenario of an adversarial workload profile (see `docs/WORKLOADS.md`)
+//! is captured in one run; `--out` then names a directory receiving one
+//! `<scenario>.wptr` file per scenario.
+//!
 //! Usage: `cargo run --release -p wp-experiments --bin trace_capture --
-//! --workload NAME --out PATH [--quick] [--ops N] [--seed N] [--text]`
+//! (--workload NAME | --profile FILE) --out PATH
+//! [--quick] [--ops N] [--seed N] [--text]`
 
 use std::io::BufWriter;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use wp_experiments::runner::RunOptions;
-use wp_workloads::{capture_to_file, TextTraceWriter, WorkloadSpec};
+use wp_workloads::{capture_to_file, ProfileSpec, TextTraceWriter, WorkloadSpec};
 
-const USAGE: &str = "usage: trace_capture --workload NAME --out PATH \
+const USAGE: &str = "usage: trace_capture (--workload NAME | --profile FILE) --out PATH \
                      [--quick] [--ops N] [--seed N] [--text]";
 
+/// What to capture: one named workload to one file, or every scenario of
+/// a profile into a directory.
+enum Source {
+    Workload(WorkloadSpec),
+    Profile(ProfileSpec),
+}
+
 struct Cli {
-    workload: WorkloadSpec,
+    source: Source,
     out: PathBuf,
     run: RunOptions,
     text: bool,
@@ -28,6 +42,7 @@ struct Cli {
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
     let mut workload: Option<WorkloadSpec> = None;
+    let mut profile: Option<PathBuf> = None;
     let mut out: Option<PathBuf> = None;
     let mut run = RunOptions::default();
     let mut quick = false;
@@ -45,6 +60,11 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
                         WorkloadSpec::generated_names().join(", ")
                     )
                 })?);
+            }
+            "--profile" => {
+                profile = Some(PathBuf::from(
+                    args.next().ok_or("flag `--profile` requires a value")?,
+                ));
             }
             "--out" => {
                 out = Some(PathBuf::from(
@@ -81,12 +101,61 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
     if let Some(seed) = seed {
         run.seed = seed;
     }
+    let source = match (workload, profile) {
+        (Some(_), Some(_)) => {
+            return Err("flags `--workload` and `--profile` are mutually exclusive".into())
+        }
+        (Some(workload), None) => Source::Workload(workload),
+        (None, Some(path)) => Source::Profile(ProfileSpec::load(&path).map_err(|e| e.to_string())?),
+        (None, None) => return Err("missing required flag `--workload` (or `--profile`)".into()),
+    };
     Ok(Cli {
-        workload: workload.ok_or("missing required flag `--workload`")?,
+        source,
         out: out.ok_or("missing required flag `--out`")?,
         run,
         text,
     })
+}
+
+/// Captures one workload's stream to `out`, printing the summary line.
+/// Returns false if the capture failed (after printing the error).
+fn capture_one(workload: &WorkloadSpec, out: &Path, run: &RunOptions, text: bool) -> bool {
+    let label = format!("{} ops={} seed={}", workload.label(), run.ops, run.seed);
+    let stream = workload
+        .stream(run.ops, run.seed)
+        .expect("generated workloads always open");
+
+    let result = if text {
+        std::fs::File::create(out)
+            .map_err(Into::into)
+            .and_then(|file| {
+                let mut writer = TextTraceWriter::new(BufWriter::new(file), &label)?;
+                for op in stream {
+                    writer.write_op(&op)?;
+                }
+                let records = writer.records();
+                writer.finish()?;
+                Ok(records)
+            })
+    } else {
+        capture_to_file(stream, out, &label)
+    };
+
+    match result {
+        Ok(records) => {
+            let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+            println!(
+                "captured {records} ops of `{label}` to {} ({bytes} bytes, {:.2} bytes/op)",
+                out.display(),
+                bytes as f64 / records.max(1) as f64,
+            );
+            true
+        }
+        Err(error) => {
+            eprintln!("error: capture failed: {error}");
+            false
+        }
+    }
 }
 
 fn main() {
@@ -99,45 +168,43 @@ fn main() {
         }
     };
 
-    let label = format!(
-        "{} ops={} seed={}",
-        cli.workload.label(),
-        cli.run.ops,
-        cli.run.seed
-    );
-    let stream = cli
-        .workload
-        .stream(cli.run.ops, cli.run.seed)
-        .expect("generated workloads always open");
-
-    let result = if cli.text {
-        std::fs::File::create(&cli.out)
-            .map_err(Into::into)
-            .and_then(|file| {
-                let mut writer = TextTraceWriter::new(BufWriter::new(file), &label)?;
-                for op in stream {
-                    writer.write_op(&op)?;
-                }
-                let records = writer.records();
-                writer.finish()?;
-                Ok(records)
-            })
-    } else {
-        capture_to_file(stream, &cli.out, &label)
-    };
-
-    match result {
-        Ok(records) => {
-            let bytes = std::fs::metadata(&cli.out).map(|m| m.len()).unwrap_or(0);
+    let ok = match &cli.source {
+        Source::Workload(workload) => capture_one(workload, &cli.out, &cli.run, cli.text),
+        Source::Profile(profile) => {
+            if let Err(error) = std::fs::create_dir_all(&cli.out) {
+                eprintln!(
+                    "error: cannot create output directory {}: {error}",
+                    cli.out.display()
+                );
+                std::process::exit(1);
+            }
+            let extension = if cli.text { "txt" } else { "wptr" };
+            // A profile may list one scenario family more than once (with
+            // different parameters); suffix repeats so no capture is
+            // silently overwritten.
+            let mut seen: Vec<&str> = Vec::new();
+            let mut all_ok = true;
+            for (scenario, workload) in profile.scenarios.iter().zip(profile.workloads()) {
+                let repeats = seen.iter().filter(|n| **n == scenario.name()).count();
+                seen.push(scenario.name());
+                let file = if repeats == 0 {
+                    format!("{}.{extension}", scenario.name())
+                } else {
+                    format!("{}-{}.{extension}", scenario.name(), repeats + 1)
+                };
+                all_ok &= capture_one(&workload, &cli.out.join(file), &cli.run, cli.text);
+            }
             println!(
-                "captured {records} ops of `{label}` to {} ({bytes} bytes, {:.2} bytes/op)",
-                cli.out.display(),
-                bytes as f64 / records.max(1) as f64,
+                "captured profile `{}` (tier {}, {} scenarios) into {}",
+                profile.name,
+                profile.tier.name(),
+                profile.scenarios.len(),
+                cli.out.display()
             );
+            all_ok
         }
-        Err(error) => {
-            eprintln!("error: capture failed: {error}");
-            std::process::exit(1);
-        }
+    };
+    if !ok {
+        std::process::exit(1);
     }
 }

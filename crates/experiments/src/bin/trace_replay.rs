@@ -174,6 +174,7 @@ fn main() {
         no_matrix_cache: cli.no_matrix_cache,
         matrix_cache_dir: cli.matrix_cache_dir.clone(),
         stream_cap: None,
+        profile: None,
     }
     .engine();
     let matrix = engine.run(&plan);

@@ -266,13 +266,13 @@ pub fn random_points(count: usize, seed: u64, extra_workloads: &[WorkloadSpec]) 
                 ipolicy,
                 cpu,
             };
-            // Workload rotation: every benchmark, then the three scenario
-            // families, then any caller-supplied specs — offsets derived
-            // from the benchmark list so a new benchmark joins the draw
-            // automatically.
+            // Workload rotation: every benchmark, then the six scenario
+            // families (three steady, three adversarial), then any
+            // caller-supplied specs — offsets derived from the benchmark
+            // list so a new benchmark joins the draw automatically.
             let benchmarks = Benchmark::all();
             let scenario_base = benchmarks.len();
-            let extra_base = scenario_base + 3;
+            let extra_base = scenario_base + 6;
             let workload = match rng.gen_range(0usize..extra_base + extra_workloads.len()) {
                 i if i < scenario_base => WorkloadSpec::Benchmark(benchmarks[i]),
                 i if i == scenario_base => WorkloadSpec::Scenario(Scenario::PointerChase {
@@ -285,6 +285,17 @@ pub fn random_points(count: usize, seed: u64, extra_workloads: &[WorkloadSpec]) 
                 }),
                 i if i == scenario_base + 2 => WorkloadSpec::Scenario(Scenario::PhaseMix {
                     phase_ops: [500u32, 2000][rng.gen_range(0usize..2)],
+                }),
+                i if i == scenario_base + 3 => WorkloadSpec::Scenario(Scenario::WayAliasThrash {
+                    table_entries: [256u32, 1024][rng.gen_range(0usize..2)],
+                    group: [2u32, 4, 8][rng.gen_range(0usize..3)],
+                }),
+                i if i == scenario_base + 4 => WorkloadSpec::Scenario(Scenario::PhaseFlip {
+                    period_ops: [256u32, 1024, 4096][rng.gen_range(0usize..3)],
+                    conflict_ways: [2u32, 6, 8][rng.gen_range(0usize..3)],
+                }),
+                i if i == scenario_base + 5 => WorkloadSpec::Scenario(Scenario::ConflictChase {
+                    blocks: [3u32, 4, 5][rng.gen_range(0usize..3)],
                 }),
                 i => extra_workloads[i - extra_base].clone(),
             };
@@ -305,18 +316,22 @@ pub const GOLDEN_OPTIONS: RunOptions = RunOptions {
     seed: 42,
 };
 
-/// The artefact names, in the paper's presentation order; golden files are
-/// `tests/golden/<name>.json`.
-pub const GOLDEN_ARTEFACTS: [&str; 11] = [
+/// The artefact names, in the paper's presentation order, followed by the
+/// coverage matrix; golden files are `tests/golden/<name>.json`.
+pub const GOLDEN_ARTEFACTS: [&str; 12] = [
     "table3", "table4", "fig4", "fig5", "fig6", "table5", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "coverage",
 ];
 
-/// Renders all eleven artefacts at [`GOLDEN_OPTIONS`] as pretty JSON, in
-/// [`GOLDEN_ARTEFACTS`] order. Always simulates fresh (no persistent
+/// Renders all twelve artefacts at [`GOLDEN_OPTIONS`] as pretty JSON, in
+/// [`GOLDEN_ARTEFACTS`] order: the eleven paper artefacts plus the
+/// (policy × config-axis × outcome-class) coverage matrix over the
+/// adversarial profile tiers. Always simulates fresh (no persistent
 /// cache), on `threads` workers.
 pub fn render_golden_artefacts(threads: usize) -> Vec<(&'static str, String)> {
     let options = GOLDEN_OPTIONS;
-    let matrix = SimEngine::new(threads).run(&crate::run_all_plan(&options));
+    let engine = SimEngine::new(threads);
+    let matrix = engine.run(&crate::run_all_plan(&options));
     use crate::report::to_json;
     vec![
         ("table3", to_json(&table3::from_matrix(&matrix, &options))),
@@ -330,6 +345,10 @@ pub fn render_golden_artefacts(threads: usize) -> Vec<(&'static str, String)> {
         ("fig9", to_json(&fig9::from_matrix(&matrix, &options))),
         ("fig10", to_json(&fig10::from_matrix(&matrix, &options))),
         ("fig11", to_json(&fig11::from_matrix(&matrix, &options))),
+        (
+            "coverage",
+            to_json(&crate::coverage::run_artefact(&engine, &options)),
+        ),
     ]
 }
 

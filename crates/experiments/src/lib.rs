@@ -58,6 +58,7 @@
 
 pub mod compare;
 pub mod conformance;
+pub mod coverage;
 pub mod engine;
 pub mod fig10;
 pub mod fig11;

@@ -37,8 +37,10 @@ use crate::engine::SimPoint;
 /// changes — not for pure performance work, which must be bit-identical.
 /// (2: records additionally store an independent verification digest of
 /// the point, so a filename-digest collision can no longer serve one
-/// point's result for another.)
-pub const CACHE_FORMAT_VERSION: u32 = 2;
+/// point's result for another. 3: results grew the outcome-class coverage
+/// counters — `single_way_load_hits`, `seldm_predicted_sa`,
+/// `victim_list_hits`, `dirty_evictions`, `ras_correct`.)
+pub const CACHE_FORMAT_VERSION: u32 = 3;
 
 /// Magic prefix of a stored result file.
 const MAGIC: &[u8; 4] = b"WPSM";
@@ -51,8 +53,8 @@ const MAGIC: &[u8; 4] = b"WPSM";
 const VERIFY_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
 
 /// Serialized size of one result: magic + version + digest + verification
-/// digest + 36 numeric fields of 8 bytes each.
-const RECORD_BYTES: usize = 4 + 4 + 8 + 8 + 36 * 8;
+/// digest + 41 numeric fields of 8 bytes each.
+const RECORD_BYTES: usize = 4 + 4 + 8 + 8 + 41 * 8;
 
 /// The persistent result store the engine consults before simulating.
 #[derive(Debug, Clone)]
@@ -233,6 +235,10 @@ fn decode_fields(fields: &mut Fields<'_>) -> Option<SimResult> {
         seldm_predicted_dm: u()?,
         seldm_predicted_dm_correct: u()?,
         conflicting_blocks_flagged: u()?,
+        single_way_load_hits: u()?,
+        seldm_predicted_sa: u()?,
+        victim_list_hits: u()?,
+        dirty_evictions: u()?,
         cache_energy: f64::from_bits(u()?),
         prediction_energy: f64::from_bits(u()?),
     };
@@ -241,6 +247,7 @@ fn decode_fields(fields: &mut Fields<'_>) -> Option<SimResult> {
         fetch_misses: u()?,
         sawp_correct: u()?,
         btb_correct: u()?,
+        ras_correct: u()?,
         no_prediction: u()?,
         mispredicted: u()?,
         cache_energy: f64::from_bits(u()?),

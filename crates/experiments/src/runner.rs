@@ -279,6 +279,13 @@ pub struct CliOptions {
     /// either way; like `--no-gang` the flag exists for determinism
     /// auditing and benchmarking.
     pub no_lanes: bool,
+    /// Path of a workload-profile file (`--profile FILE`): a versioned
+    /// JSON description of an adversarial scenario mix (see
+    /// `docs/WORKLOADS.md`). Parsed here, loaded and validated by
+    /// [`CliOptions::load_profile`]; the binaries that honour it are
+    /// `run_all`, `conformance`, `trace_capture`, and `coverage_report` —
+    /// the single-artefact binaries reject it.
+    pub profile: Option<std::path::PathBuf>,
     /// Cap the resident bytes of one materialized gang stream
     /// (`--stream-cap BYTES`); longer streams spill to the `WPTR` codec on
     /// disk. Results are bit-identical at any cap — this is a memory knob
@@ -296,6 +303,35 @@ impl CliOptions {
     pub fn from_env_or_exit() -> Self {
         match options_from_args(std::env::args().skip(1)) {
             Ok(options) => options,
+            Err(error) => {
+                eprintln!("error: {error}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Loads and validates the `--profile` file, if one was given.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`wp_workloads::ProfileError`] naming the file on any
+    /// read, parse, version, or field problem.
+    pub fn load_profile(
+        &self,
+    ) -> Result<Option<wp_workloads::ProfileSpec>, wp_workloads::ProfileError> {
+        self.profile
+            .as_deref()
+            .map(wp_workloads::ProfileSpec::load)
+            .transpose()
+    }
+
+    /// [`CliOptions::load_profile`], printing the error plus usage to
+    /// stderr and exiting with status 2 on a bad profile file — the same
+    /// contract as a bad command line ([`CliOptions::from_env_or_exit`]).
+    pub fn profile_or_exit(&self) -> Option<wp_workloads::ProfileSpec> {
+        match self.load_profile() {
+            Ok(profile) => profile,
             Err(error) => {
                 eprintln!("error: {error}");
                 eprintln!("{USAGE}");
@@ -336,8 +372,8 @@ impl CliOptions {
 
 /// Usage text shared by the binaries.
 pub const USAGE: &str = "usage: <experiment> [--quick] [--ops N] [--seed N] [--threads N] \
-                         [--json] [--no-gang] [--no-lanes] [--stream-cap BYTES] \
-                         [--no-matrix-cache] [--matrix-cache-dir PATH]";
+                         [--json] [--profile FILE] [--no-gang] [--no-lanes] \
+                         [--stream-cap BYTES] [--no-matrix-cache] [--matrix-cache-dir PATH]";
 
 /// Shared body of the single-artefact binaries: parse the command line,
 /// execute the artefact's plan on the engine, render from the matrix, and
@@ -348,6 +384,14 @@ pub fn artefact_main<R: serde::Serialize>(
     to_table: fn(&R) -> String,
 ) {
     let cli = CliOptions::from_env_or_exit();
+    if cli.profile.is_some() {
+        // Profiles describe whole workload mixes; the single-artefact
+        // binaries render fixed paper figures and must not silently ignore
+        // a request to run something else.
+        eprintln!("error: flag `--profile` is not supported by single-artefact binaries");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
     let matrix = cli.engine().run(&plan(&cli.run));
     if matrix.cache_hits() > 0 {
         // Make cached sweeps impossible to mistake for fresh ones: the
@@ -429,6 +473,10 @@ pub fn options_from_args(args: impl Iterator<Item = String>) -> Result<CliOption
             "--no-lanes" => options.no_lanes = true,
             "--stream-cap" => {
                 options.stream_cap = Some(parse_value("--stream-cap", args.next())?);
+            }
+            "--profile" => {
+                let file = args.next().ok_or(CliError::MissingValue("--profile"))?;
+                options.profile = Some(file.into());
             }
             "--no-matrix-cache" => options.no_matrix_cache = true,
             "--matrix-cache-dir" => {
@@ -600,6 +648,26 @@ mod tests {
         let off = parse(&["--no-lanes"]).expect("valid");
         assert!(off.no_lanes);
         assert!(!off.engine().lanes_enabled());
+    }
+
+    #[test]
+    fn profile_flag_parses_and_loads_lazily() {
+        let none = parse(&[]).expect("valid");
+        assert_eq!(none.profile, None);
+        assert!(none.load_profile().expect("no profile is fine").is_none());
+        let with = parse(&["--profile", "/tmp/p.json"]).expect("valid");
+        assert_eq!(with.profile, Some(std::path::PathBuf::from("/tmp/p.json")));
+        assert_eq!(
+            parse(&["--profile"]),
+            Err(CliError::MissingValue("--profile"))
+        );
+        // A missing file surfaces the profile error verbatim.
+        let missing = parse(&["--profile", "/nonexistent/p.json"]).expect("parses");
+        let err = missing.load_profile().unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "cannot read profile `/nonexistent/p.json`: file not found"
+        );
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Command-line error paths of the experiment binaries, asserted against
-//! the *exact* messages: an unknown flag, a flag missing its value, and a
-//! bad integer must each print `error: <specific message>` plus the usage
-//! line to stderr and exit with status 2 — across all four binaries
-//! (`run_all`, `trace_capture`, `trace_replay`, `conformance`).
+//! the *exact* messages: an unknown flag, a flag missing its value, a
+//! bad integer, and a broken `--profile` file must each print
+//! `error: <specific message>` plus the usage line to stderr and exit
+//! with status 2 — across the binaries (`run_all`, `trace_capture`,
+//! `trace_replay`, `conformance`, `coverage_report`).
 
+use std::path::PathBuf;
 use std::process::Command;
 
 /// Runs a binary with `args`; returns `(exit_code, stderr)`.
@@ -82,7 +84,19 @@ fn trace_capture_rejects_bad_command_lines_with_exact_messages() {
     assert_cli_error(
         bin,
         &["--out", "/tmp/x.wptr"],
-        "missing required flag `--workload`",
+        "missing required flag `--workload` (or `--profile`)",
+    );
+    assert_cli_error(
+        bin,
+        &[
+            "--workload",
+            "gcc",
+            "--profile",
+            "/tmp/p.json",
+            "--out",
+            "/tmp/x",
+        ],
+        "flags `--workload` and `--profile` are mutually exclusive",
     );
     // Unknown workloads enumerate the valid names.
     let (code, stderr) = run(bin, &["--workload", "nonesuch", "--out", "/tmp/x.wptr"]);
@@ -107,6 +121,62 @@ fn trace_replay_rejects_bad_command_lines_with_exact_messages() {
         "invalid --threads `0`",
     );
     assert_cli_error(bin, &[], "missing required flag `--trace`");
+}
+
+/// Writes `text` to a fresh temp file and returns its path.
+fn temp_profile(name: &str, text: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wpsdm-cli-errors-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, text).expect("temp profile");
+    path
+}
+
+#[test]
+fn profile_flag_rejects_broken_files_with_exact_messages() {
+    // Every consumer routes `--profile` through the same loader, so one
+    // binary per failure class suffices; run_all and coverage_report are
+    // both exercised to pin the shared plumbing.
+    let run_all = env!("CARGO_BIN_EXE_run_all");
+    let coverage = env!("CARGO_BIN_EXE_coverage_report");
+
+    assert_cli_error(run_all, &["--profile"], "flag `--profile` requires a value");
+    assert_cli_error(
+        run_all,
+        &["--profile", "/nonexistent/profile.json"],
+        "cannot read profile `/nonexistent/profile.json`: file not found",
+    );
+
+    let bad_version = temp_profile("bad_version.json", r#"{ "version": 9 }"#);
+    assert_cli_error(
+        coverage,
+        &["--profile", bad_version.to_str().unwrap()],
+        &format!(
+            "profile `{}` has unsupported version 9 (expected 1)",
+            bad_version.display()
+        ),
+    );
+
+    let unknown_field = temp_profile(
+        "unknown_field.json",
+        r#"{ "version": 1, "tier": "stress", "bogus": 3 }"#,
+    );
+    assert_cli_error(
+        coverage,
+        &["--profile", unknown_field.to_str().unwrap()],
+        &format!(
+            "unknown field `bogus` in profile `{}` (expected one of: version, name, tier, scenarios)",
+            unknown_field.display()
+        ),
+    );
+
+    // Single-artefact binaries reject the flag outright rather than
+    // silently ignoring a workload the artefact cannot honour.
+    assert_cli_error(
+        env!("CARGO_BIN_EXE_fig6"),
+        &["--profile", "/tmp/p.json"],
+        "flag `--profile` is not supported by single-artefact binaries",
+    );
 }
 
 #[test]

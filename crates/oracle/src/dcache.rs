@@ -116,6 +116,9 @@ impl OracleDCache {
         let dm_way = self.geometry.direct_mapped_way(addr);
         let block_addr = self.geometry.block_addr(addr);
         let placement = self.placement(block_addr);
+        if self.policy.uses_selective_dm() && placement == Placement::SetAssociative {
+            self.stats.victim_list_hits += 1;
+        }
 
         // ---- way selection: one `match` per access ----
         let table = self.table_energy;
@@ -195,6 +198,12 @@ impl OracleDCache {
         }
         self.note_eviction(access.evicted);
         let single_way_correct = probe.outcome == ProbeOutcome::SingleWay;
+        if single_way_correct && access.hit {
+            self.stats.single_way_load_hits += 1;
+        }
+        if self.policy.uses_selective_dm() && !matches!(choice, WaySelection::DirectMapped(_)) {
+            self.stats.seldm_predicted_sa += 1;
+        }
         match choice {
             WaySelection::Predicted(_) if source == WaySource::WayTable => {
                 self.stats.way_predictions += 1;
@@ -261,8 +270,11 @@ impl OracleDCache {
 
     /// Eviction bookkeeping shared by loads and stores.
     fn note_eviction(&mut self, evicted: Option<(u64, bool, bool)>) {
-        if let Some((block_addr, _, _)) = evicted {
+        if let Some((block_addr, dirty, _)) = evicted {
             self.stats.evictions += 1;
+            if dirty {
+                self.stats.dirty_evictions += 1;
+            }
             if self.policy.uses_selective_dm() {
                 let flagged = self.victims.record_eviction(block_addr);
                 self.stats.prediction_energy += self.victim_energy;

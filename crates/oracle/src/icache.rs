@@ -158,7 +158,12 @@ impl OracleICache {
         };
         match class {
             IAccessClass::SawpCorrect => self.stats.sawp_correct += 1,
-            IAccessClass::BtbCorrect => self.stats.btb_correct += 1,
+            IAccessClass::BtbCorrect => {
+                self.stats.btb_correct += 1;
+                if source == WaySource::Ras {
+                    self.stats.ras_correct += 1;
+                }
+            }
             IAccessClass::NoPrediction => self.stats.no_prediction += 1,
             IAccessClass::Mispredicted => self.stats.mispredicted += 1,
         }

@@ -51,6 +51,7 @@ pub mod batch;
 mod generator;
 mod op;
 mod profile;
+pub mod profile_spec;
 pub mod scenario;
 pub mod shared;
 pub mod trace;
@@ -62,7 +63,8 @@ pub use batch::{
 pub use generator::{TraceConfig, TraceGenerator};
 pub use op::{BranchClass, MicroOp, OpKind};
 pub use profile::{Benchmark, BenchmarkProfile};
-pub use scenario::{Scenario, ScenarioGenerator};
+pub use profile_spec::{ProfileError, ProfileSpec, ProfileTier, PROFILE_VERSION};
+pub use scenario::{Scenario, ScenarioGenerator, REF_ASSOC};
 pub use shared::{
     stream_memory_cap, SharedStream, SharedStreamReader, StreamKey, DEFAULT_STREAM_MEMORY_CAP,
     STREAM_MEMORY_CAP_ENV,

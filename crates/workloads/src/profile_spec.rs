@@ -1,0 +1,666 @@
+//! Versioned workload-profile files: a small JSON config format that names
+//! a set of scenarios (and their parameters) so experiment CLIs can run a
+//! reproducible workload mix via `--profile <file>`.
+//!
+//! A profile file looks like:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "name": "adversarial-stress",
+//!   "tier": "stress",
+//!   "scenarios": [
+//!     { "scenario": "way_alias_thrash", "table_entries": 1024, "group": 4 },
+//!     { "scenario": "conflict_chase", "blocks": 5 }
+//!   ]
+//! }
+//! ```
+//!
+//! `scenarios` may be omitted, in which case the profile expands to the
+//! tier's built-in adversarial family — the *scale-factor knob*: the same
+//! file shape yields the [`ProfileTier::Expected`], [`ProfileTier::Stress`]
+//! or [`ProfileTier::Adversarial`] parameterisation of the three
+//! adversarial generators. Unknown fields, unknown scenario names and
+//! version mismatches are hard errors with positioned messages, so a typo
+//! in a config cannot silently weaken a stress run.
+
+use std::fmt;
+use std::path::Path;
+
+use serde::{Serialize, Value};
+
+use crate::scenario::{Scenario, REF_ASSOC};
+use crate::workload::WorkloadSpec;
+
+/// Current profile-file format version.
+pub const PROFILE_VERSION: u32 = 1;
+
+/// The scale-factor knob: one tier selects a whole parameterisation of the
+/// adversarial family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProfileTier {
+    /// Gentle parameters: alias groups and conflict sets inside the
+    /// reference associativity, slow phase flips.
+    Expected,
+    /// The default stress parameters (matching [`Scenario::adversarial`]).
+    Stress,
+    /// Worst-case parameters: alias groups and conflict sets beyond the
+    /// associativity, rapid phase flips.
+    Adversarial,
+}
+
+impl ProfileTier {
+    /// All tiers, mildest first.
+    pub fn all() -> [ProfileTier; 3] {
+        [Self::Expected, Self::Stress, Self::Adversarial]
+    }
+
+    /// The tier's lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProfileTier::Expected => "expected",
+            ProfileTier::Stress => "stress",
+            ProfileTier::Adversarial => "adversarial",
+        }
+    }
+
+    /// Looks a tier up by [`ProfileTier::name`].
+    pub fn parse(name: &str) -> Option<ProfileTier> {
+        Self::all().into_iter().find(|t| t.name() == name)
+    }
+
+    /// The tier's parameterisation of the three adversarial generators.
+    /// The conflict chase straddles the reference associativity across the
+    /// tiers (`REF_ASSOC` − 1 / + 0 / + 1), which is where the miss-rate
+    /// cliff lives.
+    pub fn scenarios(self) -> [Scenario; 3] {
+        match self {
+            ProfileTier::Expected => [
+                Scenario::WayAliasThrash {
+                    table_entries: 1024,
+                    group: 2,
+                },
+                Scenario::PhaseFlip {
+                    period_ops: 4096,
+                    conflict_ways: 4,
+                },
+                Scenario::ConflictChase {
+                    blocks: REF_ASSOC - 1,
+                },
+            ],
+            ProfileTier::Stress => Scenario::adversarial(),
+            ProfileTier::Adversarial => [
+                Scenario::WayAliasThrash {
+                    table_entries: 1024,
+                    group: 8,
+                },
+                Scenario::PhaseFlip {
+                    period_ops: 256,
+                    conflict_ways: 8,
+                },
+                Scenario::ConflictChase {
+                    blocks: REF_ASSOC + 1,
+                },
+            ],
+        }
+    }
+}
+
+impl fmt::Display for ProfileTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A parsed workload profile: a named, versioned set of scenarios.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileSpec {
+    /// Format version (always [`PROFILE_VERSION`] after a successful load).
+    pub version: u32,
+    /// Human-readable profile name (used in reports).
+    pub name: String,
+    /// The scale tier the profile was built for.
+    pub tier: ProfileTier,
+    /// The scenarios the profile runs.
+    pub scenarios: Vec<Scenario>,
+}
+
+impl ProfileSpec {
+    /// The built-in adversarial profile at `tier` scale.
+    pub fn builtin(tier: ProfileTier) -> ProfileSpec {
+        ProfileSpec {
+            version: PROFILE_VERSION,
+            name: format!("adversarial-{tier}"),
+            tier,
+            scenarios: tier.scenarios().to_vec(),
+        }
+    }
+
+    /// The built-in profiles, one per tier.
+    pub fn builtin_all() -> [ProfileSpec; 3] {
+        ProfileTier::all().map(Self::builtin)
+    }
+
+    /// The profile's scenarios as workload specs, ready for a sweep plan.
+    pub fn workloads(&self) -> Vec<WorkloadSpec> {
+        self.scenarios
+            .iter()
+            .map(|s| WorkloadSpec::Scenario(*s))
+            .collect()
+    }
+
+    /// Renders the profile as pretty-printed JSON (the on-disk format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("profiles contain no non-finite floats")
+    }
+
+    /// Reads and validates a profile file.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProfileError`] naming `path` if the file cannot be read,
+    /// is not valid JSON, has the wrong version, or contains unknown or
+    /// ill-typed fields.
+    pub fn load(path: impl AsRef<Path>) -> Result<ProfileSpec, ProfileError> {
+        let path = path.as_ref();
+        let label = path.display().to_string();
+        let text = std::fs::read_to_string(path).map_err(|err| ProfileError::Read {
+            path: label.clone(),
+            detail: if err.kind() == std::io::ErrorKind::NotFound {
+                "file not found".to_string()
+            } else {
+                err.to_string()
+            },
+        })?;
+        Self::from_json(&text, &label)
+    }
+
+    /// Parses a profile from JSON text; `origin` names the source in
+    /// errors (a path for [`ProfileSpec::load`], any label in tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProfileError`] on malformed JSON, a version other than
+    /// [`PROFILE_VERSION`], or unknown/ill-typed fields.
+    pub fn from_json(text: &str, origin: &str) -> Result<ProfileSpec, ProfileError> {
+        let value = serde_json::from_str(text).map_err(|err| ProfileError::Json {
+            path: origin.to_string(),
+            detail: err.to_string(),
+        })?;
+        let fields = expect_object(&value, origin)?;
+        check_fields(fields, &["version", "name", "tier", "scenarios"], origin)?;
+
+        let version =
+            get_u32(fields, "version", origin)?.ok_or_else(|| ProfileError::MissingField {
+                path: origin.to_string(),
+                field: "version",
+            })?;
+        if version != PROFILE_VERSION {
+            return Err(ProfileError::Version {
+                path: origin.to_string(),
+                found: version,
+            });
+        }
+
+        let tier = match find(fields, "tier") {
+            None => ProfileTier::Stress,
+            Some(value) => {
+                let name = value
+                    .as_str()
+                    .ok_or_else(|| invalid(origin, "field `tier` must be a string"))?;
+                ProfileTier::parse(name).ok_or_else(|| {
+                    invalid(
+                        origin,
+                        &format!(
+                            "unknown tier `{name}` (expected one of: expected, stress, adversarial)"
+                        ),
+                    )
+                })?
+            }
+        };
+
+        let name = match find(fields, "name") {
+            None => format!("adversarial-{tier}"),
+            Some(value) => value
+                .as_str()
+                .ok_or_else(|| invalid(origin, "field `name` must be a string"))?
+                .to_string(),
+        };
+
+        let scenarios = match find(fields, "scenarios") {
+            None => tier.scenarios().to_vec(),
+            Some(value) => {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| invalid(origin, "field `scenarios` must be an array"))?;
+                if items.is_empty() {
+                    return Err(invalid(origin, "field `scenarios` must not be empty"));
+                }
+                items
+                    .iter()
+                    .map(|item| parse_scenario(item, origin))
+                    .collect::<Result<Vec<_>, _>>()?
+            }
+        };
+
+        Ok(ProfileSpec {
+            version,
+            name,
+            tier,
+            scenarios,
+        })
+    }
+}
+
+impl Serialize for ProfileTier {
+    fn to_value(&self) -> Value {
+        Value::Str(self.name().to_string())
+    }
+}
+
+impl Serialize for Scenario {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![("scenario".to_string(), Value::Str(self.name().to_string()))];
+        let mut push = |key: &str, value: u64| fields.push((key.to_string(), Value::UInt(value)));
+        match *self {
+            Scenario::PointerChase { nodes, node_stride } => {
+                push("nodes", u64::from(nodes));
+                push("node_stride", u64::from(node_stride));
+            }
+            Scenario::StridedStream {
+                stride,
+                conflict_permille,
+            } => {
+                push("stride", u64::from(stride));
+                push("conflict_permille", u64::from(conflict_permille));
+            }
+            Scenario::PhaseMix { phase_ops } => push("phase_ops", u64::from(phase_ops)),
+            Scenario::WayAliasThrash {
+                table_entries,
+                group,
+            } => {
+                push("table_entries", u64::from(table_entries));
+                push("group", u64::from(group));
+            }
+            Scenario::PhaseFlip {
+                period_ops,
+                conflict_ways,
+            } => {
+                push("period_ops", u64::from(period_ops));
+                push("conflict_ways", u64::from(conflict_ways));
+            }
+            Scenario::ConflictChase { blocks } => push("blocks", u64::from(blocks)),
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Serialize for ProfileSpec {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("version".to_string(), Value::UInt(u64::from(self.version))),
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("tier".to_string(), self.tier.to_value()),
+            ("scenarios".to_string(), self.scenarios.to_value()),
+        ])
+    }
+}
+
+/// Why a profile file was rejected. The [`fmt::Display`] messages are part
+/// of the CLI contract (asserted by the error-path tests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfileError {
+    /// The file could not be read.
+    Read {
+        /// Path as given on the command line.
+        path: String,
+        /// Stable description of the I/O failure.
+        detail: String,
+    },
+    /// The file is not valid JSON.
+    Json {
+        /// Path as given on the command line.
+        path: String,
+        /// Parser message with line/column.
+        detail: String,
+    },
+    /// The file declares an unsupported format version.
+    Version {
+        /// Path as given on the command line.
+        path: String,
+        /// The declared version.
+        found: u32,
+    },
+    /// An object carries a field the format does not define.
+    UnknownField {
+        /// Path as given on the command line.
+        path: String,
+        /// The offending field name.
+        field: String,
+        /// Comma-separated list of accepted fields.
+        allowed: String,
+    },
+    /// A required field is absent.
+    MissingField {
+        /// Path as given on the command line.
+        path: String,
+        /// The absent field name.
+        field: &'static str,
+    },
+    /// A field is present but ill-typed, out of range, or names an unknown
+    /// scenario or tier.
+    Invalid {
+        /// Path as given on the command line.
+        path: String,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::Read { path, detail } => {
+                write!(f, "cannot read profile `{path}`: {detail}")
+            }
+            ProfileError::Json { path, detail } => {
+                write!(f, "profile `{path}` is not valid JSON: {detail}")
+            }
+            ProfileError::Version { path, found } => write!(
+                f,
+                "profile `{path}` has unsupported version {found} (expected {PROFILE_VERSION})"
+            ),
+            ProfileError::UnknownField {
+                path,
+                field,
+                allowed,
+            } => write!(
+                f,
+                "unknown field `{field}` in profile `{path}` (expected one of: {allowed})"
+            ),
+            ProfileError::MissingField { path, field } => {
+                write!(f, "missing field `{field}` in profile `{path}`")
+            }
+            ProfileError::Invalid { path, detail } => {
+                write!(f, "invalid profile `{path}`: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+fn invalid(origin: &str, detail: &str) -> ProfileError {
+    ProfileError::Invalid {
+        path: origin.to_string(),
+        detail: detail.to_string(),
+    }
+}
+
+fn expect_object<'v>(
+    value: &'v Value,
+    origin: &str,
+) -> Result<&'v [(String, Value)], ProfileError> {
+    value
+        .as_object()
+        .ok_or_else(|| invalid(origin, "top level must be an object"))
+}
+
+fn find<'v>(fields: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn check_fields(
+    fields: &[(String, Value)],
+    allowed: &[&str],
+    origin: &str,
+) -> Result<(), ProfileError> {
+    for (key, _) in fields {
+        if !allowed.contains(&key.as_str()) {
+            return Err(ProfileError::UnknownField {
+                path: origin.to_string(),
+                field: key.clone(),
+                allowed: allowed.join(", "),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn get_u32(
+    fields: &[(String, Value)],
+    key: &'static str,
+    origin: &str,
+) -> Result<Option<u32>, ProfileError> {
+    match find(fields, key) {
+        None => Ok(None),
+        Some(value) => {
+            let wide = value.as_u64().ok_or_else(|| {
+                invalid(
+                    origin,
+                    &format!("field `{key}` must be a non-negative integer"),
+                )
+            })?;
+            u32::try_from(wide)
+                .map(Some)
+                .map_err(|_| invalid(origin, &format!("field `{key}` is out of range")))
+        }
+    }
+}
+
+fn require_u32(
+    fields: &[(String, Value)],
+    key: &'static str,
+    default: u32,
+    origin: &str,
+) -> Result<u32, ProfileError> {
+    Ok(get_u32(fields, key, origin)?.unwrap_or(default))
+}
+
+fn parse_scenario(value: &Value, origin: &str) -> Result<Scenario, ProfileError> {
+    let fields = value
+        .as_object()
+        .ok_or_else(|| invalid(origin, "each scenario must be an object"))?;
+    let kind = find(fields, "scenario")
+        .ok_or_else(|| ProfileError::MissingField {
+            path: origin.to_string(),
+            field: "scenario",
+        })?
+        .as_str()
+        .ok_or_else(|| invalid(origin, "field `scenario` must be a string"))?;
+
+    // Parameters default to the named default scenario's values, so a
+    // profile can pin only the knobs it cares about.
+    let default = Scenario::parse(kind).ok_or_else(|| {
+        invalid(
+            origin,
+            &format!(
+                "unknown scenario `{kind}` (expected one of: {})",
+                Scenario::all().map(|s| s.name()).join(", ")
+            ),
+        )
+    })?;
+
+    let scenario = match default {
+        Scenario::PointerChase { nodes, node_stride } => {
+            check_fields(fields, &["scenario", "nodes", "node_stride"], origin)?;
+            Scenario::PointerChase {
+                nodes: require_u32(fields, "nodes", nodes, origin)?,
+                node_stride: require_u32(fields, "node_stride", node_stride, origin)?,
+            }
+        }
+        Scenario::StridedStream {
+            stride,
+            conflict_permille,
+        } => {
+            check_fields(fields, &["scenario", "stride", "conflict_permille"], origin)?;
+            let permille = require_u32(
+                fields,
+                "conflict_permille",
+                u32::from(conflict_permille),
+                origin,
+            )?;
+            Scenario::StridedStream {
+                stride: require_u32(fields, "stride", stride, origin)?,
+                conflict_permille: u16::try_from(permille.min(1000)).expect("clamped to 1000"),
+            }
+        }
+        Scenario::PhaseMix { phase_ops } => {
+            check_fields(fields, &["scenario", "phase_ops"], origin)?;
+            Scenario::PhaseMix {
+                phase_ops: require_u32(fields, "phase_ops", phase_ops, origin)?,
+            }
+        }
+        Scenario::WayAliasThrash {
+            table_entries,
+            group,
+        } => {
+            check_fields(fields, &["scenario", "table_entries", "group"], origin)?;
+            Scenario::WayAliasThrash {
+                table_entries: require_u32(fields, "table_entries", table_entries, origin)?,
+                group: require_u32(fields, "group", group, origin)?,
+            }
+        }
+        Scenario::PhaseFlip {
+            period_ops,
+            conflict_ways,
+        } => {
+            check_fields(fields, &["scenario", "period_ops", "conflict_ways"], origin)?;
+            Scenario::PhaseFlip {
+                period_ops: require_u32(fields, "period_ops", period_ops, origin)?,
+                conflict_ways: require_u32(fields, "conflict_ways", conflict_ways, origin)?,
+            }
+        }
+        Scenario::ConflictChase { blocks } => {
+            check_fields(fields, &["scenario", "blocks"], origin)?;
+            Scenario::ConflictChase {
+                blocks: require_u32(fields, "blocks", blocks, origin)?,
+            }
+        }
+    };
+    Ok(scenario)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_profiles_round_trip_through_json() {
+        for profile in ProfileSpec::builtin_all() {
+            let text = profile.to_json();
+            let back = ProfileSpec::from_json(&text, "builtin").expect("round trip");
+            assert_eq!(back, profile);
+        }
+    }
+
+    #[test]
+    fn tier_alone_expands_to_the_builtin_family() {
+        let spec = ProfileSpec::from_json(r#"{"version": 1, "tier": "adversarial"}"#, "t")
+            .expect("tier-only profile");
+        assert_eq!(
+            spec.scenarios,
+            ProfileTier::Adversarial.scenarios().to_vec()
+        );
+        assert_eq!(spec.name, "adversarial-adversarial");
+    }
+
+    #[test]
+    fn tiers_straddle_the_associativity_threshold() {
+        let chase_blocks = |tier: ProfileTier| {
+            tier.scenarios()
+                .iter()
+                .find_map(|s| match s {
+                    Scenario::ConflictChase { blocks } => Some(*blocks),
+                    _ => None,
+                })
+                .expect("every tier carries a conflict chase")
+        };
+        assert_eq!(chase_blocks(ProfileTier::Expected), REF_ASSOC - 1);
+        assert_eq!(chase_blocks(ProfileTier::Stress), REF_ASSOC);
+        assert_eq!(chase_blocks(ProfileTier::Adversarial), REF_ASSOC + 1);
+    }
+
+    #[test]
+    fn partial_scenario_objects_inherit_defaults() {
+        let spec = ProfileSpec::from_json(
+            r#"{"version": 1, "scenarios": [{"scenario": "way_alias_thrash", "group": 8}]}"#,
+            "t",
+        )
+        .expect("partial scenario");
+        assert_eq!(
+            spec.scenarios,
+            vec![Scenario::WayAliasThrash {
+                table_entries: 1024,
+                group: 8,
+            }]
+        );
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_with_the_exact_message() {
+        let err = ProfileSpec::from_json(r#"{"version": 9}"#, "p.json").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "profile `p.json` has unsupported version 9 (expected 1)"
+        );
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_with_the_exact_message() {
+        let err =
+            ProfileSpec::from_json(r#"{"version": 1, "scenarois": []}"#, "p.json").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "unknown field `scenarois` in profile `p.json` \
+             (expected one of: version, name, tier, scenarios)"
+        );
+        let err = ProfileSpec::from_json(
+            r#"{"version": 1, "scenarios": [{"scenario": "conflict_chase", "block": 5}]}"#,
+            "p.json",
+        )
+        .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "unknown field `block` in profile `p.json` (expected one of: scenario, blocks)"
+        );
+    }
+
+    #[test]
+    fn missing_file_and_bad_json_name_the_source() {
+        let err = ProfileSpec::load("/nonexistent/profile.json").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "cannot read profile `/nonexistent/profile.json`: file not found"
+        );
+        let err = ProfileSpec::from_json("{\"version\": }", "p.json").unwrap_err();
+        assert!(
+            err.to_string()
+                .starts_with("profile `p.json` is not valid JSON: expected value at line 1"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unknown_scenario_and_tier_are_rejected() {
+        let err = ProfileSpec::from_json(
+            r#"{"version": 1, "scenarios": [{"scenario": "nope"}]}"#,
+            "p.json",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown scenario `nope`"), "{err}");
+        let err =
+            ProfileSpec::from_json(r#"{"version": 1, "tier": "mild"}"#, "p.json").unwrap_err();
+        assert!(err.to_string().contains("unknown tier `mild`"), "{err}");
+    }
+
+    #[test]
+    fn workloads_wrap_the_scenarios() {
+        let profile = ProfileSpec::builtin(ProfileTier::Stress);
+        let workloads = profile.workloads();
+        assert_eq!(workloads.len(), 3);
+        for (workload, scenario) in workloads.iter().zip(profile.scenarios.iter()) {
+            assert_eq!(*workload, WorkloadSpec::Scenario(*scenario));
+        }
+    }
+}

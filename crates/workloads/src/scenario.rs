@@ -17,6 +17,21 @@
 //!   streaming, a cache-resident hot pool, and conflict-heavy phases, each
 //!   with its own code region, re-training the predictors at every switch.
 //!
+//! Three further scenarios are *adversarial by construction* — each one
+//! attacks a specific predictor mechanism rather than merely applying
+//! pressure (see `docs/WORKLOADS.md` for the full catalog):
+//!
+//! * [`Scenario::WayAliasThrash`] — loads from PCs that collide in the
+//!   way-prediction-table index but hit blocks in different ways of one
+//!   set, so the shared table entry is always trained by the *other* PC;
+//! * [`Scenario::PhaseFlip`] — a loop whose *data mapping* flips between a
+//!   direct-mapped-friendly and a conflict-heavy layout under fixed PCs
+//!   (invalidating selective-DM training mid-run), with an i-cache evict
+//!   burst at every flip that leaves the SAWP holding a stale way;
+//! * [`Scenario::ConflictChase`] — a serialized pointer chase with
+//!   dirtying stores over a conflict set sized relative to the reference
+//!   associativity, straddling the LRU thrashing threshold.
+//!
 //! Like [`crate::TraceGenerator`], a [`ScenarioGenerator`] is a fully
 //! deterministic iterator of [`MicroOp`]s given `(scenario, ops, seed)`.
 //!
@@ -67,6 +82,30 @@ const CONFLICT_BLOCKS: u64 = 12;
 /// Blocks in the cache-resident hot pool (fits comfortably in 16 KB).
 const HOT_BLOCKS: u64 = 64;
 
+/// Code region of the way-alias-thrash bodies; load PCs are laid out
+/// `table_entries * 4` bytes apart from here so they collide in the
+/// PC-indexed way-prediction table (which indexes by `pc >> 2`).
+const ALIAS_CODE_BASE: Addr = 0x0060_0000;
+/// Data blocks of the aliasing attack: `WAY_BYTES` apart, so they share one
+/// set (and one direct-mapped line) but carry distinct tags.
+const ALIAS_DATA_BASE: Addr = 0xc000_0000;
+/// Code region of the phase-flip loop: block `a` holds the attacked loads,
+/// block `a + 32` the store and the loop branch.
+const FLIP_CODE_BASE: Addr = 0x0041_0000;
+/// Direct-mapped-friendly private blocks touched in even phase-flip phases
+/// (three consecutive blocks: distinct sets, distinct DM lines).
+const FLIP_PRIVATE_BASE: Addr = 0xe000_0100;
+/// Same-DM-line conflict rotation touched in odd phase-flip phases.
+const FLIP_CONFLICT_BASE: Addr = 0xb000_0000;
+/// Code block of the conflict-chase loop.
+const CHASE_CODE_BASE: Addr = 0x0048_0000;
+/// Conflict-chase nodes: `WAY_BYTES` apart (one set, one DM line).
+const CHASE_BASE: Addr = 0xd000_0000;
+
+/// Associativity of the reference 16 KB 4-way L1 that the conflict-chase
+/// tiers straddle (blocks = `REF_ASSOC` − 1 / + 0 / + 1).
+pub const REF_ASSOC: u32 = 4;
+
 /// A parameterised stress scenario. All parameters are plain integers so a
 /// scenario can serve as (part of) a simulation dedup key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -91,6 +130,37 @@ pub enum Scenario {
     PhaseMix {
         /// Ops per phase before switching to the next behaviour.
         phase_ops: u32,
+    },
+    /// Adversarial: loads whose PCs collide in the way-prediction-table
+    /// index while their data blocks sit in different ways of one set, so
+    /// the shared table entry is always trained by the *previous* PC and
+    /// every steady-state hit is a mispredicted-way hit.
+    WayAliasThrash {
+        /// Prediction-table entry count the PC spacing is tuned for.
+        table_entries: u32,
+        /// Number of aliasing PCs (= conflict blocks in the attacked set);
+        /// above the associativity the group also thrashes the set itself.
+        group: u32,
+    },
+    /// Adversarial: a fixed-PC loop whose data mapping flips every period
+    /// between a DM-friendly private layout and a same-DM-line conflict
+    /// rotation (invalidating selective-DM and way-table training), with an
+    /// i-cache evict burst at each flip that re-enters the loop's second
+    /// code block through a BTB edge so the SAWP fall-through entry goes
+    /// stale.
+    PhaseFlip {
+        /// Ops per phase before the data mapping flips.
+        period_ops: u32,
+        /// Blocks in the i-cache evict burst (and the conflict rotation is
+        /// one block wider than this).
+        conflict_ways: u32,
+    },
+    /// Adversarial: a serialized pointer chase with dirtying stores over
+    /// `blocks` same-set blocks; at `REF_ASSOC + 1` blocks the cyclic order
+    /// defeats LRU and every access misses.
+    ConflictChase {
+        /// Conflict-set size in blocks.
+        blocks: u32,
     },
 }
 
@@ -118,13 +188,59 @@ impl Scenario {
         Scenario::PhaseMix { phase_ops: 20_000 }
     }
 
-    /// The three default scenarios.
-    pub fn all() -> [Scenario; 3] {
+    /// The default aliasing thrash: tuned for the paper's 1024-entry
+    /// prediction tables with a 4-PC alias group (the stress tier).
+    pub fn way_alias_thrash() -> Self {
+        Scenario::WayAliasThrash {
+            table_entries: 1024,
+            group: 4,
+        }
+    }
+
+    /// The default phase flip: re-map the loop's data every 1024 ops with a
+    /// 6-block i-cache evict burst (the stress tier).
+    pub fn phase_flip() -> Self {
+        Scenario::PhaseFlip {
+            period_ops: 1024,
+            conflict_ways: 6,
+        }
+    }
+
+    /// The default conflict chase: exactly the reference associativity (the
+    /// stress tier).
+    pub fn conflict_chase() -> Self {
+        Scenario::ConflictChase { blocks: REF_ASSOC }
+    }
+
+    /// All six default scenarios (three stress patterns, three adversarial).
+    pub fn all() -> [Scenario; 6] {
         [
             Self::pointer_chase(),
             Self::strided_stream(),
             Self::phase_mix(),
+            Self::way_alias_thrash(),
+            Self::phase_flip(),
+            Self::conflict_chase(),
         ]
+    }
+
+    /// The three default adversarial scenarios.
+    pub fn adversarial() -> [Scenario; 3] {
+        [
+            Self::way_alias_thrash(),
+            Self::phase_flip(),
+            Self::conflict_chase(),
+        ]
+    }
+
+    /// True for the adversarial-by-construction scenarios.
+    pub fn is_adversarial(&self) -> bool {
+        matches!(
+            self,
+            Scenario::WayAliasThrash { .. }
+                | Scenario::PhaseFlip { .. }
+                | Scenario::ConflictChase { .. }
+        )
     }
 
     /// The scenario's snake_case name (stable; used by workload CLIs).
@@ -133,6 +249,9 @@ impl Scenario {
             Scenario::PointerChase { .. } => "pointer_chase",
             Scenario::StridedStream { .. } => "strided_stream",
             Scenario::PhaseMix { .. } => "phase_mix",
+            Scenario::WayAliasThrash { .. } => "way_alias_thrash",
+            Scenario::PhaseFlip { .. } => "phase_flip",
+            Scenario::ConflictChase { .. } => "conflict_chase",
         }
     }
 
@@ -341,6 +460,201 @@ impl ScenarioGenerator {
                 ]);
                 self.phase_emitted += 4;
             }
+            Scenario::WayAliasThrash {
+                table_entries,
+                group,
+            } => {
+                let group = u64::from(group.max(2));
+                let pc_stride = u64::from(table_entries.max(2)) * 4;
+                let i = self.conflict_cursor % group;
+                self.conflict_cursor += 1;
+                // All group PCs share one prediction-table entry (the table
+                // indexes by `pc >> 2` masked to `table_entries - 1`), while
+                // their data blocks share a set but occupy distinct ways:
+                // the entry is always trained by the previous PC's way.
+                let pc = ALIAS_CODE_BASE + i * pc_stride;
+                let next_pc = ALIAS_CODE_BASE + ((i + 1) % group) * pc_stride;
+                let addr = ALIAS_DATA_BASE + i * WAY_BYTES;
+                self.pending.extend([
+                    MicroOp {
+                        pc,
+                        kind: OpKind::Load {
+                            addr,
+                            approx_addr: addr,
+                        },
+                        src_deps: [0, 0],
+                    },
+                    MicroOp {
+                        pc: pc + 4,
+                        kind: OpKind::IntAlu,
+                        src_deps: [1, 0],
+                    },
+                    MicroOp {
+                        pc: pc + 8,
+                        kind: OpKind::IntAlu,
+                        src_deps: [1, 0],
+                    },
+                    MicroOp {
+                        pc: pc + 12,
+                        kind: OpKind::Branch {
+                            taken: true,
+                            target: next_pc,
+                            class: BranchClass::Jump,
+                        },
+                        src_deps: [0, 0],
+                    },
+                ]);
+            }
+            Scenario::PhaseFlip {
+                period_ops,
+                conflict_ways,
+            } => {
+                let period = period_ops.max(16);
+                let ways = u64::from(conflict_ways.max(4));
+                let a = FLIP_CODE_BASE;
+                let b = a + BLOCK_BYTES;
+                let flip = self.phase_emitted >= period;
+                if flip {
+                    self.phase = self.phase.wrapping_add(1);
+                    self.phase_emitted = 0;
+                }
+                // The load/store PCs never change; only their data mapping
+                // flips. Even phases touch three private DM-friendly blocks
+                // (training selective DM towards the direct-mapped side);
+                // odd phases rotate over `ways + 1` same-DM-line conflict
+                // blocks, so the freshly trained mapping is wrong, the DM
+                // placement conflicts, and dirty blocks thrash through LRU.
+                let (d0, d1, d2) = if self.phase % 2 == 0 {
+                    (
+                        FLIP_PRIVATE_BASE,
+                        FLIP_PRIVATE_BASE + BLOCK_BYTES,
+                        FLIP_PRIVATE_BASE + 2 * BLOCK_BYTES,
+                    )
+                } else {
+                    let rot = |c: u64| FLIP_CONFLICT_BASE + (c % (ways + 1)) * WAY_BYTES;
+                    let c = self.conflict_cursor;
+                    self.conflict_cursor += 3;
+                    (rot(c), rot(c + 1), rot(c + 2))
+                };
+                if flip {
+                    // I-side evict burst: jump through `ways` blocks that
+                    // alias block `b`'s i-cache set, then re-enter `b`
+                    // itself through the final jump. `b` re-fills via a BTB
+                    // edge, so the SAWP entry for the `a -> b` fall-through
+                    // still holds the pre-flip way and mispredicts when the
+                    // loop resumes. The burst pool rotates with the phase
+                    // so the LRU alignment (and `b`'s landing way) varies.
+                    let pool = ways + 3;
+                    let burst_pc =
+                        |j: u64| b + ((u64::from(self.phase) + j) % pool + 1) * WAY_BYTES;
+                    for k in 0..ways {
+                        let target = if k + 1 == ways { b } else { burst_pc(k + 1) };
+                        self.pending.push_back(MicroOp {
+                            pc: burst_pc(k),
+                            kind: OpKind::Branch {
+                                taken: true,
+                                target,
+                                class: BranchClass::Jump,
+                            },
+                            src_deps: [0, 0],
+                        });
+                    }
+                } else {
+                    self.pending.extend([
+                        MicroOp {
+                            pc: a,
+                            kind: OpKind::Load {
+                                addr: d0,
+                                approx_addr: d0,
+                            },
+                            src_deps: [0, 0],
+                        },
+                        MicroOp {
+                            pc: a + 4,
+                            kind: OpKind::IntAlu,
+                            src_deps: [1, 0],
+                        },
+                        MicroOp {
+                            pc: a + 8,
+                            kind: OpKind::Load {
+                                addr: d1,
+                                approx_addr: d1,
+                            },
+                            src_deps: [0, 0],
+                        },
+                        MicroOp {
+                            pc: a + 12,
+                            kind: OpKind::IntAlu,
+                            src_deps: [1, 0],
+                        },
+                    ]);
+                }
+                self.pending.extend([
+                    MicroOp {
+                        pc: b,
+                        kind: OpKind::Store { addr: d2 },
+                        src_deps: [0, 0],
+                    },
+                    MicroOp {
+                        pc: b + 4,
+                        kind: OpKind::IntAlu,
+                        src_deps: [1, 0],
+                    },
+                    MicroOp {
+                        pc: b + 8,
+                        kind: OpKind::IntAlu,
+                        src_deps: [1, 0],
+                    },
+                    MicroOp {
+                        pc: b + 12,
+                        kind: OpKind::Branch {
+                            taken: true,
+                            target: a,
+                            class: BranchClass::Conditional,
+                        },
+                        src_deps: [0, 0],
+                    },
+                ]);
+                self.phase_emitted += self.pending.len() as u32;
+            }
+            Scenario::ConflictChase { blocks } => {
+                let blocks = u64::from(blocks.max(1));
+                let node = CHASE_BASE + (self.conflict_cursor % blocks) * WAY_BYTES;
+                self.conflict_cursor += 1;
+                let pc = CHASE_CODE_BASE;
+                // Serialized like the pointer chase (each load consumes the
+                // previous one) and dirtying: the store writes back into the
+                // just-loaded node, so every eviction writes back.
+                self.pending.extend([
+                    MicroOp {
+                        pc,
+                        kind: OpKind::Load {
+                            addr: node,
+                            approx_addr: node,
+                        },
+                        src_deps: [4, 0],
+                    },
+                    MicroOp {
+                        pc: pc + 4,
+                        kind: OpKind::IntAlu,
+                        src_deps: [1, 0],
+                    },
+                    MicroOp {
+                        pc: pc + 8,
+                        kind: OpKind::Store { addr: node + 8 },
+                        src_deps: [2, 0],
+                    },
+                    MicroOp {
+                        pc: pc + 12,
+                        kind: OpKind::Branch {
+                            taken: true,
+                            target: pc,
+                            class: BranchClass::Conditional,
+                        },
+                        src_deps: [0, 0],
+                    },
+                ]);
+            }
         }
     }
 }
@@ -509,6 +823,120 @@ mod tests {
         assert_eq!(generator.len(), 10);
         generator.next();
         assert_eq!(generator.len(), 9);
+    }
+
+    #[test]
+    fn way_alias_pcs_collide_in_the_table_but_blocks_occupy_distinct_ways() {
+        let ops = trace(Scenario::way_alias_thrash(), 64);
+        let loads: Vec<(Addr, Addr)> = ops
+            .iter()
+            .filter_map(|op| match op.kind {
+                OpKind::Load { addr, .. } => Some((op.pc, addr)),
+                _ => None,
+            })
+            .collect();
+        // All load PCs collide in one slot of the 1024-entry table...
+        let slots: HashSet<_> = loads.iter().map(|(pc, _)| (pc >> 2) % 1024).collect();
+        assert_eq!(slots.len(), 1, "aliasing PCs must share a table slot");
+        // ...while being four distinct instructions...
+        let pcs: HashSet<_> = loads.iter().map(|(pc, _)| pc).collect();
+        assert_eq!(pcs.len(), 4);
+        // ...whose data blocks share a set but carry distinct tags.
+        let sets = WAY_BYTES / BLOCK_BYTES;
+        let lines: HashSet<_> = loads
+            .iter()
+            .map(|(_, addr)| (addr / BLOCK_BYTES) % sets)
+            .collect();
+        assert_eq!(lines.len(), 1, "alias blocks must share a set");
+        let tags: HashSet<_> = loads.iter().map(|(_, addr)| addr / WAY_BYTES).collect();
+        assert_eq!(tags.len(), 4, "alias blocks must be distinct");
+    }
+
+    #[test]
+    fn phase_flip_remaps_fixed_pcs_and_bursts_on_the_loop_set() {
+        let scenario = Scenario::PhaseFlip {
+            period_ops: 64,
+            conflict_ways: 4,
+        };
+        let ops = trace(scenario, 2_000);
+        let a = ops.iter().find(|op| op.kind.is_load()).expect("a load").pc;
+        let b = a + BLOCK_BYTES;
+        // The same load PC must see both the private and the conflict
+        // mapping (the flip happens under fixed PCs).
+        let mut private = false;
+        let mut conflict = false;
+        for op in &ops {
+            if let OpKind::Load { addr, .. } = op.kind {
+                if op.pc == a {
+                    if (FLIP_CONFLICT_BASE..FLIP_CONFLICT_BASE + CONFLICT_BLOCKS * WAY_BYTES)
+                        .contains(&addr)
+                    {
+                        conflict = true;
+                    } else {
+                        private = true;
+                    }
+                }
+            }
+        }
+        assert!(private && conflict, "load PC must see both mappings");
+        // Every burst jump aliases the i-cache set of block `b`.
+        let sets = WAY_BYTES / BLOCK_BYTES;
+        let burst: Vec<_> = ops
+            .iter()
+            .filter(|op| op.kind.is_branch() && op.pc >= b + BLOCK_BYTES)
+            .collect();
+        assert!(!burst.is_empty(), "expected evict-burst jumps");
+        for op in &burst {
+            assert_eq!(
+                (op.pc / BLOCK_BYTES) % sets,
+                (b / BLOCK_BYTES) % sets,
+                "burst block {:#x} must alias block b",
+                op.pc
+            );
+        }
+        // The final burst jump re-enters `b` (the BTB edge of the attack).
+        assert!(burst.iter().any(|op| matches!(
+            op.kind,
+            OpKind::Branch { target, .. } if target == b
+        )));
+    }
+
+    #[test]
+    fn conflict_chase_nodes_share_a_set_and_chain_serially() {
+        let blocks = 5u32;
+        let ops = trace(Scenario::ConflictChase { blocks }, 400);
+        let sets = WAY_BYTES / BLOCK_BYTES;
+        let mut lines = HashSet::new();
+        let mut tags = HashSet::new();
+        for op in &ops {
+            match op.kind {
+                OpKind::Load { addr, .. } => {
+                    assert_eq!(op.src_deps[0], 4, "chase loads must serialize");
+                    lines.insert((addr / BLOCK_BYTES) % sets);
+                    tags.insert(addr / WAY_BYTES);
+                }
+                OpKind::Store { addr } => {
+                    lines.insert((addr / BLOCK_BYTES) % sets);
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(lines.len(), 1, "chase nodes must share a set");
+        assert_eq!(tags.len(), blocks as usize);
+    }
+
+    #[test]
+    fn adversarial_scenarios_are_flagged() {
+        for scenario in Scenario::adversarial() {
+            assert!(scenario.is_adversarial(), "{scenario}");
+        }
+        for scenario in [
+            Scenario::pointer_chase(),
+            Scenario::strided_stream(),
+            Scenario::phase_mix(),
+        ] {
+            assert!(!scenario.is_adversarial(), "{scenario}");
+        }
     }
 
     #[test]

@@ -188,7 +188,7 @@ mod tests {
     #[test]
     fn every_generated_name_parses() {
         let names = WorkloadSpec::generated_names();
-        assert_eq!(names.len(), 14); // 11 benchmarks + 3 scenarios
+        assert_eq!(names.len(), 17); // 11 benchmarks + 6 scenarios
         for name in names {
             let spec = WorkloadSpec::parse(name).expect("listed names parse");
             assert_eq!(spec.label(), name);

@@ -17,26 +17,34 @@
 //!    fresh render at the pinned golden options (`--bless` regenerates the
 //!    files instead of checking them).
 //!
+//! With `--faulty-cache SEED` an extra fault-schedule section runs the
+//! optimized engine over a matrix cache whose every I/O operation may fail
+//! or tear (seeded, deterministic; see `docs/RELIABILITY.md`), cold then
+//! warm, against the oracle — proving no cache fault can corrupt a result.
+//!
 //! Exits non-zero on any mismatch or drift. See `docs/VALIDATION.md`.
 //!
 //! Usage: `cargo run --release -p wp-experiments --bin conformance --
 //! [--quick] [--ops N] [--seed N] [--threads N] [--no-gang] [--no-lanes]
 //! [--stream-cap BYTES] [--random N] [--bless] [--golden-dir PATH]
-//! [--skip-sweep] [--profile FILE]`
+//! [--skip-sweep] [--profile FILE] [--faulty-cache SEED]`
 
 use std::path::PathBuf;
 
 use wp_cache::DCachePolicy;
 use wp_experiments::conformance::{
-    self, check_plan_with, random_points, GoldenDrift, GOLDEN_OPTIONS,
+    self, check_plan_keeping_cache, check_plan_with, random_points, GoldenDrift, GOLDEN_OPTIONS,
 };
 use wp_experiments::engine::{available_threads, SimEngine, SimPlan, SimPoint};
 use wp_experiments::runner::{options_from_args, CliError, MachineConfig, RunOptions};
+use wp_experiments::storage::FaultyIo;
+use wp_experiments::MatrixCache;
 use wp_workloads::WorkloadSpec;
 
 const USAGE: &str = "usage: conformance [--quick] [--ops N] [--seed N] [--threads N] \
                      [--no-gang] [--no-lanes] [--stream-cap BYTES] [--random N] \
-                     [--bless] [--golden-dir PATH] [--skip-sweep] [--profile FILE]";
+                     [--bless] [--golden-dir PATH] [--skip-sweep] [--profile FILE] \
+                     [--faulty-cache SEED]";
 
 struct Cli {
     run: RunOptions,
@@ -49,6 +57,11 @@ struct Cli {
     golden_dir: PathBuf,
     skip_sweep: bool,
     profile: Option<wp_workloads::ProfileSpec>,
+    /// With `--faulty-cache SEED`: run the fault-schedule conformance
+    /// section — the optimized engine over a matrix cache whose every I/O
+    /// operation may fail or tear (seeded, deterministic), twice (cold
+    /// store pass, warm load pass), against the oracle.
+    faulty_cache: Option<u64>,
 }
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
@@ -59,6 +72,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
     let mut bless = false;
     let mut skip_sweep = false;
     let mut golden_dir: Option<PathBuf> = None;
+    let mut faulty_cache: Option<u64> = None;
     let mut shared = Vec::new();
     let mut args = args;
     while let Some(arg) = args.next() {
@@ -79,10 +93,19 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
                         CliError::MissingValue("--golden-dir").to_string()
                     })?));
             }
+            "--faulty-cache" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| CliError::MissingValue("--faulty-cache").to_string())?;
+                faulty_cache =
+                    Some(value.parse().map_err(|_| {
+                        CliError::InvalidValue("--faulty-cache", value).to_string()
+                    })?);
+            }
             // Shared flags conformance cannot honour must be rejected, not
             // silently ignored — a user asking for `--json` output or a
             // matrix-cache-backed run would otherwise get false assurance.
-            "--json" | "--no-matrix-cache" | "--matrix-cache-dir" => {
+            "--json" | "--no-matrix-cache" | "--matrix-cache-dir" | "--matrix-cache-cap" => {
                 return Err(format!("flag `{arg}` is not supported by conformance"));
             }
             _ => shared.push(arg),
@@ -110,6 +133,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
         golden_dir: golden_dir.unwrap_or_else(conformance::default_golden_dir),
         skip_sweep,
         profile,
+        faulty_cache,
     })
 }
 
@@ -211,6 +235,39 @@ fn main() {
             plan.add(point);
         }
         failures += tally("random", &check_plan_with(&cli.engine, &plan));
+    }
+
+    // ---- 3b. fault-schedule conformance: optimized over a faulty cache ----
+    if let Some(seed) = cli.faulty_cache {
+        let cache_dir =
+            std::env::temp_dir().join(format!("wpsdm-faulty-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        eprintln!(
+            "conformance: fault-schedule pass over {} (fault seed {seed}, 10% per-op), \
+             cold then warm",
+            cache_dir.display()
+        );
+        let cache =
+            MatrixCache::with_io(&cache_dir, std::sync::Arc::new(FaultyIo::seeded(seed, 100)));
+        let faulty_engine = cli.engine.clone().with_matrix_cache(cache.clone());
+        let plan = wp_experiments::run_all_plan(&cli.run);
+        // Cold pass: everything simulates, stores race injected faults.
+        failures += tally(
+            "faulty-cache-cold",
+            &check_plan_keeping_cache(&faulty_engine, &plan),
+        );
+        // Warm pass: loads are served from whatever survived the fault
+        // schedule — hits must be bit-identical, torn records must miss.
+        failures += tally(
+            "faulty-cache-warm",
+            &check_plan_keeping_cache(&faulty_engine, &plan),
+        );
+        eprintln!(
+            "conformance: faulty cache observed {} io errors, degraded {}",
+            cache.io_errors(),
+            cache.degraded()
+        );
+        let _ = std::fs::remove_dir_all(&cache_dir);
     }
 
     // ---- 4. adversarial profile (the coverage-harness plan) ----

@@ -13,7 +13,7 @@
 //!
 //! Usage: `cargo run --release -p wp-experiments --bin run_all
 //! [--quick] [--ops N] [--seed N] [--threads N] [--json] [--profile FILE]
-//! [--no-matrix-cache] [--matrix-cache-dir PATH]`
+//! [--no-matrix-cache] [--matrix-cache-dir PATH] [--matrix-cache-cap BYTES]`
 //!
 //! Results are memoized on disk (see `wp_experiments::matrix_cache`), so a
 //! second identical invocation executes zero simulations; pass
@@ -84,6 +84,15 @@ fn main() {
         matrix.lane_points(),
         &matrix.lane_width_histogram()[2..],
         matrix.lane_scalar_fallback(),
+    );
+    eprintln!(
+        "run_all: cache health: {} io errors, {} evictions, {} tmp recovered, \
+         {} compacted, degraded {}",
+        matrix.cache_io_errors(),
+        matrix.cache_evictions(),
+        matrix.cache_recovered_tmp(),
+        matrix.cache_compacted(),
+        matrix.cache_degraded(),
     );
     debug_assert_eq!(matrix.executed_points() + matrix.cache_hits(), unique);
 

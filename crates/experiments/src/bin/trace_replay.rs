@@ -25,7 +25,8 @@ use wp_experiments::runner::{CliOptions, MachineConfig, RunOptions};
 use wp_workloads::WorkloadSpec;
 
 const USAGE: &str = "usage: trace_replay --trace PATH [--ops N] [--threads N] [--json] \
-                     [--no-gang] [--no-lanes] [--no-matrix-cache] [--matrix-cache-dir PATH]";
+                     [--no-gang] [--no-lanes] [--no-matrix-cache] [--matrix-cache-dir PATH] \
+                     [--matrix-cache-cap BYTES]";
 
 /// The policies replayed against the recorded stream (the baseline first).
 const POLICIES: [DCachePolicy; 4] = [
@@ -44,6 +45,7 @@ struct Cli {
     no_lanes: bool,
     no_matrix_cache: bool,
     matrix_cache_dir: Option<PathBuf>,
+    matrix_cache_cap: Option<u64>,
 }
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
@@ -55,6 +57,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
     let mut no_lanes = false;
     let mut no_matrix_cache = false;
     let mut matrix_cache_dir: Option<PathBuf> = None;
+    let mut matrix_cache_cap: Option<u64> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--no-gang" => no_gang = true,
@@ -65,6 +68,18 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
                     args.next()
                         .ok_or("flag `--matrix-cache-dir` requires a value")?,
                 ))
+            }
+            "--matrix-cache-cap" => {
+                let value = args
+                    .next()
+                    .ok_or("flag `--matrix-cache-cap` requires a value")?;
+                let parsed: u64 = value
+                    .parse()
+                    .map_err(|_| format!("invalid --matrix-cache-cap `{value}`"))?;
+                if parsed == 0 {
+                    return Err("invalid --matrix-cache-cap `0`".to_string());
+                }
+                matrix_cache_cap = Some(parsed);
             }
             "--trace" => {
                 trace = Some(PathBuf::from(
@@ -102,6 +117,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Cli, String> {
         no_lanes,
         no_matrix_cache,
         matrix_cache_dir,
+        matrix_cache_cap,
     })
 }
 
@@ -173,6 +189,7 @@ fn main() {
         no_lanes: cli.no_lanes,
         no_matrix_cache: cli.no_matrix_cache,
         matrix_cache_dir: cli.matrix_cache_dir.clone(),
+        matrix_cache_cap: cli.matrix_cache_cap,
         stream_cap: None,
         profile: None,
     }
@@ -190,6 +207,15 @@ fn main() {
         matrix.lane_batches(),
         matrix.lane_points(),
         matrix.lane_scalar_fallback(),
+    );
+    eprintln!(
+        "trace_replay: cache health: {} io errors, {} evictions, {} tmp recovered, \
+         {} compacted, degraded {}",
+        matrix.cache_io_errors(),
+        matrix.cache_evictions(),
+        matrix.cache_recovered_tmp(),
+        matrix.cache_compacted(),
+        matrix.cache_degraded(),
     );
 
     let baseline_machine = MachineConfig::baseline().with_dpolicy(POLICIES[0]);

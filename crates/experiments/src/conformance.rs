@@ -146,9 +146,28 @@ pub fn check_plan_capped(
 /// conformance exists to *execute* both stacks, never to compare a stack
 /// against its own stored output.
 pub fn check_plan_with(engine: &SimEngine, plan: &SimPlan) -> Vec<PointReport> {
+    check_matrix_against_oracle(&engine.clone().without_matrix_cache(), plan)
+}
+
+/// [`check_plan_with`], but *keeping* any [`crate::MatrixCache`] attached
+/// to the optimized engine — the fault-schedule conformance entry. The
+/// optimized side is allowed to load from and store to its (possibly
+/// fault-injected) cache while the oracle executes everything from
+/// scratch; the pair must still agree bit for bit, proving no injected
+/// I/O failure, torn write, or recovery sweep can corrupt a result a
+/// consumer sees. Driven by the `conformance` binary's `--faulty-cache`
+/// flag and the CI reliability job (see `docs/RELIABILITY.md`).
+pub fn check_plan_keeping_cache(engine: &SimEngine, plan: &SimPlan) -> Vec<PointReport> {
+    check_matrix_against_oracle(engine, plan)
+}
+
+/// Shared body of [`check_plan_with`] / [`check_plan_keeping_cache`]: run
+/// the optimized engine as configured, replay the same streams through the
+/// oracle, compare bit for bit.
+fn check_matrix_against_oracle(engine: &SimEngine, plan: &SimPlan) -> Vec<PointReport> {
     let threads = engine.threads();
     let points = plan.unique_points();
-    let matrix = engine.clone().without_matrix_cache().run(plan);
+    let matrix = engine.run(plan);
 
     // Group the oracle's work by stream identity so each stream is
     // materialized once and fanned out, mirroring the optimized gangs.

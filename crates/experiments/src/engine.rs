@@ -165,6 +165,11 @@ pub struct SimMatrix {
     lane_batches: usize,
     lane_scalar_fallback: usize,
     lane_width_histogram: [usize; MAX_LANES + 1],
+    cache_io_errors: u64,
+    cache_evictions: u64,
+    cache_recovered_tmp: u64,
+    cache_compacted: u64,
+    cache_degraded: bool,
 }
 
 impl SimMatrix {
@@ -330,6 +335,35 @@ impl SimMatrix {
             .enumerate()
             .map(|(width, count)| width * count)
             .sum()
+    }
+
+    /// I/O errors the attached [`MatrixCache`] observed while filling this
+    /// matrix (including injected faults). Zero without a cache.
+    pub fn cache_io_errors(&self) -> u64 {
+        self.cache_io_errors
+    }
+
+    /// Records the attached cache evicted to honour its capacity cap.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache_evictions
+    }
+
+    /// Stale temporary files the attached cache's startup recovery swept
+    /// (debris of stores that crashed mid-flight).
+    pub fn cache_recovered_tmp(&self) -> u64 {
+        self.cache_recovered_tmp
+    }
+
+    /// Old-generation or header-corrupt records the attached cache's
+    /// startup recovery compacted away.
+    pub fn cache_compacted(&self) -> u64 {
+        self.cache_compacted
+    }
+
+    /// True if the attached cache's circuit breaker tripped (cache degraded
+    /// to pass-through) at any point while filling this matrix.
+    pub fn cache_degraded(&self) -> bool {
+        self.cache_degraded
     }
 }
 
@@ -512,6 +546,15 @@ impl SimEngine {
                 cache.store(&point, &result);
             }
             matrix.results.insert(point, result);
+        }
+        if let Some(cache) = &self.cache {
+            // Cumulative cache health counters: the cache is shared state
+            // (clones share counters), so copy rather than accumulate.
+            matrix.cache_io_errors = cache.io_errors();
+            matrix.cache_evictions = cache.evictions();
+            matrix.cache_recovered_tmp = cache.recovered_tmp();
+            matrix.cache_compacted = cache.compacted();
+            matrix.cache_degraded = cache.degraded();
         }
     }
 

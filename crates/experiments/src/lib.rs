@@ -71,6 +71,7 @@ pub mod fig9;
 pub mod matrix_cache;
 pub mod report;
 pub mod runner;
+pub mod storage;
 pub mod table3;
 pub mod table4;
 pub mod table5;

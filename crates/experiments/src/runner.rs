@@ -266,6 +266,13 @@ pub struct CliOptions {
     /// Root the matrix cache at this directory instead of
     /// [`MatrixCache::default_dir`] (`--matrix-cache-dir PATH`).
     pub matrix_cache_dir: Option<std::path::PathBuf>,
+    /// Cap the matrix cache directory at this many bytes
+    /// (`--matrix-cache-cap BYTES`): stores beyond the cap evict
+    /// oldest-mtime records first (see `docs/RELIABILITY.md`). Defaults to
+    /// the `WPSDM_MATRIX_CACHE_CAP` environment override, else unbounded.
+    /// Zero is rejected at parse time — a cache that can hold nothing is a
+    /// misconfiguration, not a policy.
+    pub matrix_cache_cap: Option<u64>,
     /// Disable gang scheduling (`--no-gang`): every simulated point
     /// generates its own workload stream instead of sharing one
     /// materialization per `(workload, ops, seed)` gang. Results are
@@ -362,10 +369,19 @@ impl CliOptions {
         if self.no_matrix_cache {
             return engine;
         }
-        let cache = match &self.matrix_cache_dir {
+        let mut cache = match &self.matrix_cache_dir {
             Some(dir) => MatrixCache::new(dir),
             None => MatrixCache::at_default_dir(),
         };
+        if self.matrix_cache_cap.is_some() {
+            cache = cache.with_cap(self.matrix_cache_cap);
+        }
+        if let Some(io) = crate::storage::FaultyIo::from_env() {
+            // The fault-injection knob (`WPSDM_MATRIX_CACHE_FAULT_SEED`):
+            // CI's reliability job runs the real binaries over a faulty
+            // cache and asserts byte-identical output.
+            cache = cache.with_io_backend(io);
+        }
         engine.with_matrix_cache(cache)
     }
 }
@@ -373,7 +389,8 @@ impl CliOptions {
 /// Usage text shared by the binaries.
 pub const USAGE: &str = "usage: <experiment> [--quick] [--ops N] [--seed N] [--threads N] \
                          [--json] [--profile FILE] [--no-gang] [--no-lanes] \
-                         [--stream-cap BYTES] [--no-matrix-cache] [--matrix-cache-dir PATH]";
+                         [--stream-cap BYTES] [--no-matrix-cache] [--matrix-cache-dir PATH] \
+                         [--matrix-cache-cap BYTES]";
 
 /// Shared body of the single-artefact binaries: parse the command line,
 /// execute the artefact's plan on the engine, render from the matrix, and
@@ -484,6 +501,16 @@ pub fn options_from_args(args: impl Iterator<Item = String>) -> Result<CliOption
                     .next()
                     .ok_or(CliError::MissingValue("--matrix-cache-dir"))?;
                 options.matrix_cache_dir = Some(dir.into());
+            }
+            "--matrix-cache-cap" => {
+                let cap: u64 = parse_value("--matrix-cache-cap", args.next())?;
+                if cap == 0 {
+                    return Err(CliError::InvalidValue(
+                        "--matrix-cache-cap",
+                        "0".to_string(),
+                    ));
+                }
+                options.matrix_cache_cap = Some(cap);
             }
             other => return Err(CliError::UnknownFlag(other.to_string())),
         }
@@ -610,6 +637,36 @@ mod tests {
         assert_eq!(
             parse(&["--matrix-cache-dir"]),
             Err(CliError::MissingValue("--matrix-cache-dir"))
+        );
+    }
+
+    #[test]
+    fn matrix_cache_cap_flag_parses_and_reaches_the_cache() {
+        let default = parse(&[]).expect("valid");
+        assert_eq!(default.matrix_cache_cap, None);
+        let capped = parse(&["--matrix-cache-cap", "4096"]).expect("valid");
+        assert_eq!(capped.matrix_cache_cap, Some(4096));
+        assert_eq!(
+            capped.engine().matrix_cache().and_then(|cache| cache.cap()),
+            Some(4096)
+        );
+        assert_eq!(
+            parse(&["--matrix-cache-cap"]),
+            Err(CliError::MissingValue("--matrix-cache-cap"))
+        );
+        assert_eq!(
+            parse(&["--matrix-cache-cap", "lots"]),
+            Err(CliError::InvalidValue(
+                "--matrix-cache-cap",
+                "lots".to_string()
+            ))
+        );
+        assert_eq!(
+            parse(&["--matrix-cache-cap", "0"]),
+            Err(CliError::InvalidValue(
+                "--matrix-cache-cap",
+                "0".to_string()
+            ))
         );
     }
 

@@ -63,6 +63,23 @@ fn run_all_rejects_bad_command_lines_with_exact_messages() {
         &["--matrix-cache-dir"],
         "flag `--matrix-cache-dir` requires a value",
     );
+    assert_cli_error(
+        bin,
+        &["--matrix-cache-cap"],
+        "flag `--matrix-cache-cap` requires a value",
+    );
+    assert_cli_error(
+        bin,
+        &["--matrix-cache-cap", "lots"],
+        "invalid value `lots` for flag `--matrix-cache-cap`",
+    );
+    // A zero-byte cache could hold nothing: reject the misconfiguration
+    // rather than silently thrash every stored record.
+    assert_cli_error(
+        bin,
+        &["--matrix-cache-cap", "0"],
+        "invalid value `0` for flag `--matrix-cache-cap`",
+    );
 }
 
 #[test]
@@ -119,6 +136,16 @@ fn trace_replay_rejects_bad_command_lines_with_exact_messages() {
         bin,
         &["--trace", "/tmp/x.wptr", "--threads", "0"],
         "invalid --threads `0`",
+    );
+    assert_cli_error(
+        bin,
+        &["--trace", "/tmp/x.wptr", "--matrix-cache-cap"],
+        "flag `--matrix-cache-cap` requires a value",
+    );
+    assert_cli_error(
+        bin,
+        &["--trace", "/tmp/x.wptr", "--matrix-cache-cap", "0"],
+        "invalid --matrix-cache-cap `0`",
     );
     assert_cli_error(bin, &[], "missing required flag `--trace`");
 }
@@ -202,5 +229,22 @@ fn conformance_rejects_bad_command_lines_with_exact_messages() {
         bin,
         &["--golden-dir"],
         "flag `--golden-dir` requires a value",
+    );
+    assert_cli_error(
+        bin,
+        &["--faulty-cache"],
+        "flag `--faulty-cache` requires a value",
+    );
+    assert_cli_error(
+        bin,
+        &["--faulty-cache", "xyz"],
+        "invalid value `xyz` for flag `--faulty-cache`",
+    );
+    // Conformance must execute both stacks: the cache-control flags it
+    // cannot honour are rejected, `--matrix-cache-cap` included.
+    assert_cli_error(
+        bin,
+        &["--matrix-cache-cap", "4096"],
+        "flag `--matrix-cache-cap` is not supported by conformance",
     );
 }

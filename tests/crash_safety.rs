@@ -1,0 +1,198 @@
+//! The crash harness: drives sweeps through arbitrary fault schedules and
+//! abort points and holds the hardened matrix cache to its three
+//! invariants (`docs/RELIABILITY.md`):
+//!
+//! 1. **never torn** — every on-disk record either decodes bit-identically
+//!    to the freshly simulated result or misses; no fault schedule can make
+//!    a corrupted record *serve*;
+//! 2. **warm ≡ cold** — a post-crash warm run produces results
+//!    bit-identical to a cold (uncached) run, and a run after that executes
+//!    zero simulations;
+//! 3. **output identity** — the full `run_all` artefact JSON rendered over
+//!    a fault-injected cache is byte-identical to `--no-matrix-cache`.
+//!
+//! The schedules are deterministic ([`FaultyIo`]): every failing seed
+//! reproduces exactly.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use wpsdm::cache::DCachePolicy;
+use wpsdm::experiments::engine::{SimEngine, SimPlan};
+use wpsdm::experiments::matrix_cache::MatrixCache;
+use wpsdm::experiments::storage::{FaultPlan, FaultyIo};
+use wpsdm::experiments::{report, run_all_plan, table3, MachineConfig, RunOptions, SimPoint};
+use wpsdm::workloads::Benchmark;
+
+fn tiny() -> RunOptions {
+    RunOptions::quick().with_ops(1_500)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wpsdm-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small mixed plan: two benchmarks × two d-cache policies — four
+/// records' worth of cache traffic, enough operations for any abort point
+/// or fault schedule to land somewhere interesting.
+fn small_plan(options: RunOptions) -> SimPlan {
+    let mut plan = SimPlan::new();
+    for benchmark in [Benchmark::Gcc, Benchmark::Li] {
+        for dpolicy in [DCachePolicy::Parallel, DCachePolicy::SelDmWayPredict] {
+            plan.add(SimPoint::new(
+                benchmark,
+                MachineConfig::baseline().with_dpolicy(dpolicy),
+                options,
+            ));
+        }
+    }
+    plan
+}
+
+/// Asserts every result in `matrix` is bit-identical to `reference`.
+fn assert_matches_reference(
+    reference: &wpsdm::experiments::SimMatrix,
+    matrix: &wpsdm::experiments::SimMatrix,
+    plan: &SimPlan,
+    context: &str,
+) {
+    for point in plan.unique_points() {
+        let expected = reference.require_workload(&point.workload, &point.machine, &point.options);
+        let actual = matrix.require_workload(&point.workload, &point.machine, &point.options);
+        assert_eq!(
+            expected, actual,
+            "{context}: {} on {:?} diverged from the uncached reference",
+            point.workload, point.machine.dpolicy
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Invariants 1+2 under seeded fault schedules: with every I/O
+    /// operation failing with probability up to 40% — torn writes
+    /// included — a cold pass and a warm pass over the same (battered)
+    /// cache both produce results bit-identical to an uncached run.
+    #[test]
+    fn seeded_fault_schedules_never_corrupt_results(
+        seed in 0u64..u64::MAX,
+        permille in 0u32..400,
+    ) {
+        let options = tiny();
+        let plan = small_plan(options);
+        let reference = SimEngine::serial().run(&plan);
+
+        let dir = std::env::temp_dir().join(format!(
+            "wpsdm-crash-seeded-{}-{seed}-{permille}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = MatrixCache::with_io(&dir, Arc::new(FaultyIo::seeded(seed, permille)));
+        let engine = SimEngine::serial().with_matrix_cache(cache);
+
+        // Cold: every store races the fault schedule.
+        let cold = engine.run(&plan);
+        assert_matches_reference(&reference, &cold, &plan, "cold faulty pass");
+
+        // Warm: loads race it too — a hit must be bit-identical, a torn or
+        // lost record must miss and re-simulate, never serve garbage.
+        let warm = engine.run(&plan);
+        assert_matches_reference(&reference, &warm, &plan, "warm faulty pass");
+        prop_assert_eq!(
+            warm.executed_points() + warm.cache_hits(),
+            plan.unique_points().len()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Invariant 2 at every abort point: the process dies mid-sweep (from
+    /// operation `abort_op` on, every I/O call fails, cleanup included,
+    /// with `tear` bytes of any aborted write left on disk). A successor
+    /// process over the same directory must recover: its warm run equals a
+    /// cold run, sweeps all debris, and a third run executes nothing.
+    #[test]
+    fn any_abort_point_recovers_to_a_consistent_cache(
+        abort_op in 0u64..40,
+        tear in 0usize..64,
+    ) {
+        let options = tiny();
+        let plan = small_plan(options);
+        let unique = plan.unique_points().len();
+        let reference = SimEngine::serial().run(&plan);
+
+        let dir = std::env::temp_dir().join(format!(
+            "wpsdm-crash-abort-{}-{abort_op}-{tear}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // The doomed process: aborts at `abort_op`, stranding whatever it
+        // was doing. Its own results must still be correct — the cache is
+        // best-effort even while dying.
+        let doomed_cache = MatrixCache::with_io(
+            &dir,
+            Arc::new(FaultyIo::with_plan(FaultPlan::new().abort_at(abort_op, tear))),
+        );
+        let doomed = SimEngine::serial()
+            .with_matrix_cache(doomed_cache)
+            .run(&plan);
+        assert_matches_reference(&reference, &doomed, &plan, "doomed process");
+
+        // The successor process: clean filesystem I/O over the crashed
+        // directory. Startup recovery sweeps the debris; the warm run
+        // equals a cold run bit for bit.
+        let successor = SimEngine::serial().with_matrix_cache(MatrixCache::new(&dir));
+        let warm = successor.run(&plan);
+        assert_matches_reference(&reference, &warm, &plan, "post-crash warm run");
+        prop_assert_eq!(warm.executed_points() + warm.cache_hits(), unique);
+
+        // No tmp debris survives the successor.
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            for entry in entries {
+                let name = entry.expect("entry").file_name().to_string_lossy().into_owned();
+                prop_assert!(
+                    !name.contains(".tmp"),
+                    "stranded tmp file `{}` survived recovery",
+                    name
+                );
+            }
+        }
+
+        // And now the cache is fully consistent: a third run simulates
+        // nothing at all.
+        let third = successor.run(&plan);
+        prop_assert_eq!(third.executed_points(), 0);
+        prop_assert_eq!(third.cache_hits(), unique);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Invariant 3: the rendered artefact JSON — the repo's actual output — is
+/// byte-identical between a fault-injected cached sweep (cold, then warm
+/// over the battered cache) and an uncached one, over the full `run_all`
+/// union plan.
+#[test]
+fn run_all_artefacts_are_byte_identical_under_faults() {
+    let options = RunOptions::quick().with_ops(2_000);
+    let plan = run_all_plan(&options);
+    let uncached = SimEngine::default().run(&plan);
+    let expected = report::to_json(&table3::from_matrix(&uncached, &options));
+
+    let dir = temp_dir("artefacts");
+    let cache = MatrixCache::with_io(&dir, Arc::new(FaultyIo::seeded(0xfa_17ed, 150)));
+    let engine = SimEngine::default().with_matrix_cache(cache);
+    for pass in ["cold", "warm"] {
+        let matrix = engine.run(&plan);
+        assert_matches_reference(&uncached, &matrix, &plan, pass);
+        let rendered = report::to_json(&table3::from_matrix(&matrix, &options));
+        assert_eq!(
+            expected, rendered,
+            "{pass}: rendered artefact JSON must be byte-identical under faults"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

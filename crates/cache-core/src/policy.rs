@@ -87,6 +87,16 @@ impl DCachePolicy {
             DCachePolicy::PerfectWayPredict => "perfect-waypred",
         }
     }
+
+    /// The inverse of [`DCachePolicy::label`]: looks a policy up by its
+    /// figure-legend label (the vocabulary the service protocol and the
+    /// client binaries speak). Every variant parses, the oracle bound
+    /// (`perfect-waypred`) included.
+    pub fn parse(label: &str) -> Option<DCachePolicy> {
+        let mut all = DCachePolicy::all().to_vec();
+        all.push(DCachePolicy::PerfectWayPredict);
+        all.into_iter().find(|policy| policy.label() == label)
+    }
 }
 
 impl std::fmt::Display for DCachePolicy {
@@ -214,6 +224,13 @@ impl ICachePolicy {
             ICachePolicy::WayPredict => "waypred",
         }
     }
+
+    /// The inverse of [`ICachePolicy::label`].
+    pub fn parse(label: &str) -> Option<ICachePolicy> {
+        ICachePolicy::all()
+            .into_iter()
+            .find(|policy| policy.label() == label)
+    }
 }
 
 impl std::fmt::Display for ICachePolicy {
@@ -258,5 +275,21 @@ mod tests {
         assert_eq!(sorted.len(), labels.len());
         assert_eq!(DCachePolicy::SelDmWayPredict.to_string(), "seldm+waypred");
         assert_eq!(ICachePolicy::WayPredict.to_string(), "waypred");
+    }
+
+    #[test]
+    fn parse_inverts_label_for_every_policy() {
+        for policy in DCachePolicy::all() {
+            assert_eq!(DCachePolicy::parse(policy.label()), Some(policy));
+        }
+        assert_eq!(
+            DCachePolicy::parse("perfect-waypred"),
+            Some(DCachePolicy::PerfectWayPredict)
+        );
+        assert_eq!(DCachePolicy::parse("nonesuch"), None);
+        for policy in ICachePolicy::all() {
+            assert_eq!(ICachePolicy::parse(policy.label()), Some(policy));
+        }
+        assert_eq!(ICachePolicy::parse("seldm+waypred"), None);
     }
 }

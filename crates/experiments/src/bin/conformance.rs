@@ -105,7 +105,8 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
             // Shared flags conformance cannot honour must be rejected, not
             // silently ignored — a user asking for `--json` output or a
             // matrix-cache-backed run would otherwise get false assurance.
-            "--json" | "--no-matrix-cache" | "--matrix-cache-dir" | "--matrix-cache-cap" => {
+            "--json" | "--no-matrix-cache" | "--matrix-cache-dir" | "--matrix-cache-cap"
+            | "--health-json" => {
                 return Err(format!("flag `{arg}` is not supported by conformance"));
             }
             _ => shared.push(arg),

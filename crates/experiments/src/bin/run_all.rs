@@ -13,7 +13,8 @@
 //!
 //! Usage: `cargo run --release -p wp-experiments --bin run_all
 //! [--quick] [--ops N] [--seed N] [--threads N] [--json] [--profile FILE]
-//! [--no-matrix-cache] [--matrix-cache-dir PATH] [--matrix-cache-cap BYTES]`
+//! [--no-matrix-cache] [--matrix-cache-dir PATH] [--matrix-cache-cap BYTES]
+//! [--health-json PATH]`
 //!
 //! Results are memoized on disk (see `wp_experiments::matrix_cache`), so a
 //! second identical invocation executes zero simulations; pass
@@ -86,14 +87,28 @@ fn main() {
         matrix.lane_scalar_fallback(),
     );
     eprintln!(
-        "run_all: cache health: {} io errors, {} evictions, {} tmp recovered, \
-         {} compacted, degraded {}",
+        "run_all: cache health: {} io errors, {} evictions, {} lock timeouts, \
+         {} tmp recovered, {} compacted, degraded {}",
         matrix.cache_io_errors(),
         matrix.cache_evictions(),
+        matrix.cache_lock_timeouts(),
         matrix.cache_recovered_tmp(),
         matrix.cache_compacted(),
         matrix.cache_degraded(),
     );
+    if let Some(path) = &cli.health_json {
+        // The machine-readable twin of the stderr line above: the same
+        // `CacheHealth` struct the wp-serve daemon returns for a `health`
+        // request, so dashboards scrape one schema for both entry points.
+        let health = wp_experiments::report::to_json(&matrix.cache_health());
+        if let Err(error) = std::fs::write(path, format!("{health}\n")) {
+            eprintln!(
+                "error: cannot write --health-json {}: {error}",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+    }
     debug_assert_eq!(matrix.executed_points() + matrix.cache_hits(), unique);
 
     let results = RunAllResult {

@@ -192,6 +192,7 @@ fn main() {
         matrix_cache_cap: cli.matrix_cache_cap,
         stream_cap: None,
         profile: None,
+        health_json: None,
     }
     .engine();
     let matrix = engine.run(&plan);
@@ -209,10 +210,11 @@ fn main() {
         matrix.lane_scalar_fallback(),
     );
     eprintln!(
-        "trace_replay: cache health: {} io errors, {} evictions, {} tmp recovered, \
-         {} compacted, degraded {}",
+        "trace_replay: cache health: {} io errors, {} evictions, {} lock timeouts, \
+         {} tmp recovered, {} compacted, degraded {}",
         matrix.cache_io_errors(),
         matrix.cache_evictions(),
+        matrix.cache_lock_timeouts(),
         matrix.cache_recovered_tmp(),
         matrix.cache_compacted(),
         matrix.cache_degraded(),

@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use wp_cpu::{SimResult, MAX_LANES};
 use wp_workloads::{Benchmark, SharedStream, StreamKey, WorkloadSpec};
 
-use crate::matrix_cache::MatrixCache;
+use crate::matrix_cache::{CacheHealth, MatrixCache};
 use crate::runner::{
     simulate_workload, simulate_workload_shared, simulate_workload_shared_lanes, MachineConfig,
     RunOptions,
@@ -165,11 +165,7 @@ pub struct SimMatrix {
     lane_batches: usize,
     lane_scalar_fallback: usize,
     lane_width_histogram: [usize; MAX_LANES + 1],
-    cache_io_errors: u64,
-    cache_evictions: u64,
-    cache_recovered_tmp: u64,
-    cache_compacted: u64,
-    cache_degraded: bool,
+    cache_health: CacheHealth,
 }
 
 impl SimMatrix {
@@ -337,33 +333,45 @@ impl SimMatrix {
             .sum()
     }
 
+    /// The attached [`MatrixCache`]'s health counters as observed after
+    /// filling this matrix. All-zero (and not degraded) without a cache.
+    pub fn cache_health(&self) -> CacheHealth {
+        self.cache_health
+    }
+
     /// I/O errors the attached [`MatrixCache`] observed while filling this
     /// matrix (including injected faults). Zero without a cache.
     pub fn cache_io_errors(&self) -> u64 {
-        self.cache_io_errors
+        self.cache_health.io_errors
     }
 
     /// Records the attached cache evicted to honour its capacity cap.
     pub fn cache_evictions(&self) -> u64 {
-        self.cache_evictions
+        self.cache_health.evictions
+    }
+
+    /// Eviction passes the attached cache abandoned because the advisory
+    /// lock stayed contended past its timeout.
+    pub fn cache_lock_timeouts(&self) -> u64 {
+        self.cache_health.lock_timeouts
     }
 
     /// Stale temporary files the attached cache's startup recovery swept
     /// (debris of stores that crashed mid-flight).
     pub fn cache_recovered_tmp(&self) -> u64 {
-        self.cache_recovered_tmp
+        self.cache_health.recovered_tmp
     }
 
     /// Old-generation or header-corrupt records the attached cache's
     /// startup recovery compacted away.
     pub fn cache_compacted(&self) -> u64 {
-        self.cache_compacted
+        self.cache_health.compacted
     }
 
     /// True if the attached cache's circuit breaker tripped (cache degraded
     /// to pass-through) at any point while filling this matrix.
     pub fn cache_degraded(&self) -> bool {
-        self.cache_degraded
+        self.cache_health.degraded
     }
 }
 
@@ -550,11 +558,7 @@ impl SimEngine {
         if let Some(cache) = &self.cache {
             // Cumulative cache health counters: the cache is shared state
             // (clones share counters), so copy rather than accumulate.
-            matrix.cache_io_errors = cache.io_errors();
-            matrix.cache_evictions = cache.evictions();
-            matrix.cache_recovered_tmp = cache.recovered_tmp();
-            matrix.cache_compacted = cache.compacted();
-            matrix.cache_degraded = cache.degraded();
+            matrix.cache_health = cache.health();
         }
     }
 

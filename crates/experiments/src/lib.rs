@@ -71,6 +71,7 @@ pub mod fig9;
 pub mod matrix_cache;
 pub mod report;
 pub mod runner;
+pub mod service;
 pub mod storage;
 pub mod table3;
 pub mod table4;
@@ -78,9 +79,13 @@ pub mod table5;
 
 pub use compare::PolicyComparison;
 pub use engine::{SimEngine, SimMatrix, SimPlan, SimPoint};
-pub use matrix_cache::MatrixCache;
+pub use matrix_cache::{CacheHealth, EvictLockTimeout, MatrixCache};
 pub use report::TextTable;
-pub use runner::{simulate_workload, BenchmarkRun, CliOptions, MachineConfig, RunOptions};
+pub use runner::{
+    simulate_workload, simulate_workload_cancellable, BenchmarkRun, CancelToken, Cancelled,
+    CliError, CliOptions, MachineConfig, RunOptions,
+};
+pub use service::{Flight, FlightOutcome, Join, LeaderTicket, PointService};
 
 /// The union plan of every table and figure — the set of simulation points
 /// `run_all` executes. Shared by the `run_all` binary and the engine's

@@ -38,22 +38,29 @@
 //! * **capacity cap** — with a byte cap configured
 //!   (`WPSDM_MATRIX_CACHE_CAP` / `--matrix-cache-cap`), stores evict the
 //!   oldest-mtime records until the directory fits, guarded by an advisory
-//!   lock file with bounded retry/backoff and dead-holder detection;
+//!   lock file with retry/backoff bounded by a configurable timeout
+//!   (`WPSDM_CACHE_LOCK_TIMEOUT_MS` / [`MatrixCache::with_lock_timeout`])
+//!   and dead-holder detection; an expired bound is a typed
+//!   [`EvictLockTimeout`] from [`MatrixCache::evict_to_cap`], counted (and
+//!   warned about) rather than silently swallowed on the store path;
 //! * **circuit breaker** — after [`DEFAULT_BREAKER_THRESHOLD`] *consecutive*
 //!   I/O failures the cache degrades to pass-through (every load misses,
 //!   every store is a no-op) and prints a one-line stderr warning, so a
 //!   dead disk costs a bounded number of failed syscalls, not one per
 //!   point;
-//! * **observability** — [`MatrixCache::io_errors`],
-//!   [`MatrixCache::evictions`], [`MatrixCache::recovered_tmp`],
-//!   [`MatrixCache::compacted`], and [`MatrixCache::degraded`] surface on
-//!   [`crate::SimMatrix`] and the `run_all`/`trace_replay` stderr reports.
+//! * **observability** — the [`CacheHealth`] counter struct
+//!   ([`MatrixCache::health`]) surfaces on [`crate::SimMatrix`], the
+//!   `run_all`/`trace_replay` stderr reports, `run_all --health-json`, and
+//!   the `wp-serve` daemon's `health` response.
 
 use std::hash::{Hash, Hasher};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Once};
+use std::time::Duration;
+
+use serde::Serialize;
 
 use wp_cache::{DCacheStats, ICacheStats};
 use wp_cpu::SimResult;
@@ -95,10 +102,59 @@ const RECORD_BYTES: usize = 4 + 4 + 8 + 8 + 41 * 8;
 /// The advisory lock file guarding eviction (content: the holder's pid).
 const EVICT_LOCK: &str = "evict.lock";
 
-/// Attempts to grab the eviction lock before giving up (with exponential
-/// backoff between attempts); eviction is best-effort, so losing the race
-/// just defers the work to the next store.
-const LOCK_ATTEMPTS: u32 = 4;
+/// Default bound on the total backoff spent waiting for the eviction lock,
+/// in milliseconds — the sum of the historical 1+2+4+8 ms retry schedule.
+/// Override per process with `WPSDM_CACHE_LOCK_TIMEOUT_MS` or per cache
+/// with [`MatrixCache::with_lock_timeout`].
+pub const DEFAULT_LOCK_TIMEOUT_MS: u64 = 15;
+
+/// The eviction lock stayed contended past the configured timeout
+/// ([`MatrixCache::with_lock_timeout`] / `WPSDM_CACHE_LOCK_TIMEOUT_MS`).
+///
+/// Returned by [`MatrixCache::evict_to_cap`]; the store path counts it in
+/// [`MatrixCache::lock_timeouts`] (surfaced through [`CacheHealth`]) and
+/// defers eviction to a later store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvictLockTimeout {
+    /// The contended lock file.
+    pub lock: PathBuf,
+    /// Total backoff waited before giving up, in milliseconds.
+    pub waited_ms: u64,
+}
+
+impl std::fmt::Display for EvictLockTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "eviction lock `{}` still contended after {} ms; raise \
+             WPSDM_CACHE_LOCK_TIMEOUT_MS or remove a stale lock file",
+            self.lock.display(),
+            self.waited_ms
+        )
+    }
+}
+
+impl std::error::Error for EvictLockTimeout {}
+
+/// The cache-health counters, as one machine-readable struct: what
+/// `run_all --health-json` writes, the `wp-serve` daemon's `health`
+/// response embeds, and [`crate::SimMatrix::cache_health`] carries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct CacheHealth {
+    /// Total I/O errors observed (including injected ones).
+    pub io_errors: u64,
+    /// Records evicted to honour the capacity cap.
+    pub evictions: u64,
+    /// Eviction passes abandoned because the advisory lock stayed
+    /// contended past the configured timeout.
+    pub lock_timeouts: u64,
+    /// Stale temporary files swept by startup recovery.
+    pub recovered_tmp: u64,
+    /// Old-generation or header-corrupt records compacted away.
+    pub compacted: u64,
+    /// True once the circuit breaker has tripped (pass-through mode).
+    pub degraded: bool,
+}
 
 /// The persistent result store the engine consults before simulating.
 ///
@@ -115,6 +171,7 @@ struct CacheState {
     io: Arc<dyn CacheIo>,
     cap: Option<u64>,
     breaker_threshold: u32,
+    lock_timeout: Duration,
     /// Startup recovery runs at most once per cache instance, lazily on
     /// the first load or store.
     recover_once: Once,
@@ -126,6 +183,7 @@ struct CacheState {
     consecutive_failures: AtomicU32,
     degraded: AtomicBool,
     evictions: AtomicU64,
+    lock_timeouts: AtomicU64,
     recovered_tmp: AtomicU64,
     compacted: AtomicU64,
 }
@@ -148,49 +206,67 @@ impl MatrixCache {
                 io,
                 cap: Self::default_cap(),
                 breaker_threshold: DEFAULT_BREAKER_THRESHOLD,
+                lock_timeout: Self::default_lock_timeout(),
                 recover_once: Once::new(),
                 seq: AtomicU64::new(0),
                 io_errors: AtomicU64::new(0),
                 consecutive_failures: AtomicU32::new(0),
                 degraded: AtomicBool::new(false),
                 evictions: AtomicU64::new(0),
+                lock_timeouts: AtomicU64::new(0),
                 recovered_tmp: AtomicU64::new(0),
                 compacted: AtomicU64::new(0),
             }),
         }
     }
 
+    /// Rebuilds this cache's configuration over `io` with fresh counters
+    /// and breaker state — the shared body of the `with_*` builders.
+    fn reconfigured(&self, io: Arc<dyn CacheIo>) -> Self {
+        let mut rebuilt = Self::with_io(self.state.dir.clone(), io);
+        let inner = Arc::get_mut(&mut rebuilt.state).expect("just constructed, uniquely owned");
+        inner.cap = self.state.cap;
+        inner.breaker_threshold = self.state.breaker_threshold;
+        inner.lock_timeout = self.state.lock_timeout;
+        rebuilt
+    }
+
     /// Returns a copy with a different I/O backend (fresh counters and
     /// breaker state; configure before first use).
     pub fn with_io_backend(self, io: Arc<dyn CacheIo>) -> Self {
-        let rebuilt = Self::with_io(self.state.dir.clone(), io);
-        rebuilt
-            .with_cap(self.state.cap)
-            .with_breaker_threshold(self.state.breaker_threshold)
+        self.reconfigured(io)
     }
 
     /// Returns a copy with the capacity cap set to `cap` bytes (`None`
     /// disables eviction). Fresh counters; configure before first use.
     pub fn with_cap(self, cap: Option<u64>) -> Self {
-        let mut state = Self::with_io(self.state.dir.clone(), Arc::clone(&self.state.io));
-        Arc::get_mut(&mut state.state)
+        let mut rebuilt = self.reconfigured(Arc::clone(&self.state.io));
+        Arc::get_mut(&mut rebuilt.state)
             .expect("just constructed, uniquely owned")
             .cap = cap;
-        Arc::get_mut(&mut state.state)
-            .expect("just constructed, uniquely owned")
-            .breaker_threshold = self.state.breaker_threshold;
-        state
+        rebuilt
     }
 
     /// Returns a copy with the circuit breaker tripping after `threshold`
     /// consecutive I/O failures. Fresh counters; configure before first
     /// use.
     pub fn with_breaker_threshold(self, threshold: u32) -> Self {
-        let mut state = Self::with_io(self.state.dir.clone(), Arc::clone(&self.state.io));
-        let inner = Arc::get_mut(&mut state.state).expect("just constructed, uniquely owned");
-        inner.cap = self.state.cap;
-        inner.breaker_threshold = threshold.max(1);
-        state
+        let mut rebuilt = self.reconfigured(Arc::clone(&self.state.io));
+        Arc::get_mut(&mut rebuilt.state)
+            .expect("just constructed, uniquely owned")
+            .breaker_threshold = threshold.max(1);
+        rebuilt
+    }
+
+    /// Returns a copy with the eviction-lock contention bound set to
+    /// `timeout` (total backoff before [`EvictLockTimeout`]). Fresh
+    /// counters; configure before first use.
+    pub fn with_lock_timeout(self, timeout: Duration) -> Self {
+        let mut rebuilt = self.reconfigured(Arc::clone(&self.state.io));
+        Arc::get_mut(&mut rebuilt.state)
+            .expect("just constructed, uniquely owned")
+            .lock_timeout = timeout;
+        rebuilt
     }
 
     /// The default cache location: `$WPSDM_MATRIX_CACHE_DIR`, or
@@ -210,6 +286,20 @@ impl MatrixCache {
             Ok(cap) if cap > 0 => Some(cap),
             _ => None,
         }
+    }
+
+    /// The default eviction-lock contention bound:
+    /// `$WPSDM_CACHE_LOCK_TIMEOUT_MS` in milliseconds if set to an integer
+    /// (zero means "give up on first contention"), else
+    /// [`DEFAULT_LOCK_TIMEOUT_MS`]. An unparseable value falls back to the
+    /// default — a broken environment must degrade gracefully, not take
+    /// the run down.
+    pub fn default_lock_timeout() -> Duration {
+        let configured = std::env::var("WPSDM_CACHE_LOCK_TIMEOUT_MS")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<u64>().ok())
+            .unwrap_or(DEFAULT_LOCK_TIMEOUT_MS);
+        Duration::from_millis(configured)
     }
 
     /// A cache at [`MatrixCache::default_dir`].
@@ -235,6 +325,29 @@ impl MatrixCache {
     /// Records evicted to honour the capacity cap.
     pub fn evictions(&self) -> u64 {
         self.state.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Eviction passes abandoned because the advisory lock stayed
+    /// contended past the configured timeout.
+    pub fn lock_timeouts(&self) -> u64 {
+        self.state.lock_timeouts.load(Ordering::Relaxed)
+    }
+
+    /// The configured eviction-lock contention bound.
+    pub fn lock_timeout(&self) -> Duration {
+        self.state.lock_timeout
+    }
+
+    /// A snapshot of every health counter as one machine-readable struct.
+    pub fn health(&self) -> CacheHealth {
+        CacheHealth {
+            io_errors: self.io_errors(),
+            evictions: self.evictions(),
+            lock_timeouts: self.lock_timeouts(),
+            recovered_tmp: self.recovered_tmp(),
+            compacted: self.compacted(),
+            degraded: self.degraded(),
+        }
     }
 
     /// Stale temporary files swept by startup recovery.
@@ -459,26 +572,49 @@ impl MatrixCache {
         self.maybe_evict();
     }
 
-    /// Enforces the capacity cap after a successful store: while the
-    /// records under the directory exceed the cap, evict oldest-mtime
-    /// first (store time approximates recency: loads do not touch files).
-    /// Guarded by an advisory lock so concurrent processes do not shred
-    /// each other's working set; entirely best-effort.
+    /// Enforces the capacity cap after a successful store: best-effort on
+    /// I/O failures, but a lock-contention timeout is *counted* (the
+    /// [`MatrixCache::lock_timeouts`] health counter) and warned about —
+    /// the work is deferred to a later store, never silently dropped.
     fn maybe_evict(&self) {
-        let Some(cap) = self.state.cap else { return };
+        if let Err(timeout) = self.evict_to_cap() {
+            self.state.lock_timeouts.fetch_add(1, Ordering::Relaxed);
+            eprintln!("warning: {timeout}; eviction deferred to a later store");
+        }
+    }
+
+    /// Enforces the capacity cap now: while the records under the
+    /// directory exceed the cap, evict oldest-mtime first (store time
+    /// approximates recency: loads do not touch files), guarded by an
+    /// advisory lock so concurrent processes do not shred each other's
+    /// working set. Returns the number of records evicted; with no cap
+    /// configured (or the directory already within it) this is `Ok(0)`.
+    /// Plain I/O failures stay best-effort (counted, breaker-advanced,
+    /// `Ok`), matching the rest of the cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvictLockTimeout`] if the advisory lock stays contended
+    /// past the configured bound ([`MatrixCache::with_lock_timeout`] /
+    /// `WPSDM_CACHE_LOCK_TIMEOUT_MS`).
+    pub fn evict_to_cap(&self) -> Result<u64, EvictLockTimeout> {
+        let Some(cap) = self.state.cap else {
+            return Ok(0);
+        };
         // Unlocked pre-check: the common case (under cap) costs one
         // directory listing and no lock traffic.
         let Some(entries) = self.list_records() else {
-            return;
+            return Ok(0);
         };
         if total_record_bytes(&entries) <= cap {
-            return;
+            return Ok(0);
         }
-        if !self.acquire_evict_lock() {
-            return;
+        if !self.acquire_evict_lock()? {
+            return Ok(0);
         }
         // Re-list under the lock: another process may have evicted
         // concurrently with our pre-check.
+        let mut evicted = 0;
         if let Some(mut entries) = self.list_records() {
             entries
                 .sort_by(|a, b| (a.modified, a.name.as_str()).cmp(&(b.modified, b.name.as_str())));
@@ -491,6 +627,7 @@ impl MatrixCache {
                     Ok(()) => {
                         self.note_success();
                         self.state.evictions.fetch_add(1, Ordering::Relaxed);
+                        evicted += 1;
                         total = total.saturating_sub(entry.len);
                     }
                     Err(_) => self.note_failure(),
@@ -498,6 +635,7 @@ impl MatrixCache {
             }
         }
         let _ = self.state.io.remove_file(&self.state.dir.join(EVICT_LOCK));
+        Ok(evicted)
     }
 
     /// The current `*.wpsim` records, or `None` on a listing failure.
@@ -516,32 +654,49 @@ impl MatrixCache {
         }
     }
 
-    /// Tries to take the eviction lock with bounded retry/backoff,
-    /// breaking locks whose holder is provably dead (the lock file carries
-    /// the holder's pid). Returns false if the lock stays contended —
-    /// eviction is then skipped, never blocked on.
-    fn acquire_evict_lock(&self) -> bool {
+    /// Tries to take the eviction lock with exponential backoff bounded by
+    /// the configured timeout, breaking locks whose holder is provably
+    /// dead (the lock file carries the holder's pid). `Ok(false)` means an
+    /// I/O failure (counted, best-effort skip); a lock that stays
+    /// *contended* past the bound is the typed [`EvictLockTimeout`] — the
+    /// caller decides whether to surface or count it, never blocks.
+    fn acquire_evict_lock(&self) -> Result<bool, EvictLockTimeout> {
         let lock = self.state.dir.join(EVICT_LOCK);
         let pid_bytes = std::process::id().to_string().into_bytes();
-        for attempt in 0..LOCK_ATTEMPTS {
+        let timeout = self.state.lock_timeout;
+        let mut slept = Duration::ZERO;
+        let mut backoff = Duration::from_millis(1);
+        loop {
             match self.state.io.create_exclusive(&lock, &pid_bytes) {
-                Ok(()) => return true,
+                Ok(()) => return Ok(true),
                 Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
                     if self.lock_is_stale(&lock) {
                         // The holder died mid-eviction; break its lock and
-                        // retry immediately.
-                        let _ = self.state.io.remove_file(&lock);
+                        // retry immediately. A failed break is an I/O
+                        // problem, not contention — skip best-effort.
+                        if self.state.io.remove_file(&lock).is_err() {
+                            self.note_failure();
+                            return Ok(false);
+                        }
                         continue;
                     }
-                    std::thread::sleep(std::time::Duration::from_millis(1 << attempt));
+                    if slept >= timeout {
+                        return Err(EvictLockTimeout {
+                            lock,
+                            waited_ms: slept.as_millis() as u64,
+                        });
+                    }
+                    let nap = backoff.min(timeout - slept);
+                    std::thread::sleep(nap);
+                    slept += nap;
+                    backoff = backoff.saturating_mul(2);
                 }
                 Err(_) => {
                     self.note_failure();
-                    return false;
+                    return Ok(false);
                 }
             }
         }
-        false
     }
 
     /// True if the eviction lock's holder is provably dead. A lock we
@@ -1076,16 +1231,103 @@ mod tests {
         // A lock held by a live process: our own pid stands in for a
         // concurrent evictor.
         std::fs::write(dir.join(EVICT_LOCK), std::process::id().to_string()).expect("lock");
-        let cache = cache.with_cap(Some(1));
+        let cache = cache
+            .with_cap(Some(1))
+            .with_lock_timeout(Duration::from_millis(3));
         let point = point();
         let result = simulate_workload(&point.workload, &point.machine, &point.options);
         cache.store(&point, &result);
         assert_eq!(cache.evictions(), 0, "a held lock skips eviction");
+        assert_eq!(
+            cache.lock_timeouts(),
+            1,
+            "the abandoned pass is counted, not silently swallowed"
+        );
         assert_eq!(
             cache.load(&point),
             Some(result),
             "the store itself still lands"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn contended_lock_times_out_with_the_exact_typed_error() {
+        let cache = temp_cache("locktimeout");
+        let dir = cache.dir().to_path_buf();
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        // A lock held by a live process (our own pid): never stale, so the
+        // acquire loop must exhaust its backoff budget. A 3 ms bound sleeps
+        // exactly 1 + 2 ms, making the reported wait deterministic.
+        std::fs::write(dir.join(EVICT_LOCK), std::process::id().to_string()).expect("lock");
+        let cache = cache
+            .with_cap(Some(1))
+            .with_lock_timeout(Duration::from_millis(3));
+        let point = point();
+        let result = simulate_workload(&point.workload, &point.machine, &point.options);
+        cache.store(&point, &result);
+        let error = cache
+            .evict_to_cap()
+            .expect_err("a held lock past the bound must be a typed error");
+        assert_eq!(error.waited_ms, 3);
+        assert_eq!(error.lock, dir.join(EVICT_LOCK));
+        assert_eq!(
+            error.to_string(),
+            format!(
+                "eviction lock `{}` still contended after 3 ms; raise \
+                 WPSDM_CACHE_LOCK_TIMEOUT_MS or remove a stale lock file",
+                dir.join(EVICT_LOCK).display()
+            )
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evict_to_cap_reports_the_evicted_count() {
+        let cache = temp_cache("evictnow");
+        let record_bytes = RECORD_BYTES as u64;
+        // No cap: trivially Ok(0).
+        assert_eq!(cache.clone().with_cap(None).evict_to_cap(), Ok(0));
+        let cache = cache.with_cap(Some(record_bytes));
+        let points: Vec<SimPoint> = (0..3)
+            .map(|i| {
+                SimPoint::new(
+                    Benchmark::Li,
+                    MachineConfig::baseline(),
+                    RunOptions::quick().with_ops(2_000 + i),
+                )
+            })
+            .collect();
+        for point in &points {
+            let result = simulate_workload(&point.workload, &point.machine, &point.options);
+            cache.store(point, &result);
+            std::thread::sleep(std::time::Duration::from_millis(15));
+        }
+        // Stores already evicted down to the cap; a manual pass finds the
+        // directory within budget.
+        assert_eq!(cache.evict_to_cap(), Ok(0));
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(cache.lock_timeouts(), 0);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn health_snapshots_every_counter() {
+        let cache = temp_cache("health");
+        let point = point();
+        let result = simulate_workload(&point.workload, &point.machine, &point.options);
+        cache.store(&point, &result);
+        assert_eq!(
+            cache.health(),
+            CacheHealth {
+                io_errors: 0,
+                evictions: 0,
+                lock_timeouts: 0,
+                recovered_tmp: 0,
+                compacted: 0,
+                degraded: false,
+            }
+        );
+        let _ = std::fs::remove_dir_all(cache.dir());
     }
 }

@@ -157,6 +157,157 @@ pub fn simulate_workload(
     cpu.run(stream)
 }
 
+/// A cooperative cancellation token for [`simulate_workload_cancellable`]:
+/// a wall-clock deadline, a shared cancel flag, or both. The simulation
+/// polls it once per op block ([`wp_workloads::DEFAULT_OP_BLOCK`] ops), so
+/// cancellation latency is bounded by one block of simulation, not by the
+/// whole run — the property the service's deadline layer is built on.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    deadline: Option<std::time::Instant>,
+    flag: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+}
+
+impl CancelToken {
+    /// A token that never fires: the cancellable executor behaves exactly
+    /// like [`simulate_workload`].
+    pub fn never() -> Self {
+        Self::default()
+    }
+
+    /// Returns a copy that fires once the wall clock passes `deadline`.
+    pub fn with_deadline(mut self, deadline: std::time::Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Returns a copy that fires once `flag` is set (the service sets it on
+    /// explicit client cancellation and shutdown).
+    pub fn with_flag(mut self, flag: std::sync::Arc<std::sync::atomic::AtomicBool>) -> Self {
+        self.flag = Some(flag);
+        self
+    }
+
+    /// True once the deadline has passed or the flag is set.
+    pub fn is_cancelled(&self) -> bool {
+        if let Some(flag) = &self.flag {
+            if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                return true;
+            }
+        }
+        match self.deadline {
+            Some(deadline) => std::time::Instant::now() >= deadline,
+            None => false,
+        }
+    }
+}
+
+/// A simulation stopped by its [`CancelToken`] before completing, with the
+/// partial-progress counters the service reports in `DeadlineExceeded`
+/// errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled {
+    /// Ops the processor consumed before the token fired.
+    pub ops_completed: u64,
+    /// Ops the run would have simulated ([`RunOptions::ops`]).
+    pub ops_requested: u64,
+}
+
+impl fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "simulation cancelled after {} of {} ops",
+            self.ops_completed, self.ops_requested
+        )
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+/// Wraps a block source, polling a [`CancelToken`] once per refill: when
+/// the token fires while ops remain, the refilled block is discarded and
+/// the source reports exhaustion, recording how far the run got. The token
+/// is checked only while the inner source still produces, so a run whose
+/// last block was consumed before the deadline completes normally — a
+/// finished simulation is never misreported as cancelled. The op sequence
+/// up to the cut is untouched, so an uncancelled run is bit-identical to
+/// the unwrapped source.
+struct CancelSource<'a, S> {
+    inner: S,
+    token: &'a CancelToken,
+    ops_completed: u64,
+    cancelled: bool,
+}
+
+impl<S: wp_workloads::OpBlockSource> wp_workloads::OpBlockSource for CancelSource<'_, S> {
+    fn fill(&mut self, buf: &mut wp_workloads::OpBuffer) -> usize {
+        let produced = self.inner.fill(buf);
+        if produced == 0 {
+            return 0;
+        }
+        if self.token.is_cancelled() {
+            self.cancelled = true;
+            buf.clear();
+            return 0;
+        }
+        self.ops_completed += produced as u64;
+        produced
+    }
+}
+
+/// [`simulate_workload`] with cooperative cancellation: the run checks
+/// `token` at op-block granularity and stops early once it fires, returning
+/// [`Cancelled`] with partial-progress counters instead of a result. A run
+/// whose token never fires returns a result bit-identical to
+/// [`simulate_workload`] — the cancel seam adds no observable behaviour
+/// (asserted by the runner tests), so the service and the batch path share
+/// one executor.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] if the token fired before the workload was fully
+/// consumed; the partial [`SimResult`] is discarded (it is not a valid
+/// measurement of the point).
+///
+/// # Panics
+///
+/// Panics exactly where [`simulate_workload`] does: invalid cache
+/// configuration or a workload that fails to open.
+pub fn simulate_workload_cancellable(
+    workload: &WorkloadSpec,
+    machine: &MachineConfig,
+    options: &RunOptions,
+    token: &CancelToken,
+) -> Result<SimResult, Cancelled> {
+    let mut cpu = Processor::with_l1(
+        machine.cpu,
+        machine.l1d,
+        machine.dpolicy,
+        machine.l1i,
+        machine.ipolicy,
+    )
+    .expect("experiment cache configurations must be valid");
+    let stream = workload
+        .stream(options.ops, options.seed)
+        .unwrap_or_else(|e| panic!("workload {workload} failed to open: {e}"));
+    let mut source = CancelSource {
+        inner: wp_workloads::IterBlockSource(stream),
+        token,
+        ops_completed: 0,
+        cancelled: false,
+    };
+    let result = cpu.run_blocks(&mut source);
+    if source.cancelled {
+        Err(Cancelled {
+            ops_completed: source.ops_completed,
+            ops_requested: options.ops as u64,
+        })
+    } else {
+        Ok(result)
+    }
+}
+
 /// Builds and runs one simulation over an already-materialized shared
 /// workload stream — the gang-scheduled executor: the stream was produced
 /// once by [`wp_workloads::SharedStream::materialize`] and any number of
@@ -302,6 +453,12 @@ pub struct CliOptions {
     /// matrix/cache entries. Defaults to the `WPSDM_STREAM_MEMORY_CAP`
     /// environment override, else 64 MiB.
     pub stream_cap: Option<usize>,
+    /// Write the cache-health counters ([`crate::CacheHealth`]) as JSON to
+    /// this path after the run (`--health-json PATH`) — the machine-readable
+    /// twin of the stderr health line, and the same struct the `wp-serve`
+    /// daemon returns for a `health` request. Honoured by `run_all`;
+    /// rejected by `conformance` (which compares executors, not caches).
+    pub health_json: Option<std::path::PathBuf>,
 }
 
 impl CliOptions {
@@ -390,7 +547,7 @@ impl CliOptions {
 pub const USAGE: &str = "usage: <experiment> [--quick] [--ops N] [--seed N] [--threads N] \
                          [--json] [--profile FILE] [--no-gang] [--no-lanes] \
                          [--stream-cap BYTES] [--no-matrix-cache] [--matrix-cache-dir PATH] \
-                         [--matrix-cache-cap BYTES]";
+                         [--matrix-cache-cap BYTES] [--health-json PATH]";
 
 /// Shared body of the single-artefact binaries: parse the command line,
 /// execute the artefact's plan on the engine, render from the matrix, and
@@ -502,6 +659,10 @@ pub fn options_from_args(args: impl Iterator<Item = String>) -> Result<CliOption
                     .ok_or(CliError::MissingValue("--matrix-cache-dir"))?;
                 options.matrix_cache_dir = Some(dir.into());
             }
+            "--health-json" => {
+                let path = args.next().ok_or(CliError::MissingValue("--health-json"))?;
+                options.health_json = Some(path.into());
+            }
             "--matrix-cache-cap" => {
                 let cap: u64 = parse_value("--matrix-cache-cap", args.next())?;
                 if cap == 0 {
@@ -540,6 +701,7 @@ fn parse_value<T: std::str::FromStr>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
 
     fn parse(args: &[&str]) -> Result<CliOptions, CliError> {
         options_from_args(args.iter().map(|s| s.to_string()))
@@ -748,6 +910,75 @@ mod tests {
         );
         let error = parse(&["--threads", "x"]).unwrap_err();
         assert!(error.to_string().contains("--threads"));
+    }
+
+    #[test]
+    fn uncancelled_runs_are_bit_identical_to_the_plain_executor() {
+        let workload = WorkloadSpec::Benchmark(Benchmark::Gcc);
+        let machine = MachineConfig::baseline().with_dpolicy(DCachePolicy::SelDmWayPredict);
+        let options = RunOptions::quick().with_ops(12_000);
+        let plain = simulate_workload(&workload, &machine, &options);
+        let cancellable =
+            simulate_workload_cancellable(&workload, &machine, &options, &CancelToken::never())
+                .expect("a token that never fires must not cancel");
+        assert!(
+            plain.exact_eq(&cancellable),
+            "the cancel seam must add no observable behaviour"
+        );
+    }
+
+    #[test]
+    fn fired_tokens_cancel_with_partial_progress() {
+        let workload = WorkloadSpec::Benchmark(Benchmark::Li);
+        let machine = MachineConfig::baseline();
+        let options = RunOptions::quick().with_ops(10_000);
+        let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let token = CancelToken::never().with_flag(flag);
+        let error = simulate_workload_cancellable(&workload, &machine, &options, &token)
+            .expect_err("a pre-fired token must cancel");
+        assert_eq!(error.ops_requested, 10_000);
+        assert!(
+            error.ops_completed < error.ops_requested,
+            "a cancelled run never consumed the whole workload"
+        );
+        assert_eq!(
+            error.to_string(),
+            format!(
+                "simulation cancelled after {} of 10000 ops",
+                error.ops_completed
+            )
+        );
+    }
+
+    #[test]
+    fn expired_deadlines_cancel() {
+        let token =
+            CancelToken::never().with_deadline(std::time::Instant::now() - Duration::from_secs(1));
+        assert!(token.is_cancelled());
+        assert!(!CancelToken::never().is_cancelled());
+        let error = simulate_workload_cancellable(
+            &WorkloadSpec::Benchmark(Benchmark::Li),
+            &MachineConfig::baseline(),
+            &RunOptions::quick().with_ops(8_000),
+            &token,
+        )
+        .expect_err("an expired deadline must cancel");
+        assert!(error.ops_completed < 8_000);
+    }
+
+    #[test]
+    fn health_json_flag_parses() {
+        let default = parse(&[]).expect("valid");
+        assert_eq!(default.health_json, None);
+        let with = parse(&["--health-json", "/tmp/health.json"]).expect("valid");
+        assert_eq!(
+            with.health_json,
+            Some(std::path::PathBuf::from("/tmp/health.json"))
+        );
+        assert_eq!(
+            parse(&["--health-json"]),
+            Err(CliError::MissingValue("--health-json"))
+        );
     }
 
     #[test]

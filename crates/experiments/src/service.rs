@@ -1,0 +1,441 @@
+//! Cross-request singleflight over simulation points.
+//!
+//! The [`crate::engine::SimEngine`] dedups identical points *within one
+//! plan*; a long-running daemon needs the same guarantee *across
+//! concurrent requests*: when N clients ask for the same
+//! [`SimPoint`] while it is in flight, exactly one simulation executes and
+//! every caller observes the same outcome. [`PointService`] provides that
+//! seam — a flight table keyed by the full point configuration, a
+//! leader/follower join protocol, and a shared optional [`MatrixCache`]
+//! behind the crate's circuit breaker, so cached, freshly simulated, and
+//! coalesced responses are all bit-identical to the batch path
+//! ([`crate::runner::simulate_workload`]).
+//!
+//! The `wp-serve` daemon drives this through its worker pool; the
+//! [`PointService::run_point`] convenience (leader executes inline) is what
+//! the singleflight proptests in `tests/singleflight.rs` exercise.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use wp_cpu::SimResult;
+
+use crate::engine::SimPoint;
+use crate::matrix_cache::{CacheHealth, MatrixCache};
+use crate::runner::{simulate_workload_cancellable, CancelToken};
+
+/// How a flight ended, as observed by every joined caller.
+#[derive(Debug, Clone)]
+pub enum FlightOutcome {
+    /// The simulation completed; the result is shared by every caller and
+    /// bit-identical to the batch executor's.
+    Done(Arc<SimResult>),
+    /// The leader's cancel token fired mid-simulation.
+    Cancelled {
+        /// Ops the leader consumed before the token fired.
+        ops_completed: u64,
+        /// Ops the run would have simulated.
+        ops_requested: u64,
+    },
+    /// The leader was dropped without executing (worker shed or panicked);
+    /// followers must retry or report overload.
+    Shed,
+}
+
+/// The shared state of one in-flight point: the outcome slot plus the
+/// condvar followers park on.
+#[derive(Debug, Default)]
+struct FlightState {
+    outcome: Mutex<Option<FlightOutcome>>,
+    done: Condvar,
+}
+
+/// A handle on an in-flight (or completed) point every joined caller
+/// holds; [`Flight::wait`] parks until the leader publishes the outcome.
+#[derive(Debug, Clone)]
+pub struct Flight {
+    state: Arc<FlightState>,
+}
+
+impl Flight {
+    /// Blocks until the flight completes, or until `deadline` passes.
+    /// `None` means the deadline expired with the flight still in the air —
+    /// the outcome, when it lands, is still visible to other waiters.
+    pub fn wait(&self, deadline: Option<Instant>) -> Option<FlightOutcome> {
+        let mut outcome = self.state.outcome.lock().expect("flight lock poisoned");
+        loop {
+            if let Some(outcome) = outcome.as_ref() {
+                return Some(outcome.clone());
+            }
+            match deadline {
+                None => {
+                    outcome = self.state.done.wait(outcome).expect("flight lock poisoned");
+                }
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    let (guard, _timeout) = self
+                        .state
+                        .done
+                        .wait_timeout(outcome, deadline - now)
+                        .expect("flight lock poisoned");
+                    outcome = guard;
+                }
+            }
+        }
+    }
+}
+
+/// The leader's obligation to execute a flight. Exactly one exists per
+/// flight; dropping it without [`PointService::execute`] publishes
+/// [`FlightOutcome::Shed`] and clears the flight-table entry, so followers
+/// of a shed or panicked leader are woken instead of parked forever and
+/// the next join opens a fresh flight.
+#[derive(Debug)]
+pub struct LeaderTicket {
+    // Boxed so `Join::Leader` stays close in size to `Join::Follower`.
+    point: Box<SimPoint>,
+    state: Arc<FlightState>,
+    service: Arc<ServiceState>,
+    executed: bool,
+}
+
+/// Joining a flight either elects the caller leader (it must execute or
+/// drop the ticket) or makes it a follower of the existing flight.
+#[derive(Debug)]
+pub enum Join {
+    /// This caller opened the flight and owes it an execution.
+    Leader(LeaderTicket, Flight),
+    /// Another caller is already flying this point.
+    Follower(Flight),
+}
+
+/// A singleflight executor over [`SimPoint`]s with an optional shared
+/// [`MatrixCache`].
+///
+/// Cloning is cheap and shares the flight table, cache, and counters — the
+/// daemon hands one clone to every worker and connection handler.
+#[derive(Debug, Clone, Default)]
+pub struct PointService {
+    inner: Arc<ServiceState>,
+}
+
+#[derive(Debug, Default)]
+struct ServiceState {
+    flights: Mutex<HashMap<SimPoint, Arc<FlightState>>>,
+    cache: Option<MatrixCache>,
+    executed: AtomicU64,
+    cache_hits: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl ServiceState {
+    /// Publishes `outcome` (first writer wins), removes the flight from the
+    /// table so later joins open a fresh one, and wakes every follower.
+    /// Poisoned locks are recovered rather than propagated — this runs from
+    /// [`LeaderTicket::drop`] during unwinds.
+    fn publish(&self, point: &SimPoint, state: &Arc<FlightState>, outcome: FlightOutcome) {
+        {
+            let mut flights = self
+                .flights
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            if let Some(current) = flights.get(point) {
+                if Arc::ptr_eq(current, state) {
+                    flights.remove(point);
+                }
+            }
+        }
+        let mut slot = state
+            .outcome
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if slot.is_none() {
+            *slot = Some(outcome);
+        }
+        drop(slot);
+        state.done.notify_all();
+    }
+}
+
+impl PointService {
+    /// A service with no persistent cache: every led flight simulates.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A service backed by a shared [`MatrixCache`]: led flights consult
+    /// the cache before simulating and store fresh results back. When the
+    /// cache's circuit breaker trips, loads and stores degrade to
+    /// pass-through and the service keeps computing — graceful degradation
+    /// is the cache's contract, not special-cased here.
+    pub fn with_cache(cache: MatrixCache) -> Self {
+        Self {
+            inner: Arc::new(ServiceState {
+                cache: Some(cache),
+                ..Default::default()
+            }),
+        }
+    }
+
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&MatrixCache> {
+        self.inner.cache.as_ref()
+    }
+
+    /// The attached cache's health counters (all-zero without a cache) —
+    /// what the daemon's `health` response and `run_all --health-json`
+    /// both serialize.
+    pub fn cache_health(&self) -> CacheHealth {
+        self.inner
+            .cache
+            .as_ref()
+            .map(MatrixCache::health)
+            .unwrap_or_default()
+    }
+
+    /// Simulations actually executed (cache hits and coalesced joins do
+    /// not count) — the counter the singleflight proptests pin down.
+    pub fn executed(&self) -> u64 {
+        self.inner.executed.load(Ordering::Relaxed)
+    }
+
+    /// Led flights served from the cache instead of simulating.
+    pub fn cache_hits(&self) -> u64 {
+        self.inner.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Joins that found the point already in flight and followed it.
+    pub fn coalesced(&self) -> u64 {
+        self.inner.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Joins the flight for `point`, opening it if nobody is flying it.
+    pub fn join(&self, point: &SimPoint) -> Join {
+        let mut flights = self.inner.flights.lock().expect("flight table poisoned");
+        if let Some(state) = flights.get(point) {
+            self.inner.coalesced.fetch_add(1, Ordering::Relaxed);
+            return Join::Follower(Flight {
+                state: Arc::clone(state),
+            });
+        }
+        let state = Arc::new(FlightState::default());
+        flights.insert(point.clone(), Arc::clone(&state));
+        Join::Leader(
+            LeaderTicket {
+                point: Box::new(point.clone()),
+                state: Arc::clone(&state),
+                service: Arc::clone(&self.inner),
+                executed: false,
+            },
+            Flight { state },
+        )
+    }
+
+    /// Executes a led flight: consult the cache, simulate under `token` if
+    /// it misses, store fresh results back, and publish the outcome to
+    /// every follower. Returns the published outcome.
+    pub fn execute(&self, mut ticket: LeaderTicket, token: &CancelToken) -> FlightOutcome {
+        ticket.executed = true;
+        let outcome = self.compute(&ticket.point, token);
+        self.inner
+            .publish(&ticket.point, &ticket.state, outcome.clone());
+        outcome
+    }
+
+    fn compute(&self, point: &SimPoint, token: &CancelToken) -> FlightOutcome {
+        if token.is_cancelled() {
+            return FlightOutcome::Cancelled {
+                ops_completed: 0,
+                ops_requested: point.options.ops as u64,
+            };
+        }
+        if let Some(cache) = &self.inner.cache {
+            if let Some(result) = cache.load(point) {
+                self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return FlightOutcome::Done(Arc::new(result));
+            }
+        }
+        self.inner.executed.fetch_add(1, Ordering::Relaxed);
+        match simulate_workload_cancellable(&point.workload, &point.machine, &point.options, token)
+        {
+            Ok(result) => {
+                if let Some(cache) = &self.inner.cache {
+                    cache.store(point, &result);
+                }
+                FlightOutcome::Done(Arc::new(result))
+            }
+            Err(cancelled) => FlightOutcome::Cancelled {
+                ops_completed: cancelled.ops_completed,
+                ops_requested: cancelled.ops_requested,
+            },
+        }
+    }
+
+    /// Joins, and if elected leader executes inline — the convenience the
+    /// daemon's workers and the proptests share: every caller of the same
+    /// in-flight point gets the same outcome, and exactly one simulation
+    /// runs.
+    pub fn run_point(&self, point: &SimPoint, token: &CancelToken) -> FlightOutcome {
+        match self.join(point) {
+            Join::Leader(ticket, _flight) => self.execute(ticket, token),
+            Join::Follower(flight) => flight
+                .wait(None)
+                .expect("an unbounded wait always observes the outcome"),
+        }
+    }
+}
+
+impl Drop for LeaderTicket {
+    fn drop(&mut self) {
+        if self.executed {
+            return;
+        }
+        // The leader died (shed, panicked, or dropped): publish `Shed` so
+        // followers wake and retry instead of parking forever, and clear
+        // the table entry so the next join opens a fresh flight.
+        self.service
+            .publish(&self.point, &self.state, FlightOutcome::Shed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{MachineConfig, RunOptions};
+    use wp_workloads::Benchmark;
+
+    fn point(ops: usize) -> SimPoint {
+        SimPoint::new(
+            Benchmark::Li,
+            MachineConfig::baseline(),
+            RunOptions::quick().with_ops(ops),
+        )
+    }
+
+    #[test]
+    fn a_lone_caller_leads_and_executes_once() {
+        let service = PointService::new();
+        let point = point(2_000);
+        let a = service.run_point(&point, &CancelToken::never());
+        let b = service.run_point(&point, &CancelToken::never());
+        assert_eq!(service.executed(), 2, "sequential calls are not coalesced");
+        let (FlightOutcome::Done(a), FlightOutcome::Done(b)) = (a, b) else {
+            panic!("uncancelled runs complete");
+        };
+        assert!(a.exact_eq(&b));
+    }
+
+    #[test]
+    fn followers_share_the_leaders_result() {
+        let service = PointService::new();
+        let point = point(30_000);
+        let threads = 6;
+        let barrier = std::sync::Barrier::new(threads);
+        let results: Vec<FlightOutcome> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        barrier.wait();
+                        service.run_point(&point, &CancelToken::never())
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("worker panicked"))
+                .collect()
+        });
+        assert!(
+            service.executed() >= 1,
+            "someone must have led the first flight"
+        );
+        assert!(
+            service.executed() + service.coalesced() >= threads as u64,
+            "every caller either led or followed"
+        );
+        let mut iter = results.into_iter();
+        let FlightOutcome::Done(first) = iter.next().expect("six results") else {
+            panic!("uncancelled runs complete");
+        };
+        for outcome in iter {
+            let FlightOutcome::Done(result) = outcome else {
+                panic!("uncancelled runs complete");
+            };
+            assert!(first.exact_eq(&result), "every caller gets the same bytes");
+        }
+    }
+
+    #[test]
+    fn dropped_leaders_shed_their_followers() {
+        let service = PointService::new();
+        let point = point(2_000);
+        let Join::Leader(ticket, flight) = service.join(&point) else {
+            panic!("first join leads");
+        };
+        let Join::Follower(follower) = service.join(&point) else {
+            panic!("second join follows");
+        };
+        drop(ticket);
+        assert!(matches!(
+            follower.wait(None),
+            Some(FlightOutcome::Shed) | None
+        ));
+        assert!(matches!(flight.wait(None), Some(FlightOutcome::Shed)));
+        assert_eq!(service.executed(), 0);
+        // The shed flight is not sticky: the next join opens a fresh one.
+        assert!(matches!(service.join(&point), Join::Leader(..)));
+    }
+
+    #[test]
+    fn cache_hits_bypass_execution_but_return_identical_bytes() {
+        let dir =
+            std::env::temp_dir().join(format!("wpsdm-service-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = PointService::with_cache(MatrixCache::new(&dir));
+        let point = point(2_000);
+        let FlightOutcome::Done(cold) = service.run_point(&point, &CancelToken::never()) else {
+            panic!("uncancelled runs complete");
+        };
+        assert_eq!((service.executed(), service.cache_hits()), (1, 0));
+        let FlightOutcome::Done(warm) = service.run_point(&point, &CancelToken::never()) else {
+            panic!("uncancelled runs complete");
+        };
+        assert_eq!((service.executed(), service.cache_hits()), (1, 1));
+        assert!(cold.exact_eq(&warm), "warm results are bit-identical");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fired_tokens_cancel_with_progress() {
+        let service = PointService::new();
+        let flag = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let token = CancelToken::never().with_flag(flag);
+        let outcome = service.run_point(&point(5_000), &token);
+        let FlightOutcome::Cancelled {
+            ops_completed,
+            ops_requested,
+        } = outcome
+        else {
+            panic!("a pre-fired token must cancel");
+        };
+        assert_eq!(ops_requested, 5_000);
+        assert_eq!(ops_completed, 0, "the token was checked before simulating");
+    }
+
+    #[test]
+    fn waits_respect_deadlines() {
+        let service = PointService::new();
+        let point = point(2_000);
+        let Join::Leader(_ticket, flight) = service.join(&point) else {
+            panic!("first join leads");
+        };
+        // The leader never executes within the wait window.
+        let waited = flight.wait(Some(Instant::now() + std::time::Duration::from_millis(20)));
+        assert!(waited.is_none(), "the deadline expired mid-flight");
+    }
+}

@@ -80,6 +80,11 @@ fn run_all_rejects_bad_command_lines_with_exact_messages() {
         &["--matrix-cache-cap", "0"],
         "invalid value `0` for flag `--matrix-cache-cap`",
     );
+    assert_cli_error(
+        bin,
+        &["--health-json"],
+        "flag `--health-json` requires a value",
+    );
 }
 
 #[test]
@@ -246,5 +251,10 @@ fn conformance_rejects_bad_command_lines_with_exact_messages() {
         bin,
         &["--matrix-cache-cap", "4096"],
         "flag `--matrix-cache-cap` is not supported by conformance",
+    );
+    assert_cli_error(
+        bin,
+        &["--health-json", "/tmp/health.json"],
+        "flag `--health-json` is not supported by conformance",
     );
 }

@@ -1,0 +1,66 @@
+//! `run_all --health-json PATH` end-to-end: the flag writes the
+//! machine-readable `CacheHealth` snapshot — the same schema the wp-serve
+//! daemon returns under `health.cache` — and failures to write it are
+//! reported, not swallowed.
+
+use std::process::Command;
+
+#[test]
+fn run_all_writes_the_cache_health_snapshot() {
+    let dir = std::env::temp_dir().join(format!("wpsdm-health-json-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let health_path = dir.join("health.json");
+    let output = Command::new(env!("CARGO_BIN_EXE_run_all"))
+        .args(["--ops", "1500", "--json", "--health-json"])
+        .arg(&health_path)
+        .args(["--matrix-cache-dir"])
+        .arg(dir.join("cache"))
+        .output()
+        .expect("run_all spawns");
+    assert!(
+        output.status.success(),
+        "run_all failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let health = std::fs::read_to_string(&health_path).expect("health file written");
+    let value = serde_json::from_str(&health).expect("health file is JSON");
+    for counter in [
+        "io_errors",
+        "evictions",
+        "lock_timeouts",
+        "recovered_tmp",
+        "compacted",
+    ] {
+        assert!(
+            value.get(counter).and_then(serde::Value::as_u64).is_some(),
+            "missing counter `{counter}` in {health}"
+        );
+    }
+    assert_eq!(
+        value.get("degraded").and_then(serde::Value::as_bool),
+        Some(false),
+        "a healthy run is not degraded: {health}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn an_unwritable_health_json_path_fails_loudly() {
+    let output = Command::new(env!("CARGO_BIN_EXE_run_all"))
+        .args([
+            "--ops",
+            "1500",
+            "--health-json",
+            "/nonexistent-dir/health.json",
+            "--no-matrix-cache",
+        ])
+        .output()
+        .expect("run_all spawns");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("error: cannot write --health-json /nonexistent-dir/health.json:"),
+        "got: {stderr}"
+    );
+}

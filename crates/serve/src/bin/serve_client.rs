@@ -1,0 +1,225 @@
+//! A CLI client for the wp-serve daemon — and the local reference it is
+//! diffed against.
+//!
+//! Usage: `serve_client --connect ADDR [--workload NAME] [--ops N]
+//! [--seed N] [--dpolicy LABEL] [--ipolicy LABEL] [--assoc N]
+//! [--deadline-ms N] [--repeat K] [--health] [--shutdown]`
+//! or `serve_client --batch [point flags]`.
+//!
+//! The default action sends one `simulate` request and prints the response
+//! payload. `--repeat K` opens K concurrent connections all asking for the
+//! same point (a stampede: the daemon's singleflight executes one
+//! simulation) and prints all K responses, one per line. `--batch` skips
+//! the daemon entirely: it simulates the same point in-process and renders
+//! it through the same [`wp_serve::protocol::ok_response`] — so
+//! `diff <(serve_client --batch ...) <(serve_client --connect ...)` is the
+//! byte-identity check CI runs.
+
+use std::time::Duration;
+
+use wp_experiments::{simulate_workload, CliError, MachineConfig, RunOptions, SimPoint};
+use wp_serve::protocol;
+use wp_serve::Client;
+use wp_workloads::WorkloadSpec;
+
+const USAGE: &str = "usage: serve_client (--connect ADDR | --batch) [--workload NAME] \
+                     [--ops N] [--seed N] [--dpolicy LABEL] [--ipolicy LABEL] [--assoc N] \
+                     [--deadline-ms N] [--repeat K] [--health] [--shutdown]";
+
+enum Action {
+    Simulate,
+    Health,
+    Shutdown,
+}
+
+struct ClientOptions {
+    connect: Option<String>,
+    batch: bool,
+    workload: String,
+    ops: u64,
+    seed: u64,
+    dpolicy: Option<String>,
+    ipolicy: Option<String>,
+    assoc: Option<u64>,
+    deadline_ms: Option<u64>,
+    repeat: u64,
+    action: Action,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        Self {
+            connect: None,
+            batch: false,
+            workload: "gcc".to_string(),
+            ops: 4_000,
+            seed: 42,
+            dpolicy: None,
+            ipolicy: None,
+            assoc: None,
+            deadline_ms: None,
+            repeat: 1,
+            action: Action::Simulate,
+        }
+    }
+}
+
+fn positive(flag: &'static str, value: Option<String>) -> Result<u64, CliError> {
+    let value = value.ok_or(CliError::MissingValue(flag))?;
+    match value.parse::<u64>() {
+        Ok(0) | Err(_) => Err(CliError::InvalidValue(flag, value)),
+        Ok(parsed) => Ok(parsed),
+    }
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<ClientOptions, CliError> {
+    let mut options = ClientOptions::default();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => {
+                options.connect = Some(args.next().ok_or(CliError::MissingValue("--connect"))?);
+            }
+            "--batch" => options.batch = true,
+            "--workload" => {
+                options.workload = args.next().ok_or(CliError::MissingValue("--workload"))?;
+            }
+            "--ops" => options.ops = positive("--ops", args.next())?,
+            "--seed" => options.seed = positive("--seed", args.next())?,
+            "--dpolicy" => {
+                options.dpolicy = Some(args.next().ok_or(CliError::MissingValue("--dpolicy"))?);
+            }
+            "--ipolicy" => {
+                options.ipolicy = Some(args.next().ok_or(CliError::MissingValue("--ipolicy"))?);
+            }
+            "--assoc" => options.assoc = Some(positive("--assoc", args.next())?),
+            "--deadline-ms" => options.deadline_ms = Some(positive("--deadline-ms", args.next())?),
+            "--repeat" => options.repeat = positive("--repeat", args.next())?,
+            "--health" => options.action = Action::Health,
+            "--shutdown" => options.action = Action::Shutdown,
+            other => return Err(CliError::UnknownFlag(other.to_string())),
+        }
+    }
+    Ok(options)
+}
+
+/// Builds the simulation point the flags describe, mirroring the daemon's
+/// request validation so a bad flag fails here with exit 2 instead of as a
+/// `bad_request` response.
+fn point_from(options: &ClientOptions) -> Result<SimPoint, CliError> {
+    let Some(workload) = WorkloadSpec::parse(&options.workload) else {
+        return Err(CliError::InvalidValue(
+            "--workload",
+            options.workload.clone(),
+        ));
+    };
+    let mut machine = MachineConfig::baseline();
+    if let Some(label) = &options.dpolicy {
+        let Some(dpolicy) = wp_cache::DCachePolicy::parse(label) else {
+            return Err(CliError::InvalidValue("--dpolicy", label.clone()));
+        };
+        machine = machine.with_dpolicy(dpolicy);
+    }
+    if let Some(label) = &options.ipolicy {
+        let Some(ipolicy) = wp_cache::ICachePolicy::parse(label) else {
+            return Err(CliError::InvalidValue("--ipolicy", label.clone()));
+        };
+        machine = machine.with_ipolicy(ipolicy);
+    }
+    if let Some(assoc) = options.assoc {
+        machine = machine.with_l1d(machine.l1d.with_associativity(assoc as usize));
+    }
+    let run = RunOptions::default()
+        .with_ops(options.ops as usize)
+        .with_seed(options.seed);
+    Ok(SimPoint::with_workload(workload, machine, run))
+}
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let options = match parse_args(std::env::args().skip(1)) {
+        Ok(options) => options,
+        Err(error) => {
+            eprintln!("error: {error}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    if options.batch {
+        // The local reference path: same simulation, same renderer, no
+        // daemon — what daemon responses are diffed against.
+        let point = match point_from(&options) {
+            Ok(point) => point,
+            Err(error) => {
+                eprintln!("error: {error}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        };
+        let result = simulate_workload(&point.workload, &point.machine, &point.options);
+        println!("{}", protocol::ok_response(1, &result));
+        return;
+    }
+
+    let Some(connect) = options.connect.clone() else {
+        eprintln!("error: flag `--connect` (or `--batch`) is required");
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+
+    let request = match options.action {
+        Action::Health => "{\"v\":1,\"id\":1,\"type\":\"health\"}".to_string(),
+        Action::Shutdown => "{\"v\":1,\"id\":1,\"type\":\"shutdown\"}".to_string(),
+        Action::Simulate => {
+            let point = match point_from(&options) {
+                Ok(point) => point,
+                Err(error) => {
+                    eprintln!("error: {error}");
+                    eprintln!("{USAGE}");
+                    std::process::exit(2);
+                }
+            };
+            protocol::simulate_request(1, &point, options.deadline_ms)
+        }
+    };
+
+    if options.repeat == 1 {
+        let mut client = Client::connect(&connect).unwrap_or_else(|e| fail(e));
+        let _ = client.set_timeout(Duration::from_secs(600));
+        let response = client.request(&request).unwrap_or_else(|e| fail(e));
+        println!("{response}");
+        return;
+    }
+
+    // A stampede: `--repeat K` concurrent connections, every one asking for
+    // the same point at the same time. The daemon's singleflight coalesces
+    // them onto one simulation; every response carries the same bytes.
+    let responses: Vec<Result<String, std::io::Error>> = std::thread::scope(|scope| {
+        let request = &request;
+        let connect = &connect;
+        let handles: Vec<_> = (0..options.repeat)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(connect)?;
+                    client.set_timeout(Duration::from_secs(600))?;
+                    client.request(request)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("stampede thread panicked"))
+            .collect()
+    });
+    for response in responses {
+        match response {
+            Ok(response) => println!("{response}"),
+            Err(error) => fail(error),
+        }
+    }
+}

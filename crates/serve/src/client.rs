@@ -1,0 +1,92 @@
+//! A tiny synchronous client for the wp-serve protocol.
+//!
+//! One connection, one request/response pair at a time — enough for the
+//! `serve_client` CLI, the CI byte-identity check, and the soak harness.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::protocol::{read_frame, write_frame};
+use crate::server::Listen;
+
+/// A connected client. Dropping it closes the connection.
+pub struct Client {
+    stream: Stream,
+}
+
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Client {
+    /// Dials `spec` using the same rule as the daemon's `--listen`:
+    /// anything containing `/` is a Unix socket path, else a TCP address.
+    pub fn connect(spec: &str) -> io::Result<Client> {
+        let stream = match Listen::parse(spec) {
+            Listen::Tcp(addr) => Stream::Tcp(TcpStream::connect(addr)?),
+            #[cfg(unix)]
+            Listen::Unix(path) => Stream::Unix(std::os::unix::net::UnixStream::connect(path)?),
+            #[cfg(not(unix))]
+            Listen::Unix(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "unix sockets are not supported on this platform",
+                ))
+            }
+        };
+        Ok(Client { stream })
+    }
+
+    /// Bounds how long [`Client::request`] blocks on the response.
+    pub fn set_timeout(&self, timeout: Duration) -> io::Result<()> {
+        match &self.stream {
+            Stream::Tcp(stream) => stream.set_read_timeout(Some(timeout)),
+            #[cfg(unix)]
+            Stream::Unix(stream) => stream.set_read_timeout(Some(timeout)),
+        }
+    }
+
+    /// Sends one request payload and returns the response payload.
+    pub fn request(&mut self, payload: &str) -> io::Result<String> {
+        write_frame(&mut self.stream, payload.as_bytes())?;
+        let response = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "the daemon closed the connection without responding",
+            )
+        })?;
+        String::from_utf8(response)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response payload"))
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(stream) => stream.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(stream) => stream.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Tcp(stream) => stream.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(stream) => stream.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Tcp(stream) => stream.flush(),
+            #[cfg(unix)]
+            Stream::Unix(stream) => stream.flush(),
+        }
+    }
+}

@@ -1,0 +1,573 @@
+//! The wire protocol: length-prefixed JSON frames, versioned requests, and
+//! deterministic response rendering.
+//!
+//! A frame is a 4-byte little-endian payload length followed by that many
+//! bytes of UTF-8 JSON; frames above [`MAX_FRAME_BYTES`] are rejected
+//! before allocation. Every request carries `{"v": 1, "id": N, "type":
+//! ...}`; see `docs/SERVICE.md` for the full request/response taxonomy.
+//!
+//! Response rendering is centralised here — the daemon's workers and the
+//! `serve_client --batch` local path call the same [`ok_response`], so
+//! "daemon bytes equal batch bytes for the same point" is a property of
+//! this module, not of two renderers kept manually in sync. Simulation
+//! results travel as the [`SimResult::fields`] name → IEEE-754-bit map,
+//! the crate's canonical exact-equality contract.
+
+use std::io::{self, Read, Write};
+
+use serde::Value;
+use wp_cpu::{Processor, SimResult};
+use wp_experiments::matrix_cache::CacheHealth;
+use wp_experiments::{MachineConfig, RunOptions, SimPoint};
+use wp_workloads::WorkloadSpec;
+
+/// The protocol version this build speaks; requests with any other `v` are
+/// rejected with `bad_request`.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Upper bound on one frame's payload, checked before allocating.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    writer.write_all(&len.to_le_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` is a clean end-of-stream
+/// (EOF before any length byte); EOF mid-frame is an error.
+pub fn read_frame(reader: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match reader.read(&mut len) {
+        Ok(0) => return Ok(None),
+        Ok(mut got) => {
+            while got < len.len() {
+                let more = reader.read(&mut len[got..])?;
+                if more == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    ));
+                }
+                got += more;
+            }
+        }
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// The typed error taxonomy every non-`ok` response carries; see
+/// `docs/SERVICE.md` for when each fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The admission queue (or a per-connection budget) is full; retry
+    /// later, against the shed request only — nothing partially ran.
+    Overloaded,
+    /// The request's deadline expired; partial-progress counters ride
+    /// along.
+    DeadlineExceeded,
+    /// The daemon is draining for shutdown and admits nothing new.
+    ShuttingDown,
+    /// The request frame did not parse or validate.
+    BadRequest,
+    /// The daemon failed internally (worker died mid-flight).
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling of the code.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// A parsed, validated request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Simulate one point, bounded by a deadline.
+    Simulate {
+        /// Client-chosen request id, echoed in the response.
+        id: u64,
+        /// The full simulation configuration (boxed to keep the request
+        /// enum's variants close in size).
+        point: Box<SimPoint>,
+        /// Deadline override in milliseconds (`None` = server default).
+        deadline_ms: Option<u64>,
+    },
+    /// Report the daemon's health counters.
+    Health {
+        /// Client-chosen request id, echoed in the response.
+        id: u64,
+    },
+    /// Ask the daemon to drain and exit (the portable twin of SIGTERM).
+    Shutdown {
+        /// Client-chosen request id, echoed in the response.
+        id: u64,
+    },
+}
+
+/// Parses and validates one request payload. On error, returns the
+/// best-effort request id (0 if the frame never got that far) and the
+/// `bad_request` message.
+pub fn parse_request(payload: &[u8]) -> Result<Request, (u64, String)> {
+    let text = std::str::from_utf8(payload).map_err(|_| (0, "frame is not UTF-8".to_string()))?;
+    let value = serde_json::from_str(text).map_err(|e| (0, format!("invalid JSON: {e}")))?;
+    let Some(fields) = value.as_object() else {
+        return Err((0, "request must be a JSON object".to_string()));
+    };
+    let id = value.get("id").and_then(Value::as_u64).unwrap_or(0);
+    let fail = |message: String| Err((id, message));
+
+    match value.get("v").and_then(Value::as_u64) {
+        Some(PROTOCOL_VERSION) => {}
+        Some(v) => return fail(format!("unsupported protocol version `{v}`")),
+        None => return fail("missing field `v`".to_string()),
+    }
+    if value.get("id").and_then(Value::as_u64).is_none() {
+        return fail("missing field `id`".to_string());
+    }
+    let Some(kind) = value.get("type").and_then(Value::as_str) else {
+        return fail("missing field `type`".to_string());
+    };
+
+    let allowed: &[&str] = match kind {
+        "simulate" => &[
+            "v",
+            "id",
+            "type",
+            "workload",
+            "ops",
+            "seed",
+            "deadline_ms",
+            "machine",
+        ],
+        "health" | "shutdown" => &["v", "id", "type"],
+        other => return fail(format!("unknown request type `{other}`")),
+    };
+    for (key, _) in fields {
+        if !allowed.contains(&key.as_str()) {
+            return fail(format!("unknown field `{key}`"));
+        }
+    }
+
+    match kind {
+        "health" => Ok(Request::Health { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        "simulate" => {
+            let Some(name) = value.get("workload").and_then(Value::as_str) else {
+                return fail("missing field `workload`".to_string());
+            };
+            let Some(workload) = WorkloadSpec::parse(name) else {
+                return fail(format!("unknown workload `{name}`"));
+            };
+            let Some(ops) = value.get("ops").and_then(Value::as_u64) else {
+                return fail("missing field `ops`".to_string());
+            };
+            if ops == 0 {
+                return fail("field `ops` must be positive".to_string());
+            }
+            let seed = match value.get("seed") {
+                None => 42,
+                Some(seed) => match seed.as_u64() {
+                    Some(seed) => seed,
+                    None => return fail("field `seed` must be an unsigned integer".to_string()),
+                },
+            };
+            let deadline_ms = match value.get("deadline_ms") {
+                None => None,
+                Some(deadline) => match deadline.as_u64() {
+                    Some(0) | None => {
+                        return fail("field `deadline_ms` must be positive".to_string())
+                    }
+                    Some(ms) => Some(ms),
+                },
+            };
+            let machine = match value.get("machine") {
+                None => MachineConfig::baseline(),
+                Some(machine) => parse_machine(machine).map_err(|message| (id, message))?,
+            };
+            let options = RunOptions::default().with_ops(ops as usize).with_seed(seed);
+            let point = SimPoint::with_workload(workload, machine, options);
+            Ok(Request::Simulate {
+                id,
+                point: Box::new(point),
+                deadline_ms,
+            })
+        }
+        _ => unreachable!("type was matched against the allowed list"),
+    }
+}
+
+/// Parses the optional `machine` object — policy labels plus a d-cache
+/// associativity override on the paper baseline — and validates the
+/// result by constructing the processor it describes, so an invalid
+/// configuration is a `bad_request` here and never a panic in a worker.
+fn parse_machine(value: &Value) -> Result<MachineConfig, String> {
+    let Some(fields) = value.as_object() else {
+        return Err("field `machine` must be an object".to_string());
+    };
+    for (key, _) in fields {
+        if !["dpolicy", "ipolicy", "assoc"].contains(&key.as_str()) {
+            return Err(format!("unknown machine field `{key}`"));
+        }
+    }
+    let mut machine = MachineConfig::baseline();
+    if let Some(label) = value.get("dpolicy") {
+        let Some(label) = label.as_str() else {
+            return Err("machine field `dpolicy` must be a string".to_string());
+        };
+        let Some(dpolicy) = wp_cache::DCachePolicy::parse(label) else {
+            return Err(format!("unknown d-cache policy `{label}`"));
+        };
+        machine = machine.with_dpolicy(dpolicy);
+    }
+    if let Some(label) = value.get("ipolicy") {
+        let Some(label) = label.as_str() else {
+            return Err("machine field `ipolicy` must be a string".to_string());
+        };
+        let Some(ipolicy) = wp_cache::ICachePolicy::parse(label) else {
+            return Err(format!("unknown i-cache policy `{label}`"));
+        };
+        machine = machine.with_ipolicy(ipolicy);
+    }
+    if let Some(assoc) = value.get("assoc") {
+        let Some(assoc) = assoc.as_u64() else {
+            return Err("machine field `assoc` must be an unsigned integer".to_string());
+        };
+        machine = machine.with_l1d(machine.l1d.with_associativity(assoc as usize));
+    }
+    Processor::with_l1(
+        machine.cpu,
+        machine.l1d,
+        machine.dpolicy,
+        machine.l1i,
+        machine.ipolicy,
+    )
+    .map_err(|e| format!("invalid machine configuration: {e}"))?;
+    Ok(machine)
+}
+
+/// A hand-built [`Value`] serialised as-is.
+struct Raw(Value);
+
+impl serde::Serialize for Raw {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+fn render(value: Value) -> String {
+    serde_json::to_string(&Raw(value)).expect("JSON rendering is infallible")
+}
+
+fn envelope(id: u64, ok: bool) -> Vec<(String, Value)> {
+    vec![
+        ("v".to_string(), Value::UInt(PROTOCOL_VERSION)),
+        ("id".to_string(), Value::UInt(id)),
+        ("ok".to_string(), Value::Bool(ok)),
+    ]
+}
+
+/// Renders a successful simulation response: the [`SimResult::fields`]
+/// name → u64-bits map, in the canonical field order. Deterministic down
+/// to the byte for equal results — the property the soak harness diffs.
+pub fn ok_response(id: u64, result: &SimResult) -> String {
+    let fields = result
+        .fields()
+        .iter()
+        .map(|&(name, bits)| (name.to_string(), Value::UInt(bits)))
+        .collect();
+    let mut response = envelope(id, true);
+    response.push(("result".to_string(), Value::Object(fields)));
+    render(Value::Object(response))
+}
+
+/// Renders a bare acknowledgement (the `shutdown` response).
+pub fn ack_response(id: u64) -> String {
+    render(Value::Object(envelope(id, true)))
+}
+
+/// Renders the `health` response: the same [`CacheHealth`] struct
+/// `run_all --health-json` writes, under `health.cache`, plus the
+/// daemon's singleflight counters and lifecycle state.
+pub fn health_response(
+    id: u64,
+    cache: &CacheHealth,
+    executed: u64,
+    cache_hits: u64,
+    coalesced: u64,
+    shutting_down: bool,
+) -> String {
+    let health = vec![
+        ("cache".to_string(), serde::Serialize::to_value(cache)),
+        ("degraded".to_string(), Value::Bool(cache.degraded)),
+        ("executed".to_string(), Value::UInt(executed)),
+        ("cache_hits".to_string(), Value::UInt(cache_hits)),
+        ("coalesced".to_string(), Value::UInt(coalesced)),
+        ("shutting_down".to_string(), Value::Bool(shutting_down)),
+    ];
+    let mut response = envelope(id, true);
+    response.push(("health".to_string(), Value::Object(health)));
+    render(Value::Object(response))
+}
+
+/// Renders a typed error response.
+pub fn error_response(id: u64, code: ErrorCode, message: &str) -> String {
+    let error = vec![
+        ("code".to_string(), Value::Str(code.as_str().to_string())),
+        ("message".to_string(), Value::Str(message.to_string())),
+    ];
+    let mut response = envelope(id, false);
+    response.push(("error".to_string(), Value::Object(error)));
+    render(Value::Object(response))
+}
+
+/// Renders a `deadline_exceeded` error with partial-progress counters.
+pub fn deadline_response(id: u64, ops_completed: u64, ops_requested: u64) -> String {
+    let error = vec![
+        (
+            "code".to_string(),
+            Value::Str(ErrorCode::DeadlineExceeded.as_str().to_string()),
+        ),
+        (
+            "message".to_string(),
+            Value::Str(format!(
+                "deadline exceeded after {ops_completed} of {ops_requested} ops"
+            )),
+        ),
+        ("ops_completed".to_string(), Value::UInt(ops_completed)),
+        ("ops_requested".to_string(), Value::UInt(ops_requested)),
+    ];
+    let mut response = envelope(id, false);
+    response.push(("error".to_string(), Value::Object(error)));
+    render(Value::Object(response))
+}
+
+/// Builds the `simulate` request JSON for `point` — the client-side twin
+/// of [`parse_request`], shared by `serve_client` and the test harnesses.
+/// Only baseline-derived machines expressible in the protocol's `machine`
+/// object (d-policy, i-policy, d-cache associativity) round-trip; that is
+/// exactly the shape `serve_client` can ask for.
+pub fn simulate_request(id: u64, point: &SimPoint, deadline_ms: Option<u64>) -> String {
+    let mut request = vec![
+        ("v".to_string(), Value::UInt(PROTOCOL_VERSION)),
+        ("id".to_string(), Value::UInt(id)),
+        ("type".to_string(), Value::Str("simulate".to_string())),
+        ("workload".to_string(), Value::Str(point.workload.label())),
+        ("ops".to_string(), Value::UInt(point.options.ops as u64)),
+        ("seed".to_string(), Value::UInt(point.options.seed)),
+    ];
+    if let Some(ms) = deadline_ms {
+        request.push(("deadline_ms".to_string(), Value::UInt(ms)));
+    }
+    let baseline = MachineConfig::baseline();
+    let mut machine = Vec::new();
+    if point.machine.dpolicy != baseline.dpolicy {
+        machine.push((
+            "dpolicy".to_string(),
+            Value::Str(point.machine.dpolicy.label().to_string()),
+        ));
+    }
+    if point.machine.ipolicy != baseline.ipolicy {
+        machine.push((
+            "ipolicy".to_string(),
+            Value::Str(point.machine.ipolicy.label().to_string()),
+        ));
+    }
+    if point.machine.l1d.associativity != baseline.l1d.associativity {
+        machine.push((
+            "assoc".to_string(),
+            Value::UInt(point.machine.l1d.associativity as u64),
+        ));
+    }
+    if !machine.is_empty() {
+        request.push(("machine".to_string(), Value::Object(machine)));
+    }
+    render(Value::Object(request))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wp_cache::DCachePolicy;
+    use wp_workloads::Benchmark;
+
+    fn parse(json: &str) -> Result<Request, (u64, String)> {
+        parse_request(json.as_bytes())
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"{\"v\":1}").expect("write");
+        write_frame(&mut wire, b"").expect("write");
+        let mut reader = wire.as_slice();
+        assert_eq!(
+            read_frame(&mut reader).expect("read"),
+            Some(b"{\"v\":1}".to_vec())
+        );
+        assert_eq!(read_frame(&mut reader).expect("read"), Some(Vec::new()));
+        assert_eq!(read_frame(&mut reader).expect("read"), None);
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_are_errors() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME_BYTES as u32 + 1).to_le_bytes());
+        assert!(read_frame(&mut wire.as_slice()).is_err());
+        let mut truncated = Vec::new();
+        truncated.extend_from_slice(&8u32.to_le_bytes());
+        truncated.extend_from_slice(b"abc");
+        assert!(read_frame(&mut truncated.as_slice()).is_err());
+    }
+
+    #[test]
+    fn simulate_requests_round_trip_through_the_builder() {
+        let point = SimPoint::new(
+            Benchmark::Gcc,
+            MachineConfig::baseline().with_dpolicy(DCachePolicy::SelDmWayPredict),
+            RunOptions::quick().with_ops(4_000).with_seed(7),
+        );
+        let json = simulate_request(3, &point, Some(500));
+        let Request::Simulate {
+            id,
+            point: parsed,
+            deadline_ms,
+        } = parse(&json).expect("round trip")
+        else {
+            panic!("a simulate request parses as simulate");
+        };
+        assert_eq!(id, 3);
+        assert_eq!(deadline_ms, Some(500));
+        assert_eq!(*parsed, point);
+    }
+
+    #[test]
+    fn version_and_shape_violations_are_rejected_with_the_offending_detail() {
+        let cases = [
+            ("{\"id\":1,\"type\":\"health\"}", "missing field `v`"),
+            (
+                "{\"v\":2,\"id\":1,\"type\":\"health\"}",
+                "unsupported protocol version `2`",
+            ),
+            ("{\"v\":1,\"type\":\"health\"}", "missing field `id`"),
+            ("{\"v\":1,\"id\":1}", "missing field `type`"),
+            (
+                "{\"v\":1,\"id\":1,\"type\":\"frobnicate\"}",
+                "unknown request type `frobnicate`",
+            ),
+            (
+                "{\"v\":1,\"id\":1,\"type\":\"health\",\"extra\":0}",
+                "unknown field `extra`",
+            ),
+            (
+                "{\"v\":1,\"id\":1,\"type\":\"simulate\",\"ops\":100}",
+                "missing field `workload`",
+            ),
+            (
+                "{\"v\":1,\"id\":1,\"type\":\"simulate\",\"workload\":\"nonesuch\",\"ops\":100}",
+                "unknown workload `nonesuch`",
+            ),
+            (
+                "{\"v\":1,\"id\":1,\"type\":\"simulate\",\"workload\":\"gcc\"}",
+                "missing field `ops`",
+            ),
+            (
+                "{\"v\":1,\"id\":1,\"type\":\"simulate\",\"workload\":\"gcc\",\"ops\":0}",
+                "field `ops` must be positive",
+            ),
+            (
+                "{\"v\":1,\"id\":1,\"type\":\"simulate\",\"workload\":\"gcc\",\"ops\":10,\
+                 \"deadline_ms\":0}",
+                "field `deadline_ms` must be positive",
+            ),
+            (
+                "{\"v\":1,\"id\":1,\"type\":\"simulate\",\"workload\":\"gcc\",\"ops\":10,\
+                 \"machine\":{\"dpolicy\":\"nonesuch\"}}",
+                "unknown d-cache policy `nonesuch`",
+            ),
+            (
+                "{\"v\":1,\"id\":1,\"type\":\"simulate\",\"workload\":\"gcc\",\"ops\":10,\
+                 \"machine\":{\"frobnicate\":1}}",
+                "unknown machine field `frobnicate`",
+            ),
+        ];
+        for (json, message) in cases {
+            let (_, error) = parse(json).expect_err(json);
+            assert_eq!(error, message, "for request {json}");
+        }
+    }
+
+    #[test]
+    fn invalid_machine_geometry_is_bad_request_not_a_panic() {
+        // Associativity 3 is not a power of two: the validating processor
+        // construction catches it at the protocol boundary.
+        let json = "{\"v\":1,\"id\":9,\"type\":\"simulate\",\"workload\":\"gcc\",\"ops\":10,\
+                    \"machine\":{\"assoc\":3}}";
+        let (id, error) = parse(json).expect_err("invalid geometry must not parse");
+        assert_eq!(id, 9);
+        assert!(
+            error.starts_with("invalid machine configuration: "),
+            "got: {error}"
+        );
+    }
+
+    #[test]
+    fn responses_are_deterministic_and_tagged() {
+        let point = SimPoint::new(
+            Benchmark::Li,
+            MachineConfig::baseline(),
+            RunOptions::quick().with_ops(2_000),
+        );
+        let result =
+            wp_experiments::simulate_workload(&point.workload, &point.machine, &point.options);
+        let a = ok_response(7, &result);
+        let b = ok_response(7, &result);
+        assert_eq!(a, b, "equal results render byte-identically");
+        assert!(a.starts_with("{\"v\":1,\"id\":7,\"ok\":true,\"result\":{"));
+        assert!(a.contains("\"cycles\":"));
+
+        let error = error_response(3, ErrorCode::Overloaded, "the request queue is full");
+        assert_eq!(
+            error,
+            "{\"v\":1,\"id\":3,\"ok\":false,\"error\":{\"code\":\"overloaded\",\
+             \"message\":\"the request queue is full\"}}"
+        );
+        let deadline = deadline_response(4, 1_024, 50_000);
+        assert!(deadline.contains("\"code\":\"deadline_exceeded\""));
+        assert!(deadline.contains("\"ops_completed\":1024"));
+        assert!(deadline.contains("\"ops_requested\":50000"));
+    }
+
+    #[test]
+    fn health_responses_embed_the_cache_health_struct() {
+        let health = health_response(1, &CacheHealth::default(), 5, 2, 3, false);
+        assert!(health.contains(
+            "\"cache\":{\"io_errors\":0,\"evictions\":0,\
+                                 \"lock_timeouts\":0,\"recovered_tmp\":0,\"compacted\":0,\
+                                 \"degraded\":false}"
+        ));
+        assert!(health.contains("\"executed\":5"));
+        assert!(health.contains("\"coalesced\":3"));
+        assert!(health.contains("\"shutting_down\":false"));
+    }
+}

@@ -1,0 +1,572 @@
+//! The daemon: listener, admission queue, worker pool, and lifecycle.
+//!
+//! Request flow (`docs/SERVICE.md` has the operator's view):
+//!
+//! 1. The accept loop (non-blocking, shutdown-aware) hands each connection
+//!    to its own handler thread.
+//! 2. A handler parses one frame at a time. A `simulate` request joins the
+//!    [`PointService`] flight table *before* touching the queue: followers
+//!    of an in-flight point consume **no** queue slot — a stampede of N
+//!    identical requests occupies one slot and executes one simulation.
+//! 3. Flight leaders are admitted through the bounded job queue. A full
+//!    queue sheds immediately with `overloaded` (the dropped leader ticket
+//!    wakes any followers with the same outcome); a closed queue answers
+//!    `shutting_down`.
+//! 4. A fixed pool of workers pops leaders and executes them through the
+//!    shared service (cache → simulate-with-deadline → store).
+//! 5. Shutdown (SIGTERM/SIGINT, or a `shutdown` request) stops the accept
+//!    loop, closes the queue, drains the workers, and lets in-flight
+//!    responses finish; new requests get `shutting_down`.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use wp_experiments::service::{FlightOutcome, Join, PointService};
+use wp_experiments::{CancelToken, LeaderTicket};
+
+use crate::protocol::{self, ErrorCode, Request};
+
+/// How often blocking loops re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// How long past a request's own deadline a handler keeps waiting for the
+/// flight to publish the leader's (cancelled) outcome, so the response can
+/// carry real partial-progress counters instead of zeros. Cancellation is
+/// cooperative at op-block granularity, so the leader lands well inside
+/// this.
+const WAIT_GRACE: Duration = Duration::from_secs(2);
+
+/// How long shutdown waits for connection handlers to finish responding.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Listen {
+    /// A TCP address like `127.0.0.1:0` (port 0 picks a free port).
+    Tcp(String),
+    /// A Unix domain socket path.
+    Unix(PathBuf),
+}
+
+impl Listen {
+    /// Parses a `--listen` value: anything containing `/` is a Unix socket
+    /// path, everything else a TCP address.
+    pub fn parse(spec: &str) -> Listen {
+        if spec.contains('/') {
+            Listen::Unix(PathBuf::from(spec))
+        } else {
+            Listen::Tcp(spec.to_string())
+        }
+    }
+}
+
+/// Everything the daemon needs to start.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Where to listen.
+    pub listen: Listen,
+    /// Worker threads executing simulations.
+    pub workers: usize,
+    /// Admission-queue depth: leaders beyond this shed with `overloaded`.
+    pub queue_depth: usize,
+    /// Deadline for requests that do not carry their own, in milliseconds.
+    pub default_deadline_ms: u64,
+    /// Requests one connection may issue before it is shed and closed.
+    pub max_conn_requests: u64,
+    /// The shared singleflight executor (and its optional matrix cache).
+    pub service: PointService,
+}
+
+impl ServerConfig {
+    /// A config with the documented defaults: every core a worker, a
+    /// 128-deep queue, a 30-second default deadline, and a 1024-request
+    /// connection budget.
+    pub fn new(listen: Listen, service: PointService) -> Self {
+        Self {
+            listen,
+            workers: wp_experiments::engine::available_threads(),
+            queue_depth: 128,
+            default_deadline_ms: 30_000,
+            max_conn_requests: 1024,
+            service,
+        }
+    }
+}
+
+/// One admitted unit of work: a flight leadership plus its cancel token.
+struct Job {
+    ticket: LeaderTicket,
+    token: CancelToken,
+}
+
+/// Why [`JobQueue::try_push`] refused a job.
+enum Refused {
+    /// The queue is at depth; the job is returned so its ticket sheds.
+    Full(Job),
+    /// The queue is closed for shutdown; ditto.
+    Closed(Job),
+}
+
+/// The bounded admission queue. `try_push` never blocks — shedding is the
+/// point — while workers block in `pop` until a job or shutdown arrives.
+struct JobQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    depth: usize,
+}
+
+struct QueueState {
+    jobs: std::collections::VecDeque<Job>,
+    closed: bool,
+}
+
+impl JobQueue {
+    fn new(depth: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                jobs: std::collections::VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            depth,
+        }
+    }
+
+    fn try_push(&self, job: Job) -> Result<(), Refused> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        if state.closed {
+            return Err(Refused::Closed(job));
+        }
+        if state.jobs.len() >= self.depth {
+            return Err(Refused::Full(job));
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed and empty.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    /// Closes the queue: pending jobs still drain, new pushes are refused,
+    /// and idle workers wake up to exit.
+    fn close(&self) {
+        self.state.lock().expect("queue lock poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// The listener half of [`Listen`], in non-blocking accept mode.
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixListener, PathBuf),
+}
+
+impl Listener {
+    fn bind(listen: &Listen) -> io::Result<Listener> {
+        match listen {
+            Listen::Tcp(addr) => {
+                let listener = TcpListener::bind(addr)?;
+                listener.set_nonblocking(true)?;
+                Ok(Listener::Tcp(listener))
+            }
+            #[cfg(unix)]
+            Listen::Unix(path) => {
+                // A stale socket file from a killed daemon would fail the
+                // bind; crash idempotence includes re-binding after kill -9.
+                let _ = std::fs::remove_file(path);
+                let listener = std::os::unix::net::UnixListener::bind(path)?;
+                listener.set_nonblocking(true)?;
+                Ok(Listener::Unix(listener, path.clone()))
+            }
+            #[cfg(not(unix))]
+            Listen::Unix(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix sockets are not supported on this platform",
+            )),
+        }
+    }
+
+    /// The bound address, as clients should dial it.
+    fn addr(&self) -> String {
+        match self {
+            Listener::Tcp(listener) => listener
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "<unknown>".to_string()),
+            #[cfg(unix)]
+            Listener::Unix(_, path) => path.display().to_string(),
+        }
+    }
+
+    /// One non-blocking accept attempt; `None` when nobody is dialing.
+    fn accept(&self) -> io::Result<Option<Conn>> {
+        match self {
+            Listener::Tcp(listener) => match listener.accept() {
+                Ok((stream, _)) => Ok(Some(Conn::Tcp(stream))),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+            #[cfg(unix)]
+            Listener::Unix(listener, _) => match listener.accept() {
+                Ok((stream, _)) => Ok(Some(Conn::Unix(stream))),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// One accepted connection.
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Conn {
+    fn set_read_timeout(&self, timeout: Duration) -> io::Result<()> {
+        match self {
+            Conn::Tcp(stream) => stream.set_read_timeout(Some(timeout)),
+            #[cfg(unix)]
+            Conn::Unix(stream) => stream.set_read_timeout(Some(timeout)),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(stream) => stream.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(stream) => stream.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(stream) => stream.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(stream) => stream.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(stream) => stream.flush(),
+            #[cfg(unix)]
+            Conn::Unix(stream) => stream.flush(),
+        }
+    }
+}
+
+/// Shared state every handler and worker sees.
+struct Shared {
+    service: PointService,
+    queue: JobQueue,
+    shutdown: AtomicBool,
+    active_connections: AtomicUsize,
+    default_deadline_ms: u64,
+    max_conn_requests: u64,
+    /// Requests shed with `overloaded` (full queue or connection budget).
+    shed: AtomicU64,
+}
+
+/// A started daemon. Dropping the handle does not stop it; call
+/// [`RunningServer::shutdown`] then [`RunningServer::join`].
+pub struct RunningServer {
+    addr: String,
+    shared: Arc<Shared>,
+    accept_thread: JoinHandle<()>,
+}
+
+impl RunningServer {
+    /// The bound address (for TCP with port 0, the actual port).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The shared singleflight service (its counters drive the tests).
+    pub fn service(&self) -> &PointService {
+        &self.shared.service
+    }
+
+    /// Requests shed with `overloaded` so far.
+    pub fn shed(&self) -> u64 {
+        self.shared.shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests the daemon drain and stop. Idempotent; also triggered by a
+    /// protocol `shutdown` request.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// True once shutdown was requested (by any path).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Waits for the accept loop to drain workers and connections.
+    pub fn join(self) {
+        let _ = self.accept_thread.join();
+    }
+}
+
+/// Binds the listener, spawns the worker pool and accept loop, and returns
+/// once the daemon is ready to serve.
+pub fn start(config: ServerConfig) -> io::Result<RunningServer> {
+    let listener = Listener::bind(&config.listen)?;
+    let addr = listener.addr();
+    let shared = Arc::new(Shared {
+        service: config.service,
+        queue: JobQueue::new(config.queue_depth.max(1)),
+        shutdown: AtomicBool::new(false),
+        active_connections: AtomicUsize::new(0),
+        default_deadline_ms: config.default_deadline_ms.max(1),
+        max_conn_requests: config.max_conn_requests.max(1),
+        shed: AtomicU64::new(0),
+    });
+    let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+        .map(|index| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("wp-serve-worker-{index}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("worker thread spawn failed")
+        })
+        .collect();
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::Builder::new()
+        .name("wp-serve-accept".to_string())
+        .spawn(move || accept_loop(listener, accept_shared, workers))
+        .expect("accept thread spawn failed");
+    Ok(RunningServer {
+        addr,
+        shared,
+        accept_thread,
+    })
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        // `execute` publishes the outcome to every waiter; the handler
+        // threads own the responses.
+        shared.service.execute(job.ticket, &job.token);
+    }
+}
+
+fn accept_loop(listener: Listener, shared: Arc<Shared>, workers: Vec<JoinHandle<()>>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        handlers.retain(|h| !h.is_finished());
+        match listener.accept() {
+            Ok(Some(conn)) => {
+                let conn_shared = Arc::clone(&shared);
+                shared.active_connections.fetch_add(1, Ordering::SeqCst);
+                let handle = std::thread::Builder::new()
+                    .name("wp-serve-conn".to_string())
+                    .spawn(move || {
+                        handle_connection(conn, &conn_shared);
+                        conn_shared
+                            .active_connections
+                            .fetch_sub(1, Ordering::SeqCst);
+                    });
+                match handle {
+                    Ok(handle) => handlers.push(handle),
+                    Err(_) => {
+                        // Spawn failure already dropped the connection; the
+                        // guard count must not leak.
+                        shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            Ok(None) => std::thread::sleep(POLL_INTERVAL),
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+    drop(listener); // stop accepting (and unlink a unix socket) first
+    shared.queue.close();
+    for worker in workers {
+        let _ = worker.join();
+    }
+    let drain_deadline = Instant::now() + DRAIN_TIMEOUT;
+    while shared.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < drain_deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn handle_connection(mut conn: Conn, shared: &Shared) {
+    if conn.set_read_timeout(POLL_INTERVAL * 10).is_err() {
+        return;
+    }
+    let mut served: u64 = 0;
+    loop {
+        let payload = match protocol::read_frame(&mut conn) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return, // clean EOF
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Idle: park until the client sends or shutdown drains us.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        let (response, close) = respond(&payload, &mut served, shared);
+        if protocol::write_frame(&mut conn, response.as_bytes()).is_err() {
+            return;
+        }
+        if close {
+            return;
+        }
+    }
+}
+
+/// Produces the response for one request payload, and whether the
+/// connection should close after sending it.
+fn respond(payload: &[u8], served: &mut u64, shared: &Shared) -> (String, bool) {
+    let request = match protocol::parse_request(payload) {
+        Ok(request) => request,
+        Err((id, message)) => {
+            return (
+                protocol::error_response(id, ErrorCode::BadRequest, &message),
+                false,
+            )
+        }
+    };
+    match request {
+        Request::Health { id } => {
+            let service = &shared.service;
+            (
+                protocol::health_response(
+                    id,
+                    &service.cache_health(),
+                    service.executed(),
+                    service.cache_hits(),
+                    service.coalesced(),
+                    shared.shutdown.load(Ordering::SeqCst),
+                ),
+                false,
+            )
+        }
+        Request::Shutdown { id } => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            (protocol::ack_response(id), true)
+        }
+        Request::Simulate {
+            id,
+            point,
+            deadline_ms,
+        } => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return (
+                    protocol::error_response(
+                        id,
+                        ErrorCode::ShuttingDown,
+                        "the daemon is draining for shutdown",
+                    ),
+                    true,
+                );
+            }
+            *served += 1;
+            if *served > shared.max_conn_requests {
+                shared.shed.fetch_add(1, Ordering::Relaxed);
+                return (
+                    protocol::error_response(
+                        id,
+                        ErrorCode::Overloaded,
+                        "per-connection request budget exhausted; reconnect to continue",
+                    ),
+                    true,
+                );
+            }
+            let deadline_ms = deadline_ms.unwrap_or(shared.default_deadline_ms);
+            let deadline = Instant::now() + Duration::from_millis(deadline_ms);
+            let ops_requested = point.options.ops as u64;
+            let flight = match shared.service.join(&point) {
+                Join::Leader(ticket, flight) => {
+                    let token = CancelToken::never().with_deadline(deadline);
+                    match shared.queue.try_push(Job { ticket, token }) {
+                        Ok(()) => flight,
+                        Err(Refused::Full(job)) => {
+                            shared.shed.fetch_add(1, Ordering::Relaxed);
+                            drop(job); // the dropped ticket publishes Shed to any followers
+                            return (
+                                protocol::error_response(
+                                    id,
+                                    ErrorCode::Overloaded,
+                                    "the request queue is full",
+                                ),
+                                false,
+                            );
+                        }
+                        Err(Refused::Closed(job)) => {
+                            drop(job);
+                            return (
+                                protocol::error_response(
+                                    id,
+                                    ErrorCode::ShuttingDown,
+                                    "the daemon is draining for shutdown",
+                                ),
+                                true,
+                            );
+                        }
+                    }
+                }
+                Join::Follower(flight) => flight,
+            };
+            match flight.wait(Some(deadline + WAIT_GRACE)) {
+                Some(FlightOutcome::Done(result)) => (protocol::ok_response(id, &result), false),
+                Some(FlightOutcome::Cancelled {
+                    ops_completed,
+                    ops_requested,
+                }) => (
+                    protocol::deadline_response(id, ops_completed, ops_requested),
+                    false,
+                ),
+                Some(FlightOutcome::Shed) => (
+                    protocol::error_response(
+                        id,
+                        ErrorCode::Overloaded,
+                        "the request was shed before executing",
+                    ),
+                    false,
+                ),
+                None => (protocol::deadline_response(id, 0, ops_requested), false),
+            }
+        }
+    }
+}

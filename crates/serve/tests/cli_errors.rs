@@ -1,0 +1,120 @@
+//! Command-line error paths of the `serve` and `serve_client` binaries,
+//! asserted against the exact messages — same contract as the experiment
+//! binaries (`error: <message>` plus usage on stderr, exit 2).
+
+use std::process::Command;
+
+/// Runs a binary with `args`; returns `(exit_code, stderr)`.
+fn run(binary: &str, args: &[&str]) -> (i32, String) {
+    let output = Command::new(binary)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {binary}: {e}"));
+    (
+        output.status.code().expect("binary exited with a code"),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+/// Asserts the binary rejects `args` with exactly `message` on the first
+/// stderr line, prints a usage line, and exits 2.
+fn assert_cli_error(binary: &str, args: &[&str], message: &str) {
+    let (code, stderr) = run(binary, args);
+    assert_eq!(code, 2, "{binary} {args:?} must exit 2; stderr: {stderr}");
+    let first = stderr.lines().next().unwrap_or_default();
+    assert_eq!(
+        first,
+        format!("error: {message}"),
+        "{binary} {args:?} printed the wrong error"
+    );
+    assert!(
+        stderr.contains("usage:"),
+        "{binary} {args:?} must print usage; stderr: {stderr}"
+    );
+}
+
+#[test]
+fn serve_rejects_bad_command_lines_with_exact_messages() {
+    let bin = env!("CARGO_BIN_EXE_serve");
+    assert_cli_error(bin, &["--frobnicate"], "unknown flag `--frobnicate`");
+    assert_cli_error(bin, &["--listen"], "flag `--listen` requires a value");
+    assert_cli_error(bin, &["--workers"], "flag `--workers` requires a value");
+    assert_cli_error(
+        bin,
+        &["--workers", "0"],
+        "invalid value `0` for flag `--workers`",
+    );
+    assert_cli_error(
+        bin,
+        &["--workers", "many"],
+        "invalid value `many` for flag `--workers`",
+    );
+    assert_cli_error(
+        bin,
+        &["--queue-depth"],
+        "flag `--queue-depth` requires a value",
+    );
+    assert_cli_error(
+        bin,
+        &["--queue-depth", "0"],
+        "invalid value `0` for flag `--queue-depth`",
+    );
+    assert_cli_error(
+        bin,
+        &["--default-deadline-ms"],
+        "flag `--default-deadline-ms` requires a value",
+    );
+    assert_cli_error(
+        bin,
+        &["--default-deadline-ms", "soon"],
+        "invalid value `soon` for flag `--default-deadline-ms`",
+    );
+    assert_cli_error(
+        bin,
+        &["--max-conn-requests", "0"],
+        "invalid value `0` for flag `--max-conn-requests`",
+    );
+    assert_cli_error(
+        bin,
+        &["--matrix-cache-dir"],
+        "flag `--matrix-cache-dir` requires a value",
+    );
+    assert_cli_error(
+        bin,
+        &["--matrix-cache-cap", "lots"],
+        "invalid value `lots` for flag `--matrix-cache-cap`",
+    );
+}
+
+#[test]
+fn serve_client_rejects_bad_command_lines_with_exact_messages() {
+    let bin = env!("CARGO_BIN_EXE_serve_client");
+    assert_cli_error(bin, &["--frobnicate"], "unknown flag `--frobnicate`");
+    assert_cli_error(bin, &["--connect"], "flag `--connect` requires a value");
+    assert_cli_error(bin, &[], "flag `--connect` (or `--batch`) is required");
+    assert_cli_error(
+        bin,
+        &["--batch", "--workload", "nonesuch"],
+        "invalid value `nonesuch` for flag `--workload`",
+    );
+    assert_cli_error(
+        bin,
+        &["--batch", "--ops", "0"],
+        "invalid value `0` for flag `--ops`",
+    );
+    assert_cli_error(
+        bin,
+        &["--batch", "--dpolicy", "nonesuch"],
+        "invalid value `nonesuch` for flag `--dpolicy`",
+    );
+    assert_cli_error(
+        bin,
+        &["--connect", "127.0.0.1:1", "--repeat", "0"],
+        "invalid value `0` for flag `--repeat`",
+    );
+    assert_cli_error(
+        bin,
+        &["--connect", "127.0.0.1:1", "--deadline-ms", "0"],
+        "invalid value `0` for flag `--deadline-ms`",
+    );
+}

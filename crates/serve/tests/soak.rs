@@ -1,0 +1,190 @@
+//! Chaos/soak harness against the real `serve` binary: concurrent clients
+//! over duplicate points, seeded cache faults, a mid-soak `kill -9` plus
+//! restart on the same cache directory, and a SIGTERM drain — asserting
+//! the daemon's responses never diverge from the batch path by a byte.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use wp_experiments::{simulate_workload, MachineConfig, RunOptions, SimPoint};
+use wp_serve::protocol;
+use wp_serve::Client;
+use wp_workloads::Benchmark;
+
+/// The soak's point matrix; small enough to simulate in milliseconds,
+/// repeated across every client so duplicates dominate.
+fn soak_points() -> Vec<SimPoint> {
+    [Benchmark::Gcc, Benchmark::Li, Benchmark::Swim]
+        .into_iter()
+        .flat_map(|benchmark| {
+            [3_000usize, 4_000].into_iter().map(move |ops| {
+                SimPoint::new(
+                    benchmark,
+                    MachineConfig::baseline(),
+                    RunOptions::default().with_ops(ops),
+                )
+            })
+        })
+        .collect()
+}
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Starts `serve` on an ephemeral port over `cache_dir` with the given
+    /// seeded fault plan, and parses the bound address off stdout.
+    fn start(cache_dir: &std::path::Path, fault_seed: Option<&str>) -> Daemon {
+        let mut command = Command::new(env!("CARGO_BIN_EXE_serve"));
+        command
+            .args([
+                "--listen",
+                "127.0.0.1:0",
+                "--workers",
+                "4",
+                "--matrix-cache-dir",
+            ])
+            .arg(cache_dir)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        match fault_seed {
+            Some(seed) => command.env("WPSDM_MATRIX_CACHE_FAULT_SEED", seed),
+            None => command.env_remove("WPSDM_MATRIX_CACHE_FAULT_SEED"),
+        };
+        let mut child = command.spawn().expect("serve binary spawns");
+        let stdout = child.stdout.take().expect("stdout is piped");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("serve announces its address");
+        let addr = line
+            .trim()
+            .strip_prefix("wp-serve: listening on tcp://")
+            .unwrap_or_else(|| panic!("unexpected announcement: {line}"))
+            .to_string();
+        Daemon { child, addr }
+    }
+
+    fn client(&self) -> Client {
+        // The daemon is already accepting by the time it announces, but a
+        // freshly killed predecessor can leave the port briefly wedged.
+        for _ in 0..50 {
+            if let Ok(client) = Client::connect(&self.addr) {
+                let _ = client.set_timeout(Duration::from_secs(120));
+                return client;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        panic!("could not connect to {}", self.addr);
+    }
+
+    /// The crash: SIGKILL, no drain, no cleanup.
+    fn kill(mut self) {
+        self.child.kill().expect("kill -9 the daemon");
+        self.child.wait().expect("reap the killed daemon");
+    }
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("wpsdm-soak-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Eight concurrent clients, each requesting every point (so every point is
+/// requested eight times), returning each client's responses in point
+/// order.
+fn storm(daemon: &Daemon, points: &[SimPoint]) -> Vec<Vec<String>> {
+    let clients = 8;
+    let barrier = std::sync::Barrier::new(clients);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut client = daemon.client();
+                    barrier.wait();
+                    points
+                        .iter()
+                        .map(|point| {
+                            client
+                                .request(&protocol::simulate_request(1, point, None))
+                                .expect("soak request succeeds")
+                        })
+                        .collect::<Vec<String>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("soak client panicked"))
+            .collect()
+    })
+}
+
+#[test]
+fn soak_with_faults_survives_kill_dash_nine_and_stays_byte_identical() {
+    let dir = temp_dir("chaos");
+    let points = soak_points();
+    // The reference bytes: the batch path, rendered by the same renderer.
+    let expected: Vec<String> = points
+        .iter()
+        .map(|point| {
+            let result = simulate_workload(&point.workload, &point.machine, &point.options);
+            protocol::ok_response(1, &result)
+        })
+        .collect();
+
+    // Phase 1: cold daemon, seeded cache faults, 8 concurrent clients over
+    // duplicate points.
+    let daemon = Daemon::start(&dir, Some("7"));
+    for responses in storm(&daemon, &points) {
+        assert_eq!(responses, expected, "cold responses match the batch path");
+    }
+    // Mid-soak crash: no drain, cache directory left as-is.
+    daemon.kill();
+
+    // Phase 2: restart over the same directory (faults off, so every
+    // surviving cache record is actually read). Warm or recomputed, the
+    // bytes must not change.
+    let daemon = Daemon::start(&dir, None);
+    for responses in storm(&daemon, &points) {
+        assert_eq!(responses, expected, "post-crash responses are identical");
+    }
+    let health = daemon
+        .client()
+        .request("{\"v\":1,\"id\":1,\"type\":\"health\"}")
+        .expect("health responds");
+    assert!(health.contains("\"ok\":true"), "{health}");
+    daemon.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_and_exits_zero() {
+    let dir = temp_dir("sigterm");
+    let mut daemon = Daemon::start(&dir, None);
+    // Prove it serves, then ask the OS to stop it.
+    let mut client = daemon.client();
+    let point = SimPoint::new(
+        Benchmark::Gcc,
+        MachineConfig::baseline(),
+        RunOptions::default().with_ops(2_000),
+    );
+    let response = client
+        .request(&protocol::simulate_request(1, &point, None))
+        .expect("simulate before the signal");
+    assert!(response.contains("\"ok\":true"), "{response}");
+
+    let status = Command::new("kill")
+        .args(["-TERM", &daemon.child.id().to_string()])
+        .status()
+        .expect("kill -TERM runs");
+    assert!(status.success());
+    let exit = daemon.child.wait().expect("daemon exits");
+    assert!(exit.success(), "SIGTERM must drain and exit 0, got {exit}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

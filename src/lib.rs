@@ -18,7 +18,9 @@
 //! * [`oracle`] — the deliberately naive reference simulator the optimized
 //!   stack is differentially pinned to (see `docs/VALIDATION.md`),
 //! * [`experiments`] — runners that regenerate every table and figure of the
-//!   paper's evaluation, plus the `conformance` differential harness.
+//!   paper's evaluation, plus the `conformance` differential harness,
+//! * [`serve`] — sweep-as-a-service: a crash-tolerant daemon with admission
+//!   control, deadlines, and cross-request singleflight (`docs/SERVICE.md`).
 //!
 //! See the repository README for a tour and `examples/` for runnable entry
 //! points (`quickstart`, `dcache_policy_explorer`, `icache_waypred`,
@@ -49,4 +51,5 @@ pub use wp_experiments as experiments;
 pub use wp_mem as mem;
 pub use wp_oracle as oracle;
 pub use wp_predictors as predictors;
+pub use wp_serve as serve;
 pub use wp_workloads as workloads;

@@ -23,9 +23,13 @@ use wp_workloads::{Benchmark, SharedStream, StreamKey, WorkloadSpec};
 
 use crate::matrix_cache::{CacheHealth, MatrixCache};
 use crate::runner::{
-    simulate_workload, simulate_workload_shared, simulate_workload_shared_lanes, MachineConfig,
-    RunOptions,
+    simulate_workload, simulate_workload_cancellable, simulate_workload_shared,
+    simulate_workload_shared_lanes, CancelToken, MachineConfig, RunOptions,
 };
+
+/// A streaming-run callback: invoked with each completed point and its
+/// result as the result lands, from whichever worker thread finished it.
+pub type PointObserver<'a> = &'a (dyn Fn(&SimPoint, &SimResult) + Sync);
 
 /// One simulation point: the full configuration that determines a
 /// [`SimResult`].
@@ -535,8 +539,11 @@ impl SimEngine {
                 None => to_simulate.push(point),
             }
         }
-        let results = if self.gang {
-            self.run_gangs(matrix, &to_simulate)
+        let results: Vec<SimResult> = if self.gang {
+            self.run_gangs(matrix, &to_simulate, None, None)
+                .into_iter()
+                .map(|r| r.expect("uncancelled gang execution completes every point"))
+                .collect()
         } else {
             let results = parallel_map(self.threads, &to_simulate, |point| {
                 simulate_workload(&point.workload, &point.machine, &point.options)
@@ -562,13 +569,113 @@ impl SimEngine {
         }
     }
 
+    /// Runs the not-yet-simulated points of `plan` into `matrix` like
+    /// [`run_into`](Self::run_into), but *streams*: `observer` fires with
+    /// each completed point as its result lands — cache hits immediately,
+    /// simulated points from whichever worker thread finishes them — and
+    /// the run stops claiming new work once `token` fires. Cancellation
+    /// granularity is one gang work unit (or one op block on the non-gang
+    /// path); a unit in flight when the token fires completes and is still
+    /// observed, stored, and counted. Returns true if every point of the
+    /// plan completed.
+    ///
+    /// Bytes are the batch bytes: a result observed here is bit-identical
+    /// to the one [`run`](Self::run) would produce for the same point —
+    /// streaming changes delivery order, never values.
+    pub fn run_streaming(
+        &self,
+        matrix: &mut SimMatrix,
+        plan: &SimPlan,
+        token: &CancelToken,
+        observer: PointObserver<'_>,
+    ) -> bool {
+        let missing: Vec<SimPoint> = plan
+            .unique_points()
+            .into_iter()
+            .filter(|p| !matrix.contains(p))
+            .collect();
+        let mut to_simulate = Vec::with_capacity(missing.len());
+        let mut cancelled = false;
+        for point in missing {
+            if cancelled || token.is_cancelled() {
+                cancelled = true;
+                break;
+            }
+            match self.cache.as_ref().and_then(|cache| cache.load(&point)) {
+                Some(result) => {
+                    matrix.cache_hits += 1;
+                    observer(&point, &result);
+                    matrix.results.insert(point, result);
+                }
+                None => to_simulate.push(point),
+            }
+        }
+        let results: Vec<Option<SimResult>> = if cancelled {
+            vec![None; to_simulate.len()]
+        } else if self.gang {
+            self.run_gangs(matrix, &to_simulate, Some(token), Some(observer))
+        } else {
+            let results = parallel_map(self.threads, &to_simulate, |point| {
+                if token.is_cancelled() {
+                    return None;
+                }
+                let result = simulate_workload_cancellable(
+                    &point.workload,
+                    &point.machine,
+                    &point.options,
+                    token,
+                )
+                .ok()?;
+                observer(point, &result);
+                Some(result)
+            });
+            let consumed: u64 = results
+                .iter()
+                .flatten()
+                .map(|r| r.activity.instructions)
+                .sum();
+            matrix.ops_generated += consumed;
+            matrix.ops_consumed += consumed;
+            results
+        };
+        let mut complete = !cancelled;
+        for (point, result) in to_simulate.into_iter().zip(results) {
+            match result {
+                Some(result) => {
+                    if let Some(cache) = &self.cache {
+                        cache.store(&point, &result);
+                    }
+                    matrix.executed += 1;
+                    matrix.results.insert(point, result);
+                }
+                None => complete = false,
+            }
+        }
+        if let Some(cache) = &self.cache {
+            matrix.cache_health = cache.health();
+        }
+        complete
+    }
+
     /// Gang-scheduled execution of `points`: group by [`StreamKey`],
     /// materialize each distinct stream exactly once (in parallel), then
     /// broadcast each stream to every machine configuration in its gang.
-    /// Returns the results in `points` order.
-    fn run_gangs(&self, matrix: &mut SimMatrix, points: &[SimPoint]) -> Vec<SimResult> {
+    /// Returns the results in `points` order; a `None` slot is a point
+    /// whose work unit was never claimed because `token` fired (without a
+    /// token every slot is `Some`). When `observer` is set, each completed
+    /// point is reported from its worker thread as its unit finishes.
+    fn run_gangs(
+        &self,
+        matrix: &mut SimMatrix,
+        points: &[SimPoint],
+        token: Option<&CancelToken>,
+        observer: Option<PointObserver<'_>>,
+    ) -> Vec<Option<SimResult>> {
         if points.is_empty() {
             return Vec::new();
+        }
+        if token.is_some_and(CancelToken::is_cancelled) {
+            return vec![None; points.len()];
         }
         // Group by stream identity, first-seen order.
         let mut keys: Vec<StreamKey> = Vec::new();
@@ -605,21 +712,14 @@ impl SimEngine {
         // points sharing a (d-policy, d-geometry) batch key, and scalar
         // fallbacks for the rest. With lanes disabled every point is its
         // own scalar unit. The partition is computed deterministically here
-        // (first-seen order) before any parallel execution, so the counters
-        // and the results are independent of worker scheduling.
+        // (first-seen order) before any parallel execution, so the results
+        // are independent of worker scheduling; the lane counters are
+        // accumulated per *completed* unit below — identical totals when
+        // nothing cancels, and only work actually done when the token
+        // fires.
         let units = self.lane_partition(points, &jobs, keys.len());
-        for unit in &units {
-            match unit {
-                WorkUnit::Lane(batch, _) => {
-                    matrix.lane_batches += 1;
-                    matrix.lane_width_histogram[batch.len()] += 1;
-                }
-                WorkUnit::Scalar(..) if self.lanes => matrix.lane_scalar_fallback += 1,
-                WorkUnit::Scalar(..) => {}
-            }
-        }
-        let unit_results: Vec<Vec<(usize, SimResult)>> =
-            parallel_map(self.threads, &units, |unit| match unit {
+        let run_unit = |unit: &WorkUnit| -> Vec<(usize, SimResult)> {
+            let unit_results: Vec<(usize, SimResult)> = match unit {
                 WorkUnit::Scalar(point_index, stream_index) => vec![(
                     *point_index,
                     simulate_workload_shared(
@@ -636,21 +736,69 @@ impl SimEngine {
                         .map(|(result, point_index)| (point_index, result))
                         .collect()
                 }
-            });
+            };
+            if let Some(observer) = observer {
+                for (point_index, result) in &unit_results {
+                    observer(&points[*point_index], result);
+                }
+            }
+            unit_results
+        };
+        // An atomic-cursor claim loop (the shape of [`parallel_map`], with
+        // a cancellation check before every claim): workers stop claiming
+        // units once the token fires, but a claimed unit always completes —
+        // cancellation granularity is one work unit.
+        let threads = self.threads.max(1).min(units.len().max(1));
+        let cursor = AtomicUsize::new(0);
+        // One worker's output: (unit index, that unit's (point, result) list).
+        type WorkerResults = Vec<(usize, Vec<(usize, SimResult)>)>;
+        let per_worker: Vec<WorkerResults> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut produced = Vec::new();
+                        loop {
+                            if token.is_some_and(CancelToken::is_cancelled) {
+                                return produced;
+                            }
+                            let index = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(unit) = units.get(index) else {
+                                return produced;
+                            };
+                            produced.push((index, run_unit(unit)));
+                        }
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|worker| worker.join().expect("gang worker panicked"))
+                .collect()
+        });
         let mut slots: Vec<Option<SimResult>> = vec![None; points.len()];
-        for (point_index, result) in unit_results.into_iter().flatten() {
-            slots[point_index] = Some(result);
+        for (unit_index, unit_results) in per_worker.into_iter().flatten() {
+            match &units[unit_index] {
+                WorkUnit::Lane(batch, _) => {
+                    matrix.lane_batches += 1;
+                    matrix.lane_width_histogram[batch.len()] += 1;
+                }
+                WorkUnit::Scalar(..) if self.lanes => matrix.lane_scalar_fallback += 1,
+                WorkUnit::Scalar(..) => {}
+            }
+            for (point_index, result) in unit_results {
+                slots[point_index] = Some(result);
+            }
         }
-        let results: Vec<SimResult> = slots
-            .into_iter()
-            .map(|slot| slot.expect("every point simulated exactly once"))
-            .collect();
 
         matrix.gangs += keys.len();
         matrix.streams_materialized += streams.len();
         matrix.ops_generated += streams.iter().map(|s| s.ops() as u64).sum::<u64>();
-        matrix.ops_consumed += results.iter().map(|r| r.activity.instructions).sum::<u64>();
-        results
+        matrix.ops_consumed += slots
+            .iter()
+            .flatten()
+            .map(|r| r.activity.instructions)
+            .sum::<u64>();
+        slots
     }
 
     /// Partitions gang-scheduled points into [`WorkUnit`]s: within each

@@ -78,14 +78,14 @@ pub mod table4;
 pub mod table5;
 
 pub use compare::PolicyComparison;
-pub use engine::{SimEngine, SimMatrix, SimPlan, SimPoint};
+pub use engine::{PointObserver, SimEngine, SimMatrix, SimPlan, SimPoint};
 pub use matrix_cache::{CacheHealth, EvictLockTimeout, MatrixCache};
 pub use report::TextTable;
 pub use runner::{
     simulate_workload, simulate_workload_cancellable, BenchmarkRun, CancelToken, Cancelled,
     CliError, CliOptions, MachineConfig, RunOptions,
 };
-pub use service::{Flight, FlightOutcome, Join, LeaderTicket, PointService};
+pub use service::{Flight, FlightOutcome, Join, LeaderTicket, PointService, SweepReport};
 
 /// The union plan of every table and figure — the set of simulation points
 /// `run_all` executes. Shared by the `run_all` binary and the engine's

@@ -188,6 +188,13 @@ impl CancelToken {
         self
     }
 
+    /// The wall-clock instant the deadline component fires at, if any —
+    /// the service's follower re-lead path compares its own budget against
+    /// the leader's.
+    pub fn deadline(&self) -> Option<std::time::Instant> {
+        self.deadline
+    }
+
     /// True once the deadline has passed or the flag is set.
     pub fn is_cancelled(&self) -> bool {
         if let Some(flag) = &self.flag {

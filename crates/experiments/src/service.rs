@@ -18,13 +18,18 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use wp_cpu::SimResult;
 
-use crate::engine::SimPoint;
+use crate::engine::{SimEngine, SimMatrix, SimPlan, SimPoint};
 use crate::matrix_cache::{CacheHealth, MatrixCache};
 use crate::runner::{simulate_workload_cancellable, CancelToken};
+
+/// How long a sweep pass parks on one followed flight before re-checking
+/// its own cancel token — bounds a sweep's reaction time to its deadline
+/// while other requests' flights are in the air.
+const SWEEP_FOLLOW_STEP: Duration = Duration::from_millis(100);
 
 /// How a flight ended, as observed by every joined caller.
 #[derive(Debug, Clone)]
@@ -288,6 +293,153 @@ impl PointService {
                 .expect("an unbounded wait always observes the outcome"),
         }
     }
+
+    /// Consults the attached cache for `point` without opening a flight.
+    /// A hit counts toward [`cache_hits`](Self::cache_hits) — this is the
+    /// sweep handler's warm pre-pass, and a warm point served here is
+    /// indistinguishable (bytes and counters) from one served through a
+    /// led flight.
+    pub fn load_cached(&self, point: &SimPoint) -> Option<SimResult> {
+        let result = self.inner.cache.as_ref()?.load(point)?;
+        self.inner.cache_hits.fetch_add(1, Ordering::Relaxed);
+        Some(result)
+    }
+
+    /// Publishes an externally computed `result` as a led flight's outcome —
+    /// how a sweep's engine pass completes the flights its points lead,
+    /// with byte-identical results to [`execute`](Self::execute) (the
+    /// engine and the flight executor share one simulator and one cache).
+    pub fn complete(&self, mut ticket: LeaderTicket, result: Arc<SimResult>) {
+        ticket.executed = true;
+        self.inner
+            .publish(&ticket.point, &ticket.state, FlightOutcome::Done(result));
+    }
+
+    /// Runs a whole sweep through one gang-scheduled engine pass,
+    /// coalescing with concurrent point requests.
+    ///
+    /// `points` is the sweep's deduplicated plan; `pending` the indices not
+    /// yet streamed (the handler's warm pre-pass already answered the
+    /// rest). Every pending point is joined: leaders are batched into one
+    /// [`SimEngine::run_streaming`] pass (so a cold sweep gang-schedules
+    /// exactly once), followers ride whatever flight another request
+    /// already opened. `observer` fires once per streamed point, from
+    /// worker threads, with the plan index.
+    ///
+    /// A followed flight's cancellation is **not** inherited: if the other
+    /// request's leader is cancelled or shed, the point goes back to
+    /// pending and a later round re-joins (leading a fresh flight) while
+    /// this sweep's own `token` still has budget — the same re-lead rule
+    /// the daemon applies to point requests.
+    pub fn run_sweep(
+        &self,
+        points: &[SimPoint],
+        pending: &[usize],
+        engine: &SimEngine,
+        token: &CancelToken,
+        observer: &(dyn Fn(usize, &SimPoint, &SimResult) + Sync),
+    ) -> SweepReport {
+        let index_of: HashMap<&SimPoint, usize> =
+            points.iter().enumerate().map(|(i, p)| (p, i)).collect();
+        let streamed = AtomicU64::new(0);
+        let mut report = SweepReport::default();
+        let mut pending: Vec<usize> = pending.to_vec();
+        while !pending.is_empty() && !token.is_cancelled() {
+            let mut tickets: HashMap<usize, LeaderTicket> = HashMap::new();
+            let mut followers: Vec<(usize, Flight)> = Vec::new();
+            for &index in &pending {
+                match self.join(&points[index]) {
+                    Join::Leader(ticket, _flight) => {
+                        tickets.insert(index, ticket);
+                    }
+                    Join::Follower(flight) => followers.push((index, flight)),
+                }
+            }
+            let done = Mutex::new(Vec::new());
+            if !tickets.is_empty() {
+                report.engine_passes += 1;
+                let mut plan = SimPlan::new();
+                for &index in pending.iter().filter(|index| tickets.contains_key(index)) {
+                    plan.add(points[index].clone());
+                }
+                let tickets = Mutex::new(tickets);
+                let mut matrix = SimMatrix::new();
+                let engine_observer = |point: &SimPoint, result: &SimResult| {
+                    let Some(&index) = index_of.get(point) else {
+                        return;
+                    };
+                    let ticket = tickets
+                        .lock()
+                        .expect("sweep ticket table poisoned")
+                        .remove(&index);
+                    if let Some(ticket) = ticket {
+                        self.complete(ticket, Arc::new(result.clone()));
+                    }
+                    observer(index, point, result);
+                    streamed.fetch_add(1, Ordering::Relaxed);
+                    done.lock().expect("sweep done list poisoned").push(index);
+                };
+                engine.run_streaming(&mut matrix, &plan, token, &engine_observer);
+                // The engine executed (or cache-loaded) on this service's
+                // behalf: mirror the deltas into the service counters so
+                // `health` and `metrics` see sweep work.
+                self.inner
+                    .executed
+                    .fetch_add(matrix.executed_points() as u64, Ordering::Relaxed);
+                self.inner
+                    .cache_hits
+                    .fetch_add(matrix.cache_hits() as u64, Ordering::Relaxed);
+                // Tickets the cancelled engine pass never completed drop
+                // here: their flights publish `Shed`, and followers (point
+                // requests or other sweeps) re-lead under their own budget.
+                drop(tickets);
+            }
+            for (index, flight) in followers {
+                loop {
+                    if token.is_cancelled() {
+                        break;
+                    }
+                    match flight.wait(Some(Instant::now() + SWEEP_FOLLOW_STEP)) {
+                        Some(FlightOutcome::Done(result)) => {
+                            observer(index, &points[index], &result);
+                            streamed.fetch_add(1, Ordering::Relaxed);
+                            done.lock().expect("sweep done list poisoned").push(index);
+                            break;
+                        }
+                        // The other request's flight was cancelled or shed
+                        // under *its* deadline, not ours: leave the point
+                        // pending and re-join next round.
+                        Some(FlightOutcome::Cancelled { .. } | FlightOutcome::Shed) => break,
+                        None => continue,
+                    }
+                }
+            }
+            let done = done.into_inner().expect("sweep done list poisoned");
+            let before = pending.len();
+            pending.retain(|index| !done.contains(index));
+            if pending.len() == before && !pending.is_empty() {
+                // A zero-progress round (every pending point followed a
+                // flight that shed): yield briefly so the retry loop cannot
+                // spin hot against a flapping leader.
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        report.streamed = streamed.into_inner() as usize;
+        report.complete = pending.is_empty();
+        report
+    }
+}
+
+/// What one [`PointService::run_sweep`] call accomplished.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepReport {
+    /// Points streamed by this call (observer invocations).
+    pub streamed: usize,
+    /// Gang-scheduled engine passes run (a cold, uncontended sweep runs
+    /// exactly one).
+    pub engine_passes: usize,
+    /// True if every pending point was streamed before the token fired.
+    pub complete: bool,
 }
 
 impl Drop for LeaderTicket {

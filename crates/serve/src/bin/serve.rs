@@ -1,9 +1,9 @@
 //! The wp-serve daemon binary.
 //!
 //! Usage: `cargo run --release -p wp-serve --bin serve -- [--listen ADDR]
-//! [--workers N] [--queue-depth N] [--default-deadline-ms N]
-//! [--max-conn-requests N] [--no-matrix-cache] [--matrix-cache-dir PATH]
-//! [--matrix-cache-cap BYTES]`
+//! [--workers N] [--queue-depth N] [--lane-depth N] [--sweep-threads N]
+//! [--default-deadline-ms N] [--max-conn-requests N] [--no-matrix-cache]
+//! [--matrix-cache-dir PATH] [--matrix-cache-cap BYTES]`
 //!
 //! `--listen` takes a TCP address (`127.0.0.1:0` picks a free port — the
 //! daemon prints the bound address) or a Unix socket path (anything
@@ -20,6 +20,7 @@ use wp_serve::server::{self, Listen, ServerConfig};
 use wp_serve::signal;
 
 const USAGE: &str = "usage: serve [--listen ADDR] [--workers N] [--queue-depth N] \
+                     [--lane-depth N] [--sweep-threads N] \
                      [--default-deadline-ms N] [--max-conn-requests N] \
                      [--no-matrix-cache] [--matrix-cache-dir PATH] \
                      [--matrix-cache-cap BYTES]";
@@ -29,6 +30,8 @@ struct ServeOptions {
     listen: String,
     workers: Option<usize>,
     queue_depth: usize,
+    lane_depth: usize,
+    sweep_threads: Option<usize>,
     default_deadline_ms: u64,
     max_conn_requests: u64,
     no_matrix_cache: bool,
@@ -42,6 +45,8 @@ impl Default for ServeOptions {
             listen: "127.0.0.1:0".to_string(),
             workers: None,
             queue_depth: 128,
+            lane_depth: 32,
+            sweep_threads: None,
             default_deadline_ms: 30_000,
             max_conn_requests: 1024,
             no_matrix_cache: false,
@@ -75,6 +80,10 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<ServeOptions, CliErr
             }
             "--workers" => options.workers = Some(positive("--workers", args.next())?),
             "--queue-depth" => options.queue_depth = positive("--queue-depth", args.next())?,
+            "--lane-depth" => options.lane_depth = positive("--lane-depth", args.next())?,
+            "--sweep-threads" => {
+                options.sweep_threads = Some(positive("--sweep-threads", args.next())?);
+            }
             "--default-deadline-ms" => {
                 options.default_deadline_ms = positive("--default-deadline-ms", args.next())?;
             }
@@ -133,6 +142,10 @@ fn main() {
         config.workers = workers;
     }
     config.queue_depth = options.queue_depth;
+    config.lane_depth = options.lane_depth;
+    if let Some(sweep_threads) = options.sweep_threads {
+        config.sweep_threads = sweep_threads;
+    }
     config.default_deadline_ms = options.default_deadline_ms;
     config.max_conn_requests = options.max_conn_requests;
 

@@ -3,32 +3,40 @@
 //!
 //! Usage: `serve_client --connect ADDR [--workload NAME] [--ops N]
 //! [--seed N] [--dpolicy LABEL] [--ipolicy LABEL] [--assoc N]
-//! [--deadline-ms N] [--repeat K] [--health] [--shutdown]`
-//! or `serve_client --batch [point flags]`.
+//! [--deadline-ms N] [--priority P] [--repeat K] [--sweep PLAN] [--health]
+//! [--metrics] [--shutdown]` or `serve_client --batch [point flags]
+//! [--sweep PLAN]`.
 //!
 //! The default action sends one `simulate` request and prints the response
 //! payload. `--repeat K` opens K concurrent connections all asking for the
 //! same point (a stampede: the daemon's singleflight executes one
-//! simulation) and prints all K responses, one per line. `--batch` skips
-//! the daemon entirely: it simulates the same point in-process and renders
-//! it through the same [`wp_serve::protocol::ok_response`] — so
+//! simulation) and prints all K responses, one per line. `--sweep PLAN`
+//! sends a v2 streaming sweep — `PLAN` is `run_all` or the path of a
+//! profile-spec JSON file — and prints the streamed point frames sorted by
+//! plan index, then the terminal frame. `--metrics` prints the daemon's v2
+//! metrics snapshot. `--batch` skips the daemon entirely: it simulates the
+//! same point (or whole sweep plan) in-process and renders it through the
+//! same [`wp_serve::protocol`] functions — so
 //! `diff <(serve_client --batch ...) <(serve_client --connect ...)` is the
-//! byte-identity check CI runs.
+//! byte-identity check CI runs, for single points and sweeps alike.
 
 use std::time::Duration;
 
+use serde::Value;
 use wp_experiments::{simulate_workload, CliError, MachineConfig, RunOptions, SimPoint};
-use wp_serve::protocol;
+use wp_serve::protocol::{self, SweepPlanSpec};
 use wp_serve::Client;
-use wp_workloads::WorkloadSpec;
+use wp_workloads::{ProfileSpec, WorkloadSpec};
 
 const USAGE: &str = "usage: serve_client (--connect ADDR | --batch) [--workload NAME] \
                      [--ops N] [--seed N] [--dpolicy LABEL] [--ipolicy LABEL] [--assoc N] \
-                     [--deadline-ms N] [--repeat K] [--health] [--shutdown]";
+                     [--deadline-ms N] [--priority P] [--repeat K] [--sweep PLAN] \
+                     [--health] [--metrics] [--shutdown]";
 
 enum Action {
     Simulate,
     Health,
+    Metrics,
     Shutdown,
 }
 
@@ -42,7 +50,9 @@ struct ClientOptions {
     ipolicy: Option<String>,
     assoc: Option<u64>,
     deadline_ms: Option<u64>,
+    priority: Option<u8>,
     repeat: u64,
+    sweep: Option<String>,
     action: Action,
 }
 
@@ -58,7 +68,9 @@ impl Default for ClientOptions {
             ipolicy: None,
             assoc: None,
             deadline_ms: None,
+            priority: None,
             repeat: 1,
+            sweep: None,
             action: Action::Simulate,
         }
     }
@@ -94,8 +106,23 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<ClientOptions, CliEr
             }
             "--assoc" => options.assoc = Some(positive("--assoc", args.next())?),
             "--deadline-ms" => options.deadline_ms = Some(positive("--deadline-ms", args.next())?),
+            "--priority" => {
+                // Unlike the other numeric flags, 0 is meaningful here: it
+                // is the most urgent fairness-lane priority.
+                let value = args.next().ok_or(CliError::MissingValue("--priority"))?;
+                match value.parse::<u8>() {
+                    Ok(parsed) if parsed <= protocol::MAX_PRIORITY => {
+                        options.priority = Some(parsed);
+                    }
+                    _ => return Err(CliError::InvalidValue("--priority", value)),
+                }
+            }
             "--repeat" => options.repeat = positive("--repeat", args.next())?,
+            "--sweep" => {
+                options.sweep = Some(args.next().ok_or(CliError::MissingValue("--sweep"))?);
+            }
             "--health" => options.action = Action::Health,
+            "--metrics" => options.action = Action::Metrics,
             "--shutdown" => options.action = Action::Shutdown,
             other => return Err(CliError::UnknownFlag(other.to_string())),
         }
@@ -140,6 +167,85 @@ fn fail(message: impl std::fmt::Display) -> ! {
     std::process::exit(1);
 }
 
+fn usage_fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+/// Resolves `--sweep PLAN`: the literal `run_all`, or the path of a
+/// profile-spec JSON file.
+fn sweep_spec(plan: &str) -> Result<SweepPlanSpec, String> {
+    if plan == "run_all" {
+        return Ok(SweepPlanSpec::RunAll);
+    }
+    let text = std::fs::read_to_string(plan)
+        .map_err(|e| format!("cannot read profile spec `{plan}`: {e}"))?;
+    let profile = ProfileSpec::from_json(&text, plan).map_err(|e| format!("{e}"))?;
+    Ok(SweepPlanSpec::Profile(profile))
+}
+
+/// The sweep plan the daemon will expand for `spec` — the same expansion
+/// [`wp_serve::protocol::parse_request`] performs, so the batch rendering
+/// and the daemon's stream are byte-comparable per point.
+fn sweep_plan(spec: &SweepPlanSpec, ops: u64, seed: u64) -> wp_experiments::SimPlan {
+    let options = RunOptions::default().with_ops(ops as usize).with_seed(seed);
+    match spec {
+        SweepPlanSpec::RunAll => wp_experiments::run_all_plan(&options),
+        SweepPlanSpec::Profile(profile) => {
+            wp_experiments::coverage::profile_plan(profile, &options)
+        }
+        SweepPlanSpec::Points(points) => {
+            let mut plan = wp_experiments::SimPlan::new();
+            for point in points {
+                plan.add(point.clone());
+            }
+            plan
+        }
+    }
+}
+
+/// Simulates the whole sweep plan locally and prints the same frames the
+/// daemon would stream (sorted by plan index) plus the summary — the batch
+/// half of the CI sweep byte-identity check.
+fn run_batch_sweep(spec: &SweepPlanSpec, ops: u64, seed: u64) {
+    let plan = sweep_plan(spec, ops, seed);
+    let requested = plan.len();
+    let points = plan.unique_points();
+    for (index, point) in points.iter().enumerate() {
+        let result = simulate_workload(&point.workload, &point.machine, &point.options);
+        println!("{}", protocol::stream_point_response(1, index, &result));
+    }
+    println!(
+        "{}",
+        protocol::sweep_summary_response(1, requested, points.len(), points.len())
+    );
+}
+
+/// Streams one sweep through the daemon, printing point frames sorted by
+/// plan index, then the terminal frame.
+fn run_daemon_sweep(connect: &str, request: &str) {
+    let mut client = Client::connect(connect).unwrap_or_else(|e| fail(e));
+    let _ = client.set_timeout(Duration::from_secs(600));
+    let mut frames: Vec<(u64, String)> = Vec::new();
+    let terminal = client
+        .sweep(request, |frame| {
+            let index = serde_json::from_str(frame)
+                .ok()
+                .and_then(|v| v.get("index").and_then(Value::as_u64))
+                .unwrap_or(u64::MAX);
+            frames.push((index, frame.to_string()));
+        })
+        .unwrap_or_else(|e| fail(e));
+    // Arrival order is completion order; sort by plan index so the stream
+    // compares line-for-line against the batch rendering.
+    frames.sort_by_key(|(index, _)| *index);
+    for (_, frame) in &frames {
+        println!("{frame}");
+    }
+    println!("{terminal}");
+}
+
 fn main() {
     let options = match parse_args(std::env::args().skip(1)) {
         Ok(options) => options,
@@ -153,13 +259,14 @@ fn main() {
     if options.batch {
         // The local reference path: same simulation, same renderer, no
         // daemon — what daemon responses are diffed against.
+        if let Some(plan) = &options.sweep {
+            let spec = sweep_spec(plan).unwrap_or_else(|e| usage_fail(e));
+            run_batch_sweep(&spec, options.ops, options.seed);
+            return;
+        }
         let point = match point_from(&options) {
             Ok(point) => point,
-            Err(error) => {
-                eprintln!("error: {error}");
-                eprintln!("{USAGE}");
-                std::process::exit(2);
-            }
+            Err(error) => usage_fail(error),
         };
         let result = simulate_workload(&point.workload, &point.machine, &point.options);
         println!("{}", protocol::ok_response(1, &result));
@@ -167,24 +274,44 @@ fn main() {
     }
 
     let Some(connect) = options.connect.clone() else {
-        eprintln!("error: flag `--connect` (or `--batch`) is required");
-        eprintln!("{USAGE}");
-        std::process::exit(2);
+        usage_fail("flag `--connect` (or `--batch`) is required");
     };
+
+    if let Some(plan) = &options.sweep {
+        let spec = sweep_spec(plan).unwrap_or_else(|e| usage_fail(e));
+        let request = protocol::sweep_request(
+            1,
+            &spec,
+            options.ops,
+            options.seed,
+            options.deadline_ms,
+            options.priority,
+        );
+        run_daemon_sweep(&connect, &request);
+        return;
+    }
 
     let request = match options.action {
         Action::Health => "{\"v\":1,\"id\":1,\"type\":\"health\"}".to_string(),
+        Action::Metrics => protocol::metrics_request(1),
         Action::Shutdown => "{\"v\":1,\"id\":1,\"type\":\"shutdown\"}".to_string(),
         Action::Simulate => {
             let point = match point_from(&options) {
                 Ok(point) => point,
-                Err(error) => {
-                    eprintln!("error: {error}");
-                    eprintln!("{USAGE}");
-                    std::process::exit(2);
-                }
+                Err(error) => usage_fail(error),
             };
-            protocol::simulate_request(1, &point, options.deadline_ms)
+            match options.priority {
+                // A priority makes it a v2 request; without one the frozen
+                // v1 bytes are sent, which CI's compat step relies on.
+                Some(priority) => protocol::simulate_request_v(
+                    protocol::PROTOCOL_V2,
+                    1,
+                    &point,
+                    options.deadline_ms,
+                    Some(priority),
+                ),
+                None => protocol::simulate_request(1, &point, options.deadline_ms),
+            }
         }
     };
 

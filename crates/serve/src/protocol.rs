@@ -3,30 +3,55 @@
 //!
 //! A frame is a 4-byte little-endian payload length followed by that many
 //! bytes of UTF-8 JSON; frames above [`MAX_FRAME_BYTES`] are rejected
-//! before allocation. Every request carries `{"v": 1, "id": N, "type":
-//! ...}`; see `docs/SERVICE.md` for the full request/response taxonomy.
+//! before allocation. Every request carries `{"v": 1|2, "id": N, "type":
+//! ...}` — the version is negotiated *per request*, so v1 and v2 traffic
+//! interleave freely on one connection and v1 responses stay byte-identical
+//! to the PR 9 wire format. See `docs/SERVICE.md` for the full
+//! request/response taxonomy.
+//!
+//! Frame *reads* go through [`FrameReader`], which keeps persistent decode
+//! state: a read timeout mid-frame (slow or dribbling sender) resumes where
+//! it left off instead of discarding the bytes already read and re-parsing
+//! the stream mid-frame. Only a timeout before byte 0 of a frame means
+//! "idle connection".
 //!
 //! Response rendering is centralised here — the daemon's workers and the
-//! `serve_client --batch` local path call the same [`ok_response`], so
-//! "daemon bytes equal batch bytes for the same point" is a property of
-//! this module, not of two renderers kept manually in sync. Simulation
-//! results travel as the [`SimResult::fields`] name → IEEE-754-bit map,
-//! the crate's canonical exact-equality contract.
+//! `serve_client --batch` local path call the same [`ok_response`] (and the
+//! v2 sweep path the same [`stream_point_response`]), so "daemon bytes
+//! equal batch bytes for the same point" is a property of this module, not
+//! of two renderers kept manually in sync. Simulation results travel as the
+//! [`SimResult::fields`] name → IEEE-754-bit map, the crate's canonical
+//! exact-equality contract.
 
 use std::io::{self, Read, Write};
 
 use serde::Value;
 use wp_cpu::{Processor, SimResult};
 use wp_experiments::matrix_cache::CacheHealth;
-use wp_experiments::{MachineConfig, RunOptions, SimPoint};
-use wp_workloads::WorkloadSpec;
+use wp_experiments::{MachineConfig, RunOptions, SimPlan, SimPoint};
+use wp_workloads::{ProfileSpec, WorkloadSpec};
 
-/// The protocol version this build speaks; requests with any other `v` are
-/// rejected with `bad_request`.
+/// The baseline protocol version (the PR 9 wire format); v1 requests and
+/// responses are byte-identical across protocol revisions.
 pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Protocol version 2: everything in v1, plus `sweep` (whole-plan
+/// submission with streamed per-point frames), `metrics`, and an optional
+/// `priority` field on work-submitting requests.
+pub const PROTOCOL_V2: u64 = 2;
 
 /// Upper bound on one frame's payload, checked before allocating.
 pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Upper bound on the unique points one `sweep` request may submit.
+pub const MAX_SWEEP_POINTS: usize = 4096;
+
+/// The default `priority` for requests that do not carry one (0 is most
+/// urgent, [`MAX_PRIORITY`] least).
+pub const DEFAULT_PRIORITY: u8 = 4;
+
+/// The least-urgent admissible `priority` value.
+pub const MAX_PRIORITY: u8 = 9;
 
 /// Writes one length-prefixed frame.
 pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> io::Result<()> {
@@ -39,34 +64,92 @@ pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> io::Result<()> {
 
 /// Reads one length-prefixed frame. `Ok(None)` is a clean end-of-stream
 /// (EOF before any length byte); EOF mid-frame is an error.
+///
+/// This one-shot form keeps **no** partial-read state across calls — it is
+/// only correct on readers that never time out mid-frame (in-memory
+/// buffers, blocking sockets without read timeouts). Connection handlers
+/// and clients with read timeouts must hold a [`FrameReader`] instead: a
+/// `WouldBlock`/`TimedOut` here after the first byte would lose the bytes
+/// already consumed and desynchronize the stream.
 pub fn read_frame(reader: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
-    let mut len = [0u8; 4];
-    match reader.read(&mut len) {
-        Ok(0) => return Ok(None),
-        Ok(mut got) => {
-            while got < len.len() {
-                let more = reader.read(&mut len[got..])?;
-                if more == 0 {
+    FrameReader::new().read(reader)
+}
+
+/// Resumable frame decoding: the persistent per-connection state that makes
+/// read timeouts safe *mid-frame*.
+///
+/// [`FrameReader::read`] pulls bytes until one whole frame is decoded. When
+/// the underlying reader fails with `WouldBlock`/`TimedOut`, the error is
+/// surfaced but the bytes already consumed (part of the length prefix, part
+/// of the payload) stay buffered — the next call resumes exactly where the
+/// stream paused. [`FrameReader::mid_frame`] distinguishes "idle before a
+/// frame" from "paused inside one", so callers can treat only byte-0
+/// timeouts as an idle connection.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    len: [u8; 4],
+    len_got: usize,
+    payload: Vec<u8>,
+    payload_got: usize,
+    decoding_payload: bool,
+}
+
+impl FrameReader {
+    /// A reader positioned at a frame boundary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if a frame is partially decoded — a timeout now is a paused
+    /// sender, not an idle connection.
+    pub fn mid_frame(&self) -> bool {
+        self.len_got > 0 || self.decoding_payload
+    }
+
+    /// Reads (or resumes reading) one frame. `Ok(None)` is a clean
+    /// end-of-stream at a frame boundary; EOF mid-frame is an error. On
+    /// `Err` of any kind the decode state is preserved, so a retriable
+    /// error (`WouldBlock`/`TimedOut`) resumes losslessly.
+    pub fn read(&mut self, reader: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+        while !self.decoding_payload {
+            let got = reader.read(&mut self.len[self.len_got..])?;
+            if got == 0 {
+                if self.len_got == 0 {
+                    return Ok(None);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
+            }
+            self.len_got += got;
+            if self.len_got == self.len.len() {
+                let len = u32::from_le_bytes(self.len) as usize;
+                if len > MAX_FRAME_BYTES {
                     return Err(io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        "connection closed mid-frame",
+                        io::ErrorKind::InvalidData,
+                        format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"),
                     ));
                 }
-                got += more;
+                self.payload = vec![0u8; len];
+                self.payload_got = 0;
+                self.decoding_payload = true;
             }
         }
-        Err(e) => return Err(e),
+        while self.payload_got < self.payload.len() {
+            let got = reader.read(&mut self.payload[self.payload_got..])?;
+            if got == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
+            }
+            self.payload_got += got;
+        }
+        self.len_got = 0;
+        self.decoding_payload = false;
+        Ok(Some(std::mem::take(&mut self.payload)))
     }
-    let len = u32::from_le_bytes(len) as usize;
-    if len > MAX_FRAME_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"),
-        ));
-    }
-    let mut payload = vec![0u8; len];
-    reader.read_exact(&mut payload)?;
-    Ok(Some(payload))
 }
 
 /// The typed error taxonomy every non-`ok` response carries; see
@@ -105,6 +188,9 @@ impl ErrorCode {
 pub enum Request {
     /// Simulate one point, bounded by a deadline.
     Simulate {
+        /// The negotiated protocol version of this request (echoed in the
+        /// response envelope).
+        v: u64,
         /// Client-chosen request id, echoed in the response.
         id: u64,
         /// The full simulation configuration (boxed to keep the request
@@ -112,36 +198,78 @@ pub enum Request {
         point: Box<SimPoint>,
         /// Deadline override in milliseconds (`None` = server default).
         deadline_ms: Option<u64>,
+        /// Fairness-lane priority (0 most urgent, [`MAX_PRIORITY`] least);
+        /// v1 requests always carry [`DEFAULT_PRIORITY`].
+        priority: u8,
+    },
+    /// Simulate a whole plan and stream one frame per completed point
+    /// (protocol v2 only).
+    Sweep {
+        /// Client-chosen request id, echoed in every stream frame.
+        id: u64,
+        /// The deduplicated points, in first-seen plan order; stream frame
+        /// indices refer to positions in this list.
+        points: Vec<SimPoint>,
+        /// Points the plan requested, duplicates included.
+        requested: usize,
+        /// Deadline override in milliseconds for the whole sweep.
+        deadline_ms: Option<u64>,
+        /// Fairness-lane priority for the sweep job.
+        priority: u8,
     },
     /// Report the daemon's health counters.
     Health {
+        /// The negotiated protocol version of this request.
+        v: u64,
+        /// Client-chosen request id, echoed in the response.
+        id: u64,
+    },
+    /// Export latency histograms, queue-depth series, and shed/coalesce
+    /// counters (protocol v2 only).
+    Metrics {
         /// Client-chosen request id, echoed in the response.
         id: u64,
     },
     /// Ask the daemon to drain and exit (the portable twin of SIGTERM).
     Shutdown {
+        /// The negotiated protocol version of this request.
+        v: u64,
         /// Client-chosen request id, echoed in the response.
         id: u64,
     },
 }
 
 /// Parses and validates one request payload. On error, returns the
-/// best-effort request id (0 if the frame never got that far) and the
-/// `bad_request` message.
-pub fn parse_request(payload: &[u8]) -> Result<Request, (u64, String)> {
-    let text = std::str::from_utf8(payload).map_err(|_| (0, "frame is not UTF-8".to_string()))?;
-    let value = serde_json::from_str(text).map_err(|e| (0, format!("invalid JSON: {e}")))?;
+/// request's best-effort protocol version (1 if the frame never declared a
+/// supported one) and id (0 if the frame never got that far) alongside the
+/// `bad_request` message, so the error response can be rendered in the
+/// version the client spoke.
+pub fn parse_request(payload: &[u8]) -> Result<Request, (u64, u64, String)> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| (PROTOCOL_VERSION, 0, "frame is not UTF-8".to_string()))?;
+    let value = serde_json::from_str(text)
+        .map_err(|e| (PROTOCOL_VERSION, 0, format!("invalid JSON: {e}")))?;
     let Some(fields) = value.as_object() else {
-        return Err((0, "request must be a JSON object".to_string()));
+        return Err((
+            PROTOCOL_VERSION,
+            0,
+            "request must be a JSON object".to_string(),
+        ));
     };
     let id = value.get("id").and_then(Value::as_u64).unwrap_or(0);
-    let fail = |message: String| Err((id, message));
+    let v = match value.get("v").and_then(Value::as_u64) {
+        Some(v @ (PROTOCOL_VERSION | PROTOCOL_V2)) => v,
+        Some(v) => {
+            return Err((
+                PROTOCOL_VERSION,
+                id,
+                format!("unsupported protocol version `{v}`"),
+            ))
+        }
+        None => return Err((PROTOCOL_VERSION, id, "missing field `v`".to_string())),
+    };
+    let fail = |message: String| Err((v, id, message));
 
-    match value.get("v").and_then(Value::as_u64) {
-        Some(PROTOCOL_VERSION) => {}
-        Some(v) => return fail(format!("unsupported protocol version `{v}`")),
-        None => return fail("missing field `v`".to_string()),
-    }
     if value.get("id").and_then(Value::as_u64).is_none() {
         return fail("missing field `id`".to_string());
     }
@@ -149,8 +277,10 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, (u64, String)> {
         return fail("missing field `type`".to_string());
     };
 
-    let allowed: &[&str] = match kind {
-        "simulate" => &[
+    // The v1 surface is frozen: its allowed types and fields are exactly
+    // the PR 9 set, so v1 requests (and their error bytes) never change.
+    let allowed: &[&str] = match (kind, v) {
+        ("simulate", PROTOCOL_VERSION) => &[
             "v",
             "id",
             "type",
@@ -160,8 +290,32 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, (u64, String)> {
             "deadline_ms",
             "machine",
         ],
-        "health" | "shutdown" => &["v", "id", "type"],
-        other => return fail(format!("unknown request type `{other}`")),
+        ("simulate", _) => &[
+            "v",
+            "id",
+            "type",
+            "workload",
+            "ops",
+            "seed",
+            "deadline_ms",
+            "machine",
+            "priority",
+        ],
+        ("health" | "shutdown", _) => &["v", "id", "type"],
+        ("sweep", PROTOCOL_V2) => &[
+            "v",
+            "id",
+            "type",
+            "plan",
+            "profile",
+            "points",
+            "ops",
+            "seed",
+            "deadline_ms",
+            "priority",
+        ],
+        ("metrics", PROTOCOL_V2) => &["v", "id", "type"],
+        (other, _) => return fail(format!("unknown request type `{other}`")),
     };
     for (key, _) in fields {
         if !allowed.contains(&key.as_str()) {
@@ -170,8 +324,9 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, (u64, String)> {
     }
 
     match kind {
-        "health" => Ok(Request::Health { id }),
-        "shutdown" => Ok(Request::Shutdown { id }),
+        "health" => Ok(Request::Health { v, id }),
+        "shutdown" => Ok(Request::Shutdown { v, id }),
+        "metrics" => Ok(Request::Metrics { id }),
         "simulate" => {
             let Some(name) = value.get("workload").and_then(Value::as_str) else {
                 return fail("missing field `workload`".to_string());
@@ -185,36 +340,186 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, (u64, String)> {
             if ops == 0 {
                 return fail("field `ops` must be positive".to_string());
             }
-            let seed = match value.get("seed") {
-                None => 42,
-                Some(seed) => match seed.as_u64() {
-                    Some(seed) => seed,
-                    None => return fail("field `seed` must be an unsigned integer".to_string()),
-                },
-            };
-            let deadline_ms = match value.get("deadline_ms") {
-                None => None,
-                Some(deadline) => match deadline.as_u64() {
-                    Some(0) | None => {
-                        return fail("field `deadline_ms` must be positive".to_string())
-                    }
-                    Some(ms) => Some(ms),
-                },
-            };
+            let seed = parse_seed(&value)
+                .map_err(|message| (v, id, message))?
+                .unwrap_or(42);
+            let deadline_ms = parse_deadline(&value).map_err(|message| (v, id, message))?;
+            let priority = parse_priority(&value).map_err(|message| (v, id, message))?;
             let machine = match value.get("machine") {
                 None => MachineConfig::baseline(),
-                Some(machine) => parse_machine(machine).map_err(|message| (id, message))?,
+                Some(machine) => parse_machine(machine).map_err(|message| (v, id, message))?,
             };
             let options = RunOptions::default().with_ops(ops as usize).with_seed(seed);
             let point = SimPoint::with_workload(workload, machine, options);
             Ok(Request::Simulate {
+                v,
                 id,
                 point: Box::new(point),
                 deadline_ms,
+                priority,
+            })
+        }
+        "sweep" => {
+            let deadline_ms = parse_deadline(&value).map_err(|message| (v, id, message))?;
+            let priority = parse_priority(&value).map_err(|message| (v, id, message))?;
+            let seed = parse_seed(&value)
+                .map_err(|message| (v, id, message))?
+                .unwrap_or(42);
+            let ops = match value.get("ops") {
+                None => None,
+                Some(ops) => match ops.as_u64() {
+                    Some(0) | None => return fail("field `ops` must be positive".to_string()),
+                    some => some,
+                },
+            };
+            let shapes = ["plan", "profile", "points"]
+                .iter()
+                .filter(|key| value.get(key).is_some())
+                .count();
+            if shapes != 1 {
+                return fail(
+                    "exactly one of `plan`, `profile`, or `points` is required".to_string(),
+                );
+            }
+            let plan = if let Some(plan) = value.get("plan") {
+                let Some(name) = plan.as_str() else {
+                    return fail("field `plan` must be a string".to_string());
+                };
+                if name != "run_all" {
+                    return fail(format!("unknown plan `{name}`"));
+                }
+                let Some(ops) = ops else {
+                    return fail("missing field `ops`".to_string());
+                };
+                let options = RunOptions::default().with_ops(ops as usize).with_seed(seed);
+                wp_experiments::run_all_plan(&options)
+            } else if let Some(profile) = value.get("profile") {
+                if profile.as_object().is_none() {
+                    return fail("field `profile` must be an object".to_string());
+                }
+                let text = render(profile.clone());
+                let profile = match ProfileSpec::from_json(&text, "field `profile`") {
+                    Ok(profile) => profile,
+                    Err(e) => return fail(format!("{e}")),
+                };
+                let Some(ops) = ops else {
+                    return fail("missing field `ops`".to_string());
+                };
+                let options = RunOptions::default().with_ops(ops as usize).with_seed(seed);
+                wp_experiments::coverage::profile_plan(&profile, &options)
+            } else {
+                let Some(items) = value.get("points").and_then(Value::as_array) else {
+                    return fail("field `points` must be an array".to_string());
+                };
+                if items.is_empty() {
+                    return fail("field `points` must not be empty".to_string());
+                }
+                let mut plan = SimPlan::new();
+                for item in items {
+                    let point =
+                        parse_sweep_point(item, ops, seed).map_err(|message| (v, id, message))?;
+                    plan.add(point);
+                }
+                plan
+            };
+            let points = plan.unique_points();
+            if points.is_empty() {
+                return fail("the sweep plan contains no points".to_string());
+            }
+            if points.len() > MAX_SWEEP_POINTS {
+                return fail(format!(
+                    "sweep exceeds {MAX_SWEEP_POINTS} unique points ({} requested)",
+                    points.len()
+                ));
+            }
+            Ok(Request::Sweep {
+                id,
+                requested: plan.len(),
+                points,
+                deadline_ms,
+                priority,
             })
         }
         _ => unreachable!("type was matched against the allowed list"),
     }
+}
+
+fn parse_seed(value: &Value) -> Result<Option<u64>, String> {
+    match value.get("seed") {
+        None => Ok(None),
+        Some(seed) => match seed.as_u64() {
+            Some(seed) => Ok(Some(seed)),
+            None => Err("field `seed` must be an unsigned integer".to_string()),
+        },
+    }
+}
+
+fn parse_deadline(value: &Value) -> Result<Option<u64>, String> {
+    match value.get("deadline_ms") {
+        None => Ok(None),
+        Some(deadline) => match deadline.as_u64() {
+            Some(0) | None => Err("field `deadline_ms` must be positive".to_string()),
+            Some(ms) => Ok(Some(ms)),
+        },
+    }
+}
+
+fn parse_priority(value: &Value) -> Result<u8, String> {
+    match value.get("priority") {
+        None => Ok(DEFAULT_PRIORITY),
+        Some(priority) => match priority.as_u64() {
+            Some(p) if p <= MAX_PRIORITY as u64 => Ok(p as u8),
+            _ => Err(format!(
+                "field `priority` must be an integer between 0 and {MAX_PRIORITY}"
+            )),
+        },
+    }
+}
+
+/// Parses one element of a sweep's `points` array: the same shape as a
+/// `simulate` request's point fields, with `ops`/`seed` falling back to the
+/// sweep-level values.
+fn parse_sweep_point(
+    value: &Value,
+    default_ops: Option<u64>,
+    default_seed: u64,
+) -> Result<SimPoint, String> {
+    let Some(fields) = value.as_object() else {
+        return Err("each element of `points` must be an object".to_string());
+    };
+    for (key, _) in fields {
+        if !["workload", "ops", "seed", "machine"].contains(&key.as_str()) {
+            return Err(format!("unknown field `{key}` in a sweep point"));
+        }
+    }
+    let Some(name) = value.get("workload").and_then(Value::as_str) else {
+        return Err("missing field `workload`".to_string());
+    };
+    let Some(workload) = WorkloadSpec::parse(name) else {
+        return Err(format!("unknown workload `{name}`"));
+    };
+    let ops = match value.get("ops") {
+        None => match default_ops {
+            Some(ops) => ops,
+            None => return Err("missing field `ops`".to_string()),
+        },
+        Some(ops) => match ops.as_u64() {
+            Some(0) | None => return Err("field `ops` must be positive".to_string()),
+            Some(ops) => ops,
+        },
+    };
+    let seed = match value.get("seed") {
+        None => default_seed,
+        Some(seed) => seed
+            .as_u64()
+            .ok_or_else(|| "field `seed` must be an unsigned integer".to_string())?,
+    };
+    let machine = match value.get("machine") {
+        None => MachineConfig::baseline(),
+        Some(machine) => parse_machine(machine)?,
+    };
+    let options = RunOptions::default().with_ops(ops as usize).with_seed(seed);
+    Ok(SimPoint::with_workload(workload, machine, options))
 }
 
 /// Parses the optional `machine` object — policy labels plus a d-cache
@@ -279,37 +584,75 @@ fn render(value: Value) -> String {
     serde_json::to_string(&Raw(value)).expect("JSON rendering is infallible")
 }
 
-fn envelope(id: u64, ok: bool) -> Vec<(String, Value)> {
+fn envelope(v: u64, id: u64, ok: bool) -> Vec<(String, Value)> {
     vec![
-        ("v".to_string(), Value::UInt(PROTOCOL_VERSION)),
+        ("v".to_string(), Value::UInt(v)),
         ("id".to_string(), Value::UInt(id)),
         ("ok".to_string(), Value::Bool(ok)),
     ]
 }
 
+fn result_fields(result: &SimResult) -> Value {
+    Value::Object(
+        result
+            .fields()
+            .iter()
+            .map(|&(name, bits)| (name.to_string(), Value::UInt(bits)))
+            .collect(),
+    )
+}
+
 /// Renders a successful simulation response: the [`SimResult::fields`]
 /// name → u64-bits map, in the canonical field order. Deterministic down
 /// to the byte for equal results — the property the soak harness diffs.
+/// Always renders the v1 envelope; use [`ok_response_for`] to echo a
+/// request's negotiated version.
 pub fn ok_response(id: u64, result: &SimResult) -> String {
-    let fields = result
-        .fields()
-        .iter()
-        .map(|&(name, bits)| (name.to_string(), Value::UInt(bits)))
-        .collect();
-    let mut response = envelope(id, true);
-    response.push(("result".to_string(), Value::Object(fields)));
+    ok_response_for(PROTOCOL_VERSION, id, result)
+}
+
+/// [`ok_response`] with an explicit envelope version.
+pub fn ok_response_for(v: u64, id: u64, result: &SimResult) -> String {
+    let mut response = envelope(v, id, true);
+    response.push(("result".to_string(), result_fields(result)));
     render(Value::Object(response))
 }
 
-/// Renders a bare acknowledgement (the `shutdown` response).
+/// Renders a bare v1 acknowledgement (the `shutdown` response).
 pub fn ack_response(id: u64) -> String {
-    render(Value::Object(envelope(id, true)))
+    ack_response_for(PROTOCOL_VERSION, id)
+}
+
+/// [`ack_response`] with an explicit envelope version.
+pub fn ack_response_for(v: u64, id: u64) -> String {
+    render(Value::Object(envelope(v, id, true)))
 }
 
 /// Renders the `health` response: the same [`CacheHealth`] struct
 /// `run_all --health-json` writes, under `health.cache`, plus the
 /// daemon's singleflight counters and lifecycle state.
 pub fn health_response(
+    id: u64,
+    cache: &CacheHealth,
+    executed: u64,
+    cache_hits: u64,
+    coalesced: u64,
+    shutting_down: bool,
+) -> String {
+    health_response_for(
+        PROTOCOL_VERSION,
+        id,
+        cache,
+        executed,
+        cache_hits,
+        coalesced,
+        shutting_down,
+    )
+}
+
+/// [`health_response`] with an explicit envelope version.
+pub fn health_response_for(
+    v: u64,
     id: u64,
     cache: &CacheHealth,
     executed: u64,
@@ -325,24 +668,34 @@ pub fn health_response(
         ("coalesced".to_string(), Value::UInt(coalesced)),
         ("shutting_down".to_string(), Value::Bool(shutting_down)),
     ];
-    let mut response = envelope(id, true);
+    let mut response = envelope(v, id, true);
     response.push(("health".to_string(), Value::Object(health)));
     render(Value::Object(response))
 }
 
-/// Renders a typed error response.
+/// Renders a typed v1 error response.
 pub fn error_response(id: u64, code: ErrorCode, message: &str) -> String {
+    error_response_for(PROTOCOL_VERSION, id, code, message)
+}
+
+/// [`error_response`] with an explicit envelope version.
+pub fn error_response_for(v: u64, id: u64, code: ErrorCode, message: &str) -> String {
     let error = vec![
         ("code".to_string(), Value::Str(code.as_str().to_string())),
         ("message".to_string(), Value::Str(message.to_string())),
     ];
-    let mut response = envelope(id, false);
+    let mut response = envelope(v, id, false);
     response.push(("error".to_string(), Value::Object(error)));
     render(Value::Object(response))
 }
 
-/// Renders a `deadline_exceeded` error with partial-progress counters.
+/// Renders a v1 `deadline_exceeded` error with partial-progress counters.
 pub fn deadline_response(id: u64, ops_completed: u64, ops_requested: u64) -> String {
+    deadline_response_for(PROTOCOL_VERSION, id, ops_completed, ops_requested)
+}
+
+/// [`deadline_response`] with an explicit envelope version.
+pub fn deadline_response_for(v: u64, id: u64, ops_completed: u64, ops_requested: u64) -> String {
     let error = vec![
         (
             "code".to_string(),
@@ -357,8 +710,182 @@ pub fn deadline_response(id: u64, ops_completed: u64, ops_requested: u64) -> Str
         ("ops_completed".to_string(), Value::UInt(ops_completed)),
         ("ops_requested".to_string(), Value::UInt(ops_requested)),
     ];
-    let mut response = envelope(id, false);
+    let mut response = envelope(v, id, false);
     response.push(("error".to_string(), Value::Object(error)));
+    render(Value::Object(response))
+}
+
+/// Renders one v2 sweep stream frame: the result for plan point `index`
+/// (a position in the sweep's deduplicated point list). The `result`
+/// object is rendered by the same field map as [`ok_response`],
+/// so a streamed point's payload is byte-comparable with the batch
+/// rendering of the same result. Frames arrive in completion order; the
+/// `index` is authoritative, not the arrival position.
+pub fn stream_point_response(id: u64, index: usize, result: &SimResult) -> String {
+    let mut response = envelope(PROTOCOL_V2, id, true);
+    response.push(("stream".to_string(), Value::Str("point".to_string())));
+    response.push(("index".to_string(), Value::UInt(index as u64)));
+    response.push(("result".to_string(), result_fields(result)));
+    render(Value::Object(response))
+}
+
+/// Renders the v2 sweep terminator: every point frame has been sent.
+/// Deterministic for a given plan — it carries no warm/cold provenance, so
+/// a cold sweep and a warm replay terminate with identical bytes.
+pub fn sweep_summary_response(id: u64, requested: usize, points: usize, streamed: usize) -> String {
+    let mut response = envelope(PROTOCOL_V2, id, true);
+    response.push(("stream".to_string(), Value::Str("summary".to_string())));
+    response.push(("requested".to_string(), Value::UInt(requested as u64)));
+    response.push(("points".to_string(), Value::UInt(points as u64)));
+    response.push(("streamed".to_string(), Value::UInt(streamed as u64)));
+    response.push(("complete".to_string(), Value::Bool(true)));
+    render(Value::Object(response))
+}
+
+/// Renders the v2 sweep terminator for a sweep whose deadline expired:
+/// `streamed` of `total` point frames were delivered before cancellation.
+pub fn sweep_deadline_response(id: u64, streamed: usize, total: usize) -> String {
+    let error = vec![
+        (
+            "code".to_string(),
+            Value::Str(ErrorCode::DeadlineExceeded.as_str().to_string()),
+        ),
+        (
+            "message".to_string(),
+            Value::Str(format!(
+                "sweep deadline exceeded after {streamed} of {total} points"
+            )),
+        ),
+        ("points_streamed".to_string(), Value::UInt(streamed as u64)),
+        ("points_total".to_string(), Value::UInt(total as u64)),
+    ];
+    let mut response = envelope(PROTOCOL_V2, id, false);
+    response.push(("error".to_string(), Value::Object(error)));
+    render(Value::Object(response))
+}
+
+/// One latency histogram in a [`MetricsSnapshot`]: log2 buckets of
+/// milliseconds (bucket 0 is `< 1 ms`, bucket `i` is `[2^(i-1), 2^i) ms`,
+/// the last bucket collects everything slower).
+#[derive(Debug, Clone, Default)]
+pub struct HistogramSnapshot {
+    /// Completed requests per log2-millisecond bucket.
+    pub buckets: Vec<u64>,
+    /// Total completed requests observed.
+    pub count: u64,
+    /// The slowest observed latency in milliseconds.
+    pub max_ms: u64,
+}
+
+impl HistogramSnapshot {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("count".to_string(), Value::UInt(self.count)),
+            ("max_ms".to_string(), Value::UInt(self.max_ms)),
+            (
+                "buckets".to_string(),
+                Value::Array(self.buckets.iter().map(|&c| Value::UInt(c)).collect()),
+            ),
+        ])
+    }
+}
+
+/// Everything the v2 `metrics` response reports; the daemon fills one from
+/// its live counters and [`metrics_response`] renders it deterministically.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Milliseconds since the daemon started.
+    pub uptime_ms: u64,
+    /// Simulations executed (the singleflight counter).
+    pub executed: u64,
+    /// Led flights and warm sweep points served from the matrix cache.
+    pub cache_hits: u64,
+    /// Joins that coalesced onto an in-flight point.
+    pub coalesced: u64,
+    /// Requests shed with `overloaded`.
+    pub shed: u64,
+    /// Followers that re-led a fresh flight after inheriting a shorter
+    /// deadline's cancellation (the deadline-inheritance fix at work).
+    pub releads: u64,
+    /// Fairness lanes currently holding queued jobs.
+    pub lanes_active: u64,
+    /// Jobs currently queued across all lanes.
+    pub jobs_queued: u64,
+    /// The global queued-job cap (`--queue-depth`).
+    pub queue_cap: u64,
+    /// The per-lane queued-job cap (`--lane-depth`).
+    pub lane_cap: u64,
+    /// Sweep jobs admitted.
+    pub sweeps_started: u64,
+    /// Sweeps that streamed every point.
+    pub sweeps_completed: u64,
+    /// Sweeps cancelled by deadline or shutdown.
+    pub sweeps_cancelled: u64,
+    /// Point frames streamed by sweeps.
+    pub sweep_points_streamed: u64,
+    /// Gang-scheduled engine passes run on behalf of sweeps.
+    pub engine_passes: u64,
+    /// `(ms since start, jobs queued)` samples, oldest first — recorded at
+    /// every admission and dispatch, bounded to the most recent window.
+    pub depth_series: Vec<(u64, u64)>,
+    /// Latency histogram for `simulate` requests.
+    pub point_latency: HistogramSnapshot,
+    /// Latency histogram for `sweep` requests (admission to terminator).
+    pub sweep_latency: HistogramSnapshot,
+}
+
+/// Renders the v2 `metrics` response.
+pub fn metrics_response(id: u64, snapshot: &MetricsSnapshot) -> String {
+    let lanes = Value::Object(vec![
+        ("active".to_string(), Value::UInt(snapshot.lanes_active)),
+        ("queued".to_string(), Value::UInt(snapshot.jobs_queued)),
+        ("queue_cap".to_string(), Value::UInt(snapshot.queue_cap)),
+        ("lane_cap".to_string(), Value::UInt(snapshot.lane_cap)),
+    ]);
+    let sweeps = Value::Object(vec![
+        ("started".to_string(), Value::UInt(snapshot.sweeps_started)),
+        (
+            "completed".to_string(),
+            Value::UInt(snapshot.sweeps_completed),
+        ),
+        (
+            "cancelled".to_string(),
+            Value::UInt(snapshot.sweeps_cancelled),
+        ),
+        (
+            "points_streamed".to_string(),
+            Value::UInt(snapshot.sweep_points_streamed),
+        ),
+        (
+            "engine_passes".to_string(),
+            Value::UInt(snapshot.engine_passes),
+        ),
+    ]);
+    let depth_series = Value::Array(
+        snapshot
+            .depth_series
+            .iter()
+            .map(|&(ms, depth)| Value::Array(vec![Value::UInt(ms), Value::UInt(depth)]))
+            .collect(),
+    );
+    let latency = Value::Object(vec![
+        ("point".to_string(), snapshot.point_latency.to_value()),
+        ("sweep".to_string(), snapshot.sweep_latency.to_value()),
+    ]);
+    let metrics = vec![
+        ("uptime_ms".to_string(), Value::UInt(snapshot.uptime_ms)),
+        ("executed".to_string(), Value::UInt(snapshot.executed)),
+        ("cache_hits".to_string(), Value::UInt(snapshot.cache_hits)),
+        ("coalesced".to_string(), Value::UInt(snapshot.coalesced)),
+        ("shed".to_string(), Value::UInt(snapshot.shed)),
+        ("releads".to_string(), Value::UInt(snapshot.releads)),
+        ("lanes".to_string(), lanes),
+        ("sweeps".to_string(), sweeps),
+        ("queue_depth_series".to_string(), depth_series),
+        ("latency_ms".to_string(), latency),
+    ];
+    let mut response = envelope(PROTOCOL_V2, id, true);
+    response.push(("metrics".to_string(), Value::Object(metrics)));
     render(Value::Object(response))
 }
 
@@ -368,8 +895,21 @@ pub fn deadline_response(id: u64, ops_completed: u64, ops_requested: u64) -> Str
 /// object (d-policy, i-policy, d-cache associativity) round-trip; that is
 /// exactly the shape `serve_client` can ask for.
 pub fn simulate_request(id: u64, point: &SimPoint, deadline_ms: Option<u64>) -> String {
+    simulate_request_v(PROTOCOL_VERSION, id, point, deadline_ms, None)
+}
+
+/// [`simulate_request`] with an explicit protocol version and an optional
+/// `priority` field (v2 only; passing one with `v = 1` would be rejected by
+/// the frozen v1 parser, so the builder only emits it for v2 requests).
+pub fn simulate_request_v(
+    v: u64,
+    id: u64,
+    point: &SimPoint,
+    deadline_ms: Option<u64>,
+    priority: Option<u8>,
+) -> String {
     let mut request = vec![
-        ("v".to_string(), Value::UInt(PROTOCOL_VERSION)),
+        ("v".to_string(), Value::UInt(v)),
         ("id".to_string(), Value::UInt(id)),
         ("type".to_string(), Value::Str("simulate".to_string())),
         ("workload".to_string(), Value::Str(point.workload.label())),
@@ -379,6 +919,21 @@ pub fn simulate_request(id: u64, point: &SimPoint, deadline_ms: Option<u64>) -> 
     if let Some(ms) = deadline_ms {
         request.push(("deadline_ms".to_string(), Value::UInt(ms)));
     }
+    if v != PROTOCOL_VERSION {
+        if let Some(priority) = priority {
+            request.push(("priority".to_string(), Value::UInt(priority as u64)));
+        }
+    }
+    let machine = machine_fields(point);
+    if !machine.is_empty() {
+        request.push(("machine".to_string(), Value::Object(machine)));
+    }
+    render(Value::Object(request))
+}
+
+/// Renders the protocol `machine` object for `point` as deltas from the
+/// paper baseline (empty = baseline machine).
+fn machine_fields(point: &SimPoint) -> Vec<(String, Value)> {
     let baseline = MachineConfig::baseline();
     let mut machine = Vec::new();
     if point.machine.dpolicy != baseline.dpolicy {
@@ -399,10 +954,84 @@ pub fn simulate_request(id: u64, point: &SimPoint, deadline_ms: Option<u64>) -> 
             Value::UInt(point.machine.l1d.associativity as u64),
         ));
     }
-    if !machine.is_empty() {
-        request.push(("machine".to_string(), Value::Object(machine)));
+    machine
+}
+
+/// The plan shapes a v2 `sweep` request can submit; the request-builder
+/// twin of the `plan`/`profile`/`points` alternatives in [`parse_request`].
+#[derive(Debug, Clone)]
+pub enum SweepPlanSpec {
+    /// The named built-in full plan (`"plan": "run_all"`): all 11 paper
+    /// artefacts, deduplicated server-side.
+    RunAll,
+    /// An inline `--profile` spec (`"profile": {...}`).
+    Profile(ProfileSpec),
+    /// An explicit point list (`"points": [...]`). Only baseline-derived
+    /// machines expressible in the protocol round-trip, as for
+    /// [`simulate_request`].
+    Points(Vec<SimPoint>),
+}
+
+/// Builds the v2 `sweep` request JSON. `ops` and `seed` are the sweep-level
+/// defaults applied to plan/profile points (explicit points carry their
+/// own).
+pub fn sweep_request(
+    id: u64,
+    spec: &SweepPlanSpec,
+    ops: u64,
+    seed: u64,
+    deadline_ms: Option<u64>,
+    priority: Option<u8>,
+) -> String {
+    let mut request = vec![
+        ("v".to_string(), Value::UInt(PROTOCOL_V2)),
+        ("id".to_string(), Value::UInt(id)),
+        ("type".to_string(), Value::Str("sweep".to_string())),
+    ];
+    match spec {
+        SweepPlanSpec::RunAll => {
+            request.push(("plan".to_string(), Value::Str("run_all".to_string())));
+        }
+        SweepPlanSpec::Profile(profile) => {
+            request.push(("profile".to_string(), serde::Serialize::to_value(profile)));
+        }
+        SweepPlanSpec::Points(points) => {
+            let items = points
+                .iter()
+                .map(|point| {
+                    let mut fields = vec![
+                        ("workload".to_string(), Value::Str(point.workload.label())),
+                        ("ops".to_string(), Value::UInt(point.options.ops as u64)),
+                        ("seed".to_string(), Value::UInt(point.options.seed)),
+                    ];
+                    let machine = machine_fields(point);
+                    if !machine.is_empty() {
+                        fields.push(("machine".to_string(), Value::Object(machine)));
+                    }
+                    Value::Object(fields)
+                })
+                .collect();
+            request.push(("points".to_string(), Value::Array(items)));
+        }
+    }
+    request.push(("ops".to_string(), Value::UInt(ops)));
+    request.push(("seed".to_string(), Value::UInt(seed)));
+    if let Some(ms) = deadline_ms {
+        request.push(("deadline_ms".to_string(), Value::UInt(ms)));
+    }
+    if let Some(priority) = priority {
+        request.push(("priority".to_string(), Value::UInt(priority as u64)));
     }
     render(Value::Object(request))
+}
+
+/// Builds the v2 `metrics` request JSON.
+pub fn metrics_request(id: u64) -> String {
+    render(Value::Object(vec![
+        ("v".to_string(), Value::UInt(PROTOCOL_V2)),
+        ("id".to_string(), Value::UInt(id)),
+        ("type".to_string(), Value::Str("metrics".to_string())),
+    ]))
 }
 
 #[cfg(test)]
@@ -411,8 +1040,48 @@ mod tests {
     use wp_cache::DCachePolicy;
     use wp_workloads::Benchmark;
 
-    fn parse(json: &str) -> Result<Request, (u64, String)> {
+    fn parse(json: &str) -> Result<Request, (u64, u64, String)> {
         parse_request(json.as_bytes())
+    }
+
+    /// A reader that yields its script one chunk at a time, interleaving a
+    /// `WouldBlock` timeout after every chunk — a deterministic dribbling
+    /// sender.
+    struct Dribble {
+        chunks: Vec<Vec<u8>>,
+        next: usize,
+        blocked: bool,
+    }
+
+    impl Dribble {
+        fn new(wire: &[u8], chunk: usize) -> Self {
+            Self {
+                chunks: wire.chunks(chunk).map(<[u8]>::to_vec).collect(),
+                next: 0,
+                blocked: false,
+            }
+        }
+    }
+
+    impl io::Read for Dribble {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if !self.blocked {
+                self.blocked = true;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "dribble pause"));
+            }
+            self.blocked = false;
+            let Some(chunk) = self.chunks.get(self.next) else {
+                return Ok(0);
+            };
+            let take = chunk.len().min(buf.len());
+            buf[..take].copy_from_slice(&chunk[..take]);
+            if take == chunk.len() {
+                self.next += 1;
+            } else {
+                self.chunks[self.next].drain(..take);
+            }
+            Ok(take)
+        }
     }
 
     #[test]
@@ -441,6 +1110,51 @@ mod tests {
     }
 
     #[test]
+    fn frame_reader_resumes_across_mid_frame_timeouts() {
+        // Two frames dribbled one byte at a time with a WouldBlock between
+        // every byte: the one-shot read_frame would lose state at the first
+        // timeout, the resumable reader decodes both frames losslessly.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"{\"v\":1,\"id\":7}").expect("write");
+        write_frame(&mut wire, b"{\"v\":2}").expect("write");
+        let mut dribble = Dribble::new(&wire, 1);
+        let mut frames = FrameReader::new();
+        let mut decoded = Vec::new();
+        let mut timeouts = 0;
+        loop {
+            match frames.read(&mut dribble) {
+                Ok(Some(frame)) => decoded.push(frame),
+                Ok(None) => break,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => timeouts += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0], b"{\"v\":1,\"id\":7}".to_vec());
+        assert_eq!(decoded[1], b"{\"v\":2}".to_vec());
+        assert!(timeouts > wire.len() / 2, "every byte paused the stream");
+        assert!(!frames.mid_frame(), "reader parks at a frame boundary");
+    }
+
+    #[test]
+    fn mid_frame_flag_distinguishes_idle_from_paused() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"{}").expect("write");
+        let mut frames = FrameReader::new();
+        assert!(!frames.mid_frame(), "fresh reader is at a boundary");
+        // Feed exactly one length byte, then stall.
+        let mut partial = Dribble::new(&wire[..1], 1);
+        loop {
+            match frames.read(&mut partial) {
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+                other => panic!("expected a mid-frame EOF, got {other:?}"),
+            }
+        }
+        assert!(frames.mid_frame(), "one length byte in = mid-frame");
+    }
+
+    #[test]
     fn simulate_requests_round_trip_through_the_builder() {
         let point = SimPoint::new(
             Benchmark::Gcc,
@@ -449,16 +1163,172 @@ mod tests {
         );
         let json = simulate_request(3, &point, Some(500));
         let Request::Simulate {
+            v,
             id,
             point: parsed,
             deadline_ms,
+            priority,
         } = parse(&json).expect("round trip")
         else {
             panic!("a simulate request parses as simulate");
         };
+        assert_eq!(v, PROTOCOL_VERSION);
         assert_eq!(id, 3);
         assert_eq!(deadline_ms, Some(500));
+        assert_eq!(priority, DEFAULT_PRIORITY, "v1 has no priority field");
         assert_eq!(*parsed, point);
+
+        let json = simulate_request_v(PROTOCOL_V2, 4, &point, None, Some(1));
+        let Request::Simulate { v, priority, .. } = parse(&json).expect("v2 round trip") else {
+            panic!("a v2 simulate request parses as simulate");
+        };
+        assert_eq!(v, PROTOCOL_V2);
+        assert_eq!(priority, 1);
+    }
+
+    #[test]
+    fn sweep_requests_round_trip_through_the_builder() {
+        let a = SimPoint::new(
+            Benchmark::Gcc,
+            MachineConfig::baseline(),
+            RunOptions::quick().with_ops(2_000).with_seed(3),
+        );
+        let b = SimPoint::new(
+            Benchmark::Li,
+            MachineConfig::baseline().with_dpolicy(DCachePolicy::SelDmWayPredict),
+            RunOptions::quick().with_ops(2_000).with_seed(3),
+        );
+        let json = sweep_request(
+            11,
+            &SweepPlanSpec::Points(vec![a.clone(), b.clone(), a.clone()]),
+            2_000,
+            3,
+            Some(10_000),
+            Some(6),
+        );
+        let Request::Sweep {
+            id,
+            points,
+            requested,
+            deadline_ms,
+            priority,
+        } = parse(&json).expect("sweep round trip")
+        else {
+            panic!("a sweep request parses as sweep");
+        };
+        assert_eq!(id, 11);
+        assert_eq!(requested, 3, "duplicates count toward `requested`");
+        assert_eq!(points, vec![a, b], "unique points in first-seen order");
+        assert_eq!(deadline_ms, Some(10_000));
+        assert_eq!(priority, 6);
+    }
+
+    #[test]
+    fn named_plan_sweeps_expand_to_the_run_all_plan() {
+        let json = sweep_request(1, &SweepPlanSpec::RunAll, 4_000, 42, None, None);
+        let Request::Sweep {
+            points, requested, ..
+        } = parse(&json).expect("run_all sweep parses")
+        else {
+            panic!("a plan sweep parses as sweep");
+        };
+        let options = RunOptions::default().with_ops(4_000).with_seed(42);
+        let plan = wp_experiments::run_all_plan(&options);
+        assert_eq!(requested, plan.len());
+        assert_eq!(points, plan.unique_points(), "253 deduplicated points");
+    }
+
+    #[test]
+    fn profile_sweeps_expand_through_the_profile_planner() {
+        let profile = ProfileSpec::builtin(wp_workloads::ProfileTier::Expected);
+        let json = sweep_request(
+            2,
+            &SweepPlanSpec::Profile(profile.clone()),
+            2_000,
+            7,
+            None,
+            None,
+        );
+        let Request::Sweep { points, .. } = parse(&json).expect("profile sweep parses") else {
+            panic!("a profile sweep parses as sweep");
+        };
+        let options = RunOptions::default().with_ops(2_000).with_seed(7);
+        let plan = wp_experiments::coverage::profile_plan(&profile, &options);
+        assert_eq!(points, plan.unique_points());
+    }
+
+    #[test]
+    fn sweep_and_v2_shape_violations_are_rejected_with_the_offending_detail() {
+        let cases = [
+            (
+                "{\"v\":1,\"id\":1,\"type\":\"sweep\",\"plan\":\"run_all\",\"ops\":100}",
+                "unknown request type `sweep`",
+            ),
+            (
+                "{\"v\":1,\"id\":1,\"type\":\"metrics\"}",
+                "unknown request type `metrics`",
+            ),
+            (
+                "{\"v\":1,\"id\":1,\"type\":\"simulate\",\"workload\":\"gcc\",\"ops\":10,\
+                 \"priority\":1}",
+                "unknown field `priority`",
+            ),
+            (
+                "{\"v\":2,\"id\":1,\"type\":\"sweep\",\"ops\":100}",
+                "exactly one of `plan`, `profile`, or `points` is required",
+            ),
+            (
+                "{\"v\":2,\"id\":1,\"type\":\"sweep\",\"plan\":\"run_all\",\"points\":[],\
+                 \"ops\":100}",
+                "exactly one of `plan`, `profile`, or `points` is required",
+            ),
+            (
+                "{\"v\":2,\"id\":1,\"type\":\"sweep\",\"plan\":\"nonesuch\",\"ops\":100}",
+                "unknown plan `nonesuch`",
+            ),
+            (
+                "{\"v\":2,\"id\":1,\"type\":\"sweep\",\"plan\":\"run_all\"}",
+                "missing field `ops`",
+            ),
+            (
+                "{\"v\":2,\"id\":1,\"type\":\"sweep\",\"points\":[],\"ops\":100}",
+                "field `points` must not be empty",
+            ),
+            (
+                "{\"v\":2,\"id\":1,\"type\":\"sweep\",\"points\":[{\"workload\":\"gcc\",\
+                 \"frobnicate\":1}],\"ops\":100}",
+                "unknown field `frobnicate` in a sweep point",
+            ),
+            (
+                "{\"v\":2,\"id\":1,\"type\":\"sweep\",\"points\":[{\"ops\":10}],\"ops\":100}",
+                "missing field `workload`",
+            ),
+            (
+                "{\"v\":2,\"id\":1,\"type\":\"simulate\",\"workload\":\"gcc\",\"ops\":10,\
+                 \"priority\":10}",
+                "field `priority` must be an integer between 0 and 9",
+            ),
+            (
+                "{\"v\":2,\"id\":1,\"type\":\"sweep\",\"profile\":\"expected\",\"ops\":100}",
+                "field `profile` must be an object",
+            ),
+        ];
+        for (json, message) in cases {
+            let (_, _, error) = parse(json).expect_err(json);
+            assert_eq!(error, message, "for request {json}");
+        }
+    }
+
+    #[test]
+    fn bad_request_errors_echo_the_negotiated_version() {
+        let (v, id, _) = parse("{\"v\":2,\"id\":8,\"type\":\"frobnicate\"}")
+            .expect_err("unknown type must not parse");
+        assert_eq!(v, PROTOCOL_V2, "v2 frames get v2 error envelopes");
+        assert_eq!(id, 8);
+        let (v, _, error) =
+            parse("{\"v\":3,\"id\":1,\"type\":\"health\"}").expect_err("v3 must not parse");
+        assert_eq!(v, PROTOCOL_VERSION, "unknown versions fall back to v1");
+        assert_eq!(error, "unsupported protocol version `3`");
     }
 
     #[test]
@@ -466,8 +1336,8 @@ mod tests {
         let cases = [
             ("{\"id\":1,\"type\":\"health\"}", "missing field `v`"),
             (
-                "{\"v\":2,\"id\":1,\"type\":\"health\"}",
-                "unsupported protocol version `2`",
+                "{\"v\":3,\"id\":1,\"type\":\"health\"}",
+                "unsupported protocol version `3`",
             ),
             ("{\"v\":1,\"type\":\"health\"}", "missing field `id`"),
             ("{\"v\":1,\"id\":1}", "missing field `type`"),
@@ -512,7 +1382,7 @@ mod tests {
             ),
         ];
         for (json, message) in cases {
-            let (_, error) = parse(json).expect_err(json);
+            let (_, _, error) = parse(json).expect_err(json);
             assert_eq!(error, message, "for request {json}");
         }
     }
@@ -523,7 +1393,7 @@ mod tests {
         // construction catches it at the protocol boundary.
         let json = "{\"v\":1,\"id\":9,\"type\":\"simulate\",\"workload\":\"gcc\",\"ops\":10,\
                     \"machine\":{\"assoc\":3}}";
-        let (id, error) = parse(json).expect_err("invalid geometry must not parse");
+        let (_, id, error) = parse(json).expect_err("invalid geometry must not parse");
         assert_eq!(id, 9);
         assert!(
             error.starts_with("invalid machine configuration: "),
@@ -556,6 +1426,72 @@ mod tests {
         assert!(deadline.contains("\"code\":\"deadline_exceeded\""));
         assert!(deadline.contains("\"ops_completed\":1024"));
         assert!(deadline.contains("\"ops_requested\":50000"));
+    }
+
+    #[test]
+    fn stream_frames_share_the_batch_result_rendering() {
+        let point = SimPoint::new(
+            Benchmark::Swim,
+            MachineConfig::baseline(),
+            RunOptions::quick().with_ops(2_000),
+        );
+        let result =
+            wp_experiments::simulate_workload(&point.workload, &point.machine, &point.options);
+        let batch = ok_response(1, &result);
+        let stream = stream_point_response(9, 41, &result);
+        let result_of = |frame: &str| {
+            let at = frame.find("\"result\":").expect("result field");
+            frame[at..].to_string()
+        };
+        assert_eq!(
+            result_of(&batch),
+            result_of(&stream),
+            "the streamed result object is byte-identical to the batch rendering"
+        );
+        assert!(
+            stream.starts_with("{\"v\":2,\"id\":9,\"ok\":true,\"stream\":\"point\",\"index\":41,")
+        );
+
+        let summary = sweep_summary_response(9, 286, 253, 253);
+        assert_eq!(
+            summary,
+            "{\"v\":2,\"id\":9,\"ok\":true,\"stream\":\"summary\",\"requested\":286,\
+             \"points\":253,\"streamed\":253,\"complete\":true}"
+        );
+        let cancelled = sweep_deadline_response(9, 41, 253);
+        assert!(cancelled.starts_with("{\"v\":2,\"id\":9,\"ok\":false,\"error\":{"));
+        assert!(
+            cancelled.contains("\"message\":\"sweep deadline exceeded after 41 of 253 points\"")
+        );
+        assert!(cancelled.contains("\"points_streamed\":41"));
+        assert!(cancelled.contains("\"points_total\":253"));
+    }
+
+    #[test]
+    fn metrics_responses_render_every_section() {
+        let snapshot = MetricsSnapshot {
+            uptime_ms: 1_500,
+            executed: 3,
+            shed: 1,
+            releads: 2,
+            queue_cap: 128,
+            lane_cap: 32,
+            depth_series: vec![(10, 1), (20, 0)],
+            point_latency: HistogramSnapshot {
+                buckets: vec![1, 0, 2],
+                count: 3,
+                max_ms: 4,
+            },
+            ..MetricsSnapshot::default()
+        };
+        let rendered = metrics_response(5, &snapshot);
+        assert!(rendered.starts_with("{\"v\":2,\"id\":5,\"ok\":true,\"metrics\":{"));
+        assert!(rendered.contains("\"uptime_ms\":1500"));
+        assert!(rendered.contains("\"releads\":2"));
+        assert!(rendered
+            .contains("\"lanes\":{\"active\":0,\"queued\":0,\"queue_cap\":128,\"lane_cap\":32}"));
+        assert!(rendered.contains("\"queue_depth_series\":[[10,1],[20,0]]"));
+        assert!(rendered.contains("\"point\":{\"count\":3,\"max_ms\":4,\"buckets\":[1,0,2]}"));
     }
 
     #[test]

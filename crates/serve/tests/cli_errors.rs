@@ -1,8 +1,13 @@
 //! Command-line error paths of the `serve` and `serve_client` binaries,
 //! asserted against the exact messages — same contract as the experiment
-//! binaries (`error: <message>` plus usage on stderr, exit 2).
+//! binaries (`error: <message>` plus usage on stderr, exit 2) — plus the
+//! protocol client's id-echo verification against a misbehaving daemon.
 
 use std::process::Command;
+use std::time::Duration;
+
+use wp_serve::protocol;
+use wp_serve::Client;
 
 /// Runs a binary with `args`; returns `(exit_code, stderr)`.
 fn run(binary: &str, args: &[&str]) -> (i32, String) {
@@ -84,6 +89,21 @@ fn serve_rejects_bad_command_lines_with_exact_messages() {
         &["--matrix-cache-cap", "lots"],
         "invalid value `lots` for flag `--matrix-cache-cap`",
     );
+    assert_cli_error(
+        bin,
+        &["--lane-depth", "0"],
+        "invalid value `0` for flag `--lane-depth`",
+    );
+    assert_cli_error(
+        bin,
+        &["--lane-depth"],
+        "flag `--lane-depth` requires a value",
+    );
+    assert_cli_error(
+        bin,
+        &["--sweep-threads", "many"],
+        "invalid value `many` for flag `--sweep-threads`",
+    );
 }
 
 #[test]
@@ -117,4 +137,101 @@ fn serve_client_rejects_bad_command_lines_with_exact_messages() {
         &["--connect", "127.0.0.1:1", "--deadline-ms", "0"],
         "invalid value `0` for flag `--deadline-ms`",
     );
+    assert_cli_error(
+        bin,
+        &["--connect", "127.0.0.1:1", "--priority", "10"],
+        "invalid value `10` for flag `--priority`",
+    );
+    assert_cli_error(
+        bin,
+        &["--connect", "127.0.0.1:1", "--priority"],
+        "flag `--priority` requires a value",
+    );
+    assert_cli_error(
+        bin,
+        &["--connect", "127.0.0.1:1", "--sweep"],
+        "flag `--sweep` requires a value",
+    );
+}
+
+/// A scripted stand-in daemon: accepts one connection and plays back the
+/// given `(delay, response payload)` script after reading one request per
+/// entry.
+fn fake_daemon(script: Vec<(Duration, Vec<String>)>) -> (String, std::thread::JoinHandle<()>) {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("fake daemon binds");
+    let addr = listener.local_addr().expect("bound address").to_string();
+    let handle = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().expect("client connects");
+        for (delay, responses) in script {
+            protocol::read_frame(&mut conn)
+                .expect("request frame arrives")
+                .expect("request frame is not EOF");
+            std::thread::sleep(delay);
+            for response in responses {
+                protocol::write_frame(&mut conn, response.as_bytes()).expect("response sends");
+            }
+        }
+    });
+    (addr, handle)
+}
+
+#[test]
+fn the_client_rejects_mismatched_response_ids_with_a_typed_error() {
+    let (addr, daemon) = fake_daemon(vec![(
+        Duration::ZERO,
+        vec!["{\"v\":1,\"id\":999,\"ok\":true}".to_string()],
+    )]);
+    let mut client = Client::connect(&addr).expect("client connects");
+    client
+        .set_timeout(Duration::from_secs(10))
+        .expect("timeout set");
+    let err = client
+        .request("{\"v\":1,\"id\":1,\"type\":\"health\"}")
+        .expect_err("a response for a different request must not be delivered");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert_eq!(
+        err.to_string(),
+        "response id 999 does not match request id 1"
+    );
+    daemon.join().expect("fake daemon panicked");
+}
+
+#[test]
+fn a_late_response_after_a_timeout_is_drained_not_misdelivered() {
+    // The first request's response arrives only after the client has given
+    // up on it; the second request's response follows immediately. Before
+    // the fix, the reused connection handed request 2 the stale response
+    // to request 1.
+    let (addr, daemon) = fake_daemon(vec![
+        (Duration::from_millis(700), Vec::new()),
+        (
+            Duration::ZERO,
+            vec![
+                "{\"v\":1,\"id\":1,\"ok\":true,\"stale\":true}".to_string(),
+                "{\"v\":1,\"id\":2,\"ok\":true}".to_string(),
+            ],
+        ),
+    ]);
+    let mut client = Client::connect(&addr).expect("client connects");
+    client
+        .set_timeout(Duration::from_millis(250))
+        .expect("short timeout set");
+    let err = client
+        .request("{\"v\":1,\"id\":1,\"type\":\"health\"}")
+        .expect_err("request 1 times out");
+    assert!(
+        err.kind() == std::io::ErrorKind::WouldBlock || err.kind() == std::io::ErrorKind::TimedOut,
+        "unexpected error: {err}"
+    );
+    client
+        .set_timeout(Duration::from_secs(10))
+        .expect("timeout restored");
+    let response = client
+        .request("{\"v\":1,\"id\":2,\"type\":\"health\"}")
+        .expect("request 2 gets its own response");
+    assert_eq!(
+        response, "{\"v\":1,\"id\":2,\"ok\":true}",
+        "the stale id-1 frame must be drained, not delivered"
+    );
+    daemon.join().expect("fake daemon panicked");
 }

@@ -200,6 +200,54 @@ fn expired_deadlines_return_partial_progress() {
 }
 
 #[test]
+fn a_follower_with_deadline_budget_releads_after_the_leaders_cancellation() {
+    let server = start(|config| config.workers = 2);
+    // Calibrate an op count that simulates for roughly two seconds, so the
+    // leader's 500 ms deadline always fires mid-run while the follower's
+    // generous deadline never does.
+    let probe = point(Benchmark::Gcc, 400_000);
+    let started = std::time::Instant::now();
+    simulate_workload(&probe.workload, &probe.machine, &probe.options);
+    let per_op = started.elapsed().as_secs_f64() / 400_000.0;
+    let ops = ((2.0 / per_op.max(1e-12)) as usize).clamp(1_000_000, 4_000_000_000);
+    let slow = point(Benchmark::Gcc, ops);
+    let expected = simulate_workload(&slow.workload, &slow.machine, &slow.options);
+
+    // Client A leads the flight with a 500 ms deadline; client B joins the
+    // same point 150 ms later with a two-minute deadline. Before the fix,
+    // B inherited A's cancellation and returned `deadline_exceeded` with
+    // most of its own budget unspent.
+    let request_a = protocol::simulate_request(1, &slow, Some(500));
+    let request_b = protocol::simulate_request(2, &slow, Some(120_000));
+    let (response_a, response_b) = std::thread::scope(|scope| {
+        let a = scope.spawn(|| {
+            let mut client = client(&server);
+            client.request(&request_a).expect("A gets a response")
+        });
+        std::thread::sleep(Duration::from_millis(150));
+        let b = scope.spawn(|| {
+            let mut client = client(&server);
+            client.request(&request_b).expect("B gets a response")
+        });
+        (a.join().expect("A panicked"), b.join().expect("B panicked"))
+    });
+    assert!(
+        response_a.contains("\"code\":\"deadline_exceeded\""),
+        "the leader dies by its own deadline: {response_a}"
+    );
+    assert_eq!(
+        response_b,
+        protocol::ok_response(2, &expected),
+        "the follower re-leads a fresh flight and completes under its own deadline"
+    );
+    assert!(
+        server.releads() >= 1,
+        "the re-lead is visible in the metrics counter"
+    );
+    stop(server);
+}
+
+#[test]
 fn malformed_requests_get_typed_bad_request_errors() {
     let server = start(|_| {});
     let mut client = client(&server);

@@ -162,6 +162,156 @@ fn soak_with_faults_survives_kill_dash_nine_and_stays_byte_identical() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Runs a mixed storm: `point_clients` v1 clients each requesting every
+/// point (returning their responses in point order plus the slowest single
+/// request), alongside `sweep_clients` v2 clients each streaming one sweep
+/// over the same points (returning `(frames sorted by index, terminal)`).
+#[allow(clippy::type_complexity)]
+fn mixed_storm(
+    daemon: &Daemon,
+    points: &[SimPoint],
+    point_clients: usize,
+    sweep_clients: usize,
+) -> (Vec<(Vec<String>, Duration)>, Vec<(Vec<String>, String)>) {
+    // The sweep-level ops/seed are defaults only; every explicit point
+    // carries its own, so the values here never reach the plan.
+    let sweep_request = protocol::sweep_request(
+        4,
+        &protocol::SweepPlanSpec::Points(points.to_vec()),
+        3_000,
+        42,
+        None,
+        None,
+    );
+    let barrier = std::sync::Barrier::new(point_clients + sweep_clients);
+    std::thread::scope(|scope| {
+        let point_handles: Vec<_> = (0..point_clients)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut client = daemon.client();
+                    barrier.wait();
+                    let mut slowest = Duration::ZERO;
+                    let responses = points
+                        .iter()
+                        .map(|point| {
+                            let started = std::time::Instant::now();
+                            let response = client
+                                .request(&protocol::simulate_request(1, point, Some(60_000)))
+                                .expect("storm point request succeeds");
+                            slowest = slowest.max(started.elapsed());
+                            response
+                        })
+                        .collect::<Vec<String>>();
+                    (responses, slowest)
+                })
+            })
+            .collect();
+        let sweep_handles: Vec<_> = (0..sweep_clients)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut client = daemon.client();
+                    barrier.wait();
+                    let mut frames: Vec<(u64, String)> = Vec::new();
+                    let terminal = client
+                        .sweep(&sweep_request, |frame| {
+                            let index = frame
+                                .split("\"index\":")
+                                .nth(1)
+                                .and_then(|rest| {
+                                    rest.split([',', '}']).next()?.trim().parse::<u64>().ok()
+                                })
+                                .expect("stream frames carry an index");
+                            frames.push((index, frame.to_string()));
+                        })
+                        .expect("storm sweep streams to completion");
+                    frames.sort_by_key(|(index, _)| *index);
+                    (
+                        frames.into_iter().map(|(_, frame)| frame).collect(),
+                        terminal,
+                    )
+                })
+            })
+            .collect();
+        (
+            point_handles
+                .into_iter()
+                .map(|h| h.join().expect("storm point client panicked"))
+                .collect(),
+            sweep_handles
+                .into_iter()
+                .map(|h| h.join().expect("storm sweep client panicked"))
+                .collect(),
+        )
+    })
+}
+
+#[test]
+fn a_mixed_v1_and_v2_storm_survives_kill_dash_nine_byte_identically() {
+    let dir = temp_dir("mixed");
+    let points = soak_points();
+    // Reference bytes for both protocols, rendered by the same functions
+    // the daemon uses: v1 point responses and v2 stream frames per point.
+    let results: Vec<_> = points
+        .iter()
+        .map(|point| simulate_workload(&point.workload, &point.machine, &point.options))
+        .collect();
+    let expected_points: Vec<String> = results
+        .iter()
+        .map(|result| protocol::ok_response(1, result))
+        .collect();
+    let expected_frames: Vec<String> = results
+        .iter()
+        .enumerate()
+        .map(|(index, result)| protocol::stream_point_response(4, index, result))
+        .collect();
+    let expected_summary =
+        protocol::sweep_summary_response(4, points.len(), points.len(), points.len());
+
+    // Phase 1: cold daemon with seeded cache faults; four v1 clients and
+    // two concurrent v2 sweeps fight over the same six points.
+    let daemon = Daemon::start(&dir, Some("11"));
+    let (point_runs, sweep_runs) = mixed_storm(&daemon, &points, 4, 2);
+    for (responses, slowest) in &point_runs {
+        assert_eq!(
+            responses, &expected_points,
+            "cold v1 responses match the batch path"
+        );
+        // The fairness bound: interactive points stay responsive while
+        // sweeps stream. Generous for CI noise, but far below a serialized
+        // whole-sweep wait.
+        assert!(
+            *slowest < Duration::from_secs(20),
+            "a point request stalled behind the sweeps ({slowest:?})"
+        );
+    }
+    for (frames, terminal) in &sweep_runs {
+        assert_eq!(frames, &expected_frames, "cold sweep frames match batch");
+        assert_eq!(terminal, &expected_summary);
+    }
+    // Mid-storm crash: no drain, cache directory left as-is.
+    daemon.kill();
+
+    // Phase 2: restart over the same directory with faults off. Warm or
+    // recomputed, both protocols' bytes must not change.
+    let daemon = Daemon::start(&dir, None);
+    let (point_runs, sweep_runs) = mixed_storm(&daemon, &points, 4, 2);
+    for (responses, _) in &point_runs {
+        assert_eq!(
+            responses, &expected_points,
+            "post-crash v1 responses are identical"
+        );
+    }
+    for (frames, terminal) in &sweep_runs {
+        assert_eq!(
+            frames, &expected_frames,
+            "post-crash sweep frames are identical"
+        );
+        assert_eq!(terminal, &expected_summary);
+    }
+    daemon.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[cfg(unix)]
 #[test]
 fn sigterm_drains_and_exits_zero() {
